@@ -1,0 +1,22 @@
+//! The comparator partitioners of the paper's evaluation, reimplemented in
+//! Rust on the simulated machine:
+//!
+//! * **RCB** — parallel recursive coordinate bisection (Zoltan's scheme):
+//!   distributed median search along the wider coordinate axis.
+//! * **ParMetis-like** — parallel multilevel: SPMD heavy-edge matching at
+//!   every level with all ranks active, greedy graph-growing initial
+//!   partition, boundary-band FM during uncoarsening with per-pass
+//!   collectives. Tuned for speed over quality, like ParMetis.
+//! * **Pt-Scotch-like** — same skeleton with Pt-Scotch's quality choices:
+//!   wider band graphs, more FM passes, tighter balance — better cuts,
+//!   more communication per level, slower at scale.
+//!
+//! These capture the algorithm class and the parallel cost structure of the
+//! originals (see DESIGN.md for the substitution argument); they are not
+//! line-by-line ports.
+
+pub mod multilevel;
+pub mod rcb;
+
+pub use multilevel::{multilevel_bisect, MlStats, MultilevelConfig};
+pub use rcb::{rcb_bisect, RcbResult};

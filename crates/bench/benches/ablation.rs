@@ -1,0 +1,62 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! communication block size, strip refinement factor, hierarchy shrink
+//! rate, and the lattice repulsion approximation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalapart::{scalapart_bisect, SpConfig};
+use sp_graph::{SuiteGraph, TestScale};
+use sp_machine::{CostModel, Machine};
+
+fn bench_block_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_block");
+    group.sample_size(10);
+    let t = SuiteGraph::Ecology1.instantiate(TestScale::Tiny, 1);
+    for block in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            b.iter(|| {
+                let mut cfg = SpConfig::default();
+                cfg.embed.lattice.block = block;
+                let mut m = Machine::new(64, CostModel::qdr_infiniband());
+                scalapart_bisect(&t.graph, &mut m, &cfg).cut
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strip_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_strip");
+    group.sample_size(10);
+    let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Tiny, 2);
+    for factor in [0u32, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            b.iter(|| {
+                let cfg = SpConfig { strip_factor: f as f64, ..Default::default() };
+                let mut m = Machine::new(16, CostModel::qdr_infiniband());
+                scalapart_bisect(&t.graph, &mut m, &cfg).cut
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shrink_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_levels");
+    group.sample_size(10);
+    let t = SuiteGraph::Ecology2.instantiate(TestScale::Tiny, 3);
+    for every_other in [true, false] {
+        let name = if every_other { "4x" } else { "2x" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &every_other, |b, &eo| {
+            b.iter(|| {
+                let mut cfg = SpConfig::default();
+                cfg.coarsen.keep_every_other = eo;
+                let mut m = Machine::new(16, CostModel::qdr_infiniband());
+                scalapart_bisect(&t.graph, &mut m, &cfg).cut
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_size, bench_strip_factor, bench_shrink_rate);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Component wall-clock benches: coarsening, embedding, geometric
+//! partitioning, refinement, and the quadtree substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_coarsen::{contract, heavy_edge_matching, CoarsenConfig, Hierarchy};
+use sp_embed::{force_layout, lattice_smooth, random_init, ForceParams, LatticeConfig};
+use sp_geometry::QuadTree;
+use sp_geopart::{geometric_partition, GeoConfig};
+use sp_graph::gen::{delaunay_graph, grid_2d};
+use sp_graph::Bisection;
+use sp_machine::{CostModel, Machine};
+use sp_refine::{fm_refine, FmConfig};
+
+fn bench_coarsen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsen");
+    for side in [64usize, 128] {
+        let g = grid_2d(side, side);
+        group.bench_with_input(BenchmarkId::new("hem+contract", g.n()), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let m = heavy_edge_matching(g, &mut rng);
+                contract(g, &m).coarse.n()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchy", g.n()), &g, |b, g| {
+            b.iter(|| Hierarchy::build(g, &CoarsenConfig::default()).depth())
+        });
+    }
+    group.finish();
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed");
+    group.sample_size(10);
+    for side in [48usize, 96] {
+        let g = grid_2d(side, side);
+        let mut rng = StdRng::seed_from_u64(2);
+        let coords0 = random_init(g.n(), &mut rng);
+        let params = ForceParams::for_domain(0.2, g.n() as f64, g.n());
+        group.bench_with_input(
+            BenchmarkId::new("barnes_hut_10iters", g.n()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut coords = coords0.clone();
+                    force_layout(g, &mut coords, &params, 0.85, 10, 0.9, 0.95)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lattice_10iters_q4", g.n()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut coords = coords0.clone();
+                    let mut m = Machine::new(16, CostModel::qdr_infiniband());
+                    lattice_smooth(
+                        g,
+                        &mut coords,
+                        4,
+                        &mut m,
+                        &LatticeConfig { iters: 10, ..Default::default() },
+                    );
+                    coords[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_geopart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geopart");
+    group.sample_size(10);
+    for n in [10_000usize, 40_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, coords) = delaunay_graph(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("g7nl", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                geometric_partition(g, &coords, &GeoConfig::g7_nl(), &mut rng).cut
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("g30", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                geometric_partition(g, &coords, &GeoConfig::g30(), &mut rng).cut
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    for side in [64usize, 128] {
+        let g = grid_2d(side, side);
+        let noisy: Vec<u8> = (0..g.n())
+            .map(|v| u8::from((v % side >= side / 2) != (v % 17 == 0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fm_full", g.n()), &g, |b, g| {
+            b.iter(|| {
+                let mut bi = Bisection::new(noisy.clone());
+                fm_refine(g, &mut bi, None, &FmConfig::default()).cut_after
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadtree");
+    for n in [10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = random_init(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| QuadTree::build(pts, None).node_count())
+        });
+        let tree = QuadTree::build(&pts, None);
+        group.bench_with_input(BenchmarkId::new("query_theta0.85", n), &tree, |b, t| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                t.for_each_approx(pts[0], Some(0), 0.85, |p, m| acc += p.x * m);
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coarsen,
+    bench_embed,
+    bench_geopart,
+    bench_refine,
+    bench_quadtree
+);
+criterion_main!(benches);

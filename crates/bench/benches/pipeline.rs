@@ -1,0 +1,43 @@
+//! End-to-end pipeline benches: ScalaPart vs the comparators at a fixed
+//! rank count (wall-clock of the simulation; simulated times come from the
+//! `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalapart::{run_method, Method};
+use sp_graph::{SuiteGraph, TestScale};
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Tiny, 7);
+    let coords = t.coords.clone();
+    for method in [
+        Method::ScalaPart,
+        Method::ParMetisLike,
+        Method::PtScotchLike,
+        Method::Rcb,
+        Method::SpPg7Nl,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(method.name(), t.graph.n()),
+            &t.graph,
+            |b, g| b.iter(|| run_method(method, g, coords.as_deref(), 16, 9).cut),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rank_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalapart_by_p");
+    group.sample_size(10);
+    let t = SuiteGraph::Ecology1.instantiate(TestScale::Tiny, 9);
+    for p in [1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| run_method(Method::ScalaPart, &t.graph, None, p, 3).cut)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_rank_counts);
+criterion_main!(benches);

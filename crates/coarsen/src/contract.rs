@@ -1,0 +1,132 @@
+//! Graph contraction given a matching.
+
+use crate::matching::Matching;
+use sp_graph::{Graph, GraphBuilder};
+
+/// The result of contracting a graph along a matching.
+pub struct Contraction {
+    /// The coarse graph (vertex weights summed, parallel edges merged).
+    pub coarse: Graph,
+    /// `map[v]` = coarse vertex id of fine vertex `v`.
+    pub map: Vec<u32>,
+}
+
+/// Contract `g` along matching `m`: every matched pair becomes one coarse
+/// vertex (weights summed), unmatched vertices survive as singletons, and
+/// multi-edges merge with summed weights. Edges internal to a pair vanish.
+pub fn contract(g: &Graph, m: &Matching) -> Contraction {
+    let n = g.n();
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let u = m.mate[v as usize];
+        map[v as usize] = next;
+        map[u as usize] = next; // u == v for singletons
+        next += 1;
+    }
+    let cn = next as usize;
+    let mut b = GraphBuilder::with_edge_capacity(cn, g.m());
+    // Coarse vertex weights.
+    let mut cw = vec![0.0f64; cn];
+    for v in 0..n as u32 {
+        cw[map[v as usize] as usize] += g.vwgt(v);
+    }
+    for (c, &w) in cw.iter().enumerate() {
+        b.set_vwgt(c as u32, w);
+    }
+    // Coarse edges.
+    for v in 0..n as u32 {
+        let cv = map[v as usize];
+        for (u, w) in g.neighbors_w(v) {
+            if u > v {
+                let cu = map[u as usize];
+                if cu != cv {
+                    b.add_edge(cv, cu, w);
+                }
+            }
+        }
+    }
+    Contraction { coarse: b.build(), map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::heavy_edge_matching;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sp_graph::gen::grid_2d;
+    use sp_graph::GraphBuilder;
+
+    #[test]
+    fn contract_halves_a_path() {
+        // Path 0-1-2-3 with matching (0,1) (2,3) → 2 coarse vertices, 1 edge.
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(i, i + 1, 1.0);
+        }
+        let g = b.build();
+        let m = Matching { mate: vec![1, 0, 3, 2] };
+        let c = contract(&g, &m);
+        assert_eq!(c.coarse.n(), 2);
+        assert_eq!(c.coarse.m(), 1);
+        assert_eq!(c.coarse.vwgt(0), 2.0);
+        assert_eq!(c.coarse.vwgt(1), 2.0);
+        c.coarse.validate().unwrap();
+    }
+
+    #[test]
+    fn vertex_weight_is_conserved() {
+        let g = grid_2d(15, 15);
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let c = contract(&g, &m);
+        assert!((c.coarse.total_vwgt() - g.total_vwgt()).abs() < 1e-9);
+        c.coarse.validate().unwrap();
+    }
+
+    #[test]
+    fn cross_pair_edge_weights_merge() {
+        // Square 0-1-2-3-0 with matching (0,1),(2,3): coarse has the two
+        // cross edges 1-2 and 3-0 merged into one edge of weight 2.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 0, 1.0);
+        let g = b.build();
+        let m = Matching { mate: vec![1, 0, 3, 2] };
+        let c = contract(&g, &m);
+        assert_eq!(c.coarse.n(), 2);
+        assert_eq!(c.coarse.m(), 1);
+        let w = c.coarse.neighbors_w(0).next().unwrap().1;
+        assert_eq!(w, 2.0);
+    }
+
+    #[test]
+    fn map_is_consistent_with_matching() {
+        let g = grid_2d(12, 12);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let c = contract(&g, &m);
+        for v in 0..g.n() as u32 {
+            assert_eq!(c.map[v as usize], c.map[m.mate[v as usize] as usize]);
+        }
+        // Coarse ids are dense.
+        let mx = *c.map.iter().max().unwrap() as usize;
+        assert_eq!(mx + 1, c.coarse.n());
+    }
+
+    #[test]
+    fn contraction_shrinks_towards_half() {
+        let g = grid_2d(30, 30);
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let c = contract(&g, &m);
+        let ratio = c.coarse.n() as f64 / g.n() as f64;
+        assert!((0.5..0.62).contains(&ratio), "shrink ratio {ratio}");
+    }
+}

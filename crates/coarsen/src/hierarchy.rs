@@ -1,0 +1,191 @@
+//! The multilevel hierarchy: repeated match-and-contract with the paper's
+//! retain-every-other-level adaptation (≈¼ shrink between retained levels).
+
+use crate::contract::contract;
+use crate::matching::heavy_edge_matching;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_graph::Graph;
+
+/// Controls for hierarchy construction.
+#[derive(Clone, Copy, Debug)]
+pub struct CoarsenConfig {
+    /// Stop once the coarsest graph has at most this many vertices
+    /// (the paper keeps it "in the hundreds or few thousands").
+    pub target_coarsest: usize,
+    /// Retain every other contraction so retained levels shrink ≈ 4×
+    /// (the paper's adaptation). `false` retains every level (≈ 2×),
+    /// which the ablation benches compare against.
+    pub keep_every_other: bool,
+    /// Safety cap on retained levels.
+    pub max_levels: usize,
+    /// RNG seed for the matchings.
+    pub seed: u64,
+}
+
+impl Default for CoarsenConfig {
+    fn default() -> Self {
+        CoarsenConfig {
+            target_coarsest: 1000,
+            keep_every_other: true,
+            max_levels: 40,
+            seed: 0x5CA1AB1E,
+        }
+    }
+}
+
+/// One retained level of the hierarchy.
+pub struct Level {
+    /// The graph at this level (`levels[0]` is the input graph).
+    pub graph: Graph,
+    /// For non-coarsest levels: `map[v]` = vertex of the next retained
+    /// (coarser) level containing `v`.
+    pub map_to_coarser: Option<Vec<u32>>,
+}
+
+/// A coarsening hierarchy `G⁰ ⊃ G¹ ⊃ … ⊃ Gᵏ`.
+pub struct Hierarchy {
+    pub levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy for `g`.
+    pub fn build(g: &Graph, cfg: &CoarsenConfig) -> Hierarchy {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut levels = vec![Level { graph: g.clone(), map_to_coarser: None }];
+        loop {
+            let cur = &levels.last().unwrap().graph;
+            if cur.n() <= cfg.target_coarsest || levels.len() > cfg.max_levels {
+                break;
+            }
+            // One or two contractions, composed into one retained step.
+            let m1 = heavy_edge_matching(cur, &mut rng);
+            let c1 = contract(cur, &m1);
+            let (coarse, map) = if cfg.keep_every_other && c1.coarse.n() > cfg.target_coarsest
+            {
+                let m2 = heavy_edge_matching(&c1.coarse, &mut rng);
+                let c2 = contract(&c1.coarse, &m2);
+                let composed: Vec<u32> =
+                    c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
+                (c2.coarse, composed)
+            } else {
+                (c1.coarse, c1.map)
+            };
+            // Coarsening stalls on pathological graphs; bail out rather
+            // than looping forever.
+            if coarse.n() as f64 > 0.95 * cur.n() as f64 {
+                break;
+            }
+            levels.last_mut().unwrap().map_to_coarser = Some(map);
+            levels.push(Level { graph: coarse, map_to_coarser: None });
+        }
+        Hierarchy { levels }
+    }
+
+    /// Number of retained levels (≥ 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The coarsest graph.
+    pub fn coarsest(&self) -> &Graph {
+        &self.levels.last().unwrap().graph
+    }
+
+    /// Project per-vertex data at level `i+1` down to level `i` (each fine
+    /// vertex inherits its coarse vertex's value).
+    pub fn project_down<T: Copy>(&self, level: usize, coarse_vals: &[T]) -> Vec<T> {
+        let map = self.levels[level]
+            .map_to_coarser
+            .as_ref()
+            .expect("level has no coarser neighbour");
+        assert_eq!(coarse_vals.len(), self.levels[level + 1].graph.n());
+        map.iter().map(|&c| coarse_vals[c as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::grid_2d;
+
+    #[test]
+    fn hierarchy_reaches_target() {
+        let g = grid_2d(64, 64);
+        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 300, ..Default::default() });
+        assert!(h.coarsest().n() <= 300);
+        assert!(h.depth() >= 2);
+        for l in &h.levels {
+            l.graph.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn retained_levels_shrink_by_about_four() {
+        let g = grid_2d(80, 80);
+        let h = Hierarchy::build(&g, &CoarsenConfig::default());
+        for w in h.levels.windows(2) {
+            let ratio = w[1].graph.n() as f64 / w[0].graph.n() as f64;
+            assert!(
+                (0.2..0.45).contains(&ratio) || w[1].graph.n() <= 1000,
+                "level shrink ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_level_mode_shrinks_by_about_two() {
+        let g = grid_2d(60, 60);
+        let cfg = CoarsenConfig { keep_every_other: false, target_coarsest: 500, ..Default::default() };
+        let h = Hierarchy::build(&g, &cfg);
+        let ratio = h.levels[1].graph.n() as f64 / h.levels[0].graph.n() as f64;
+        assert!((0.45..0.65).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn vertex_weight_conserved_through_hierarchy() {
+        let g = grid_2d(40, 40);
+        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 100, ..Default::default() });
+        let w0 = g.total_vwgt();
+        for l in &h.levels {
+            assert!((l.graph.total_vwgt() - w0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn maps_cover_all_coarse_vertices() {
+        let g = grid_2d(32, 32);
+        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 64, ..Default::default() });
+        for i in 0..h.depth() - 1 {
+            let map = h.levels[i].map_to_coarser.as_ref().unwrap();
+            let cn = h.levels[i + 1].graph.n();
+            let mut seen = vec![false; cn];
+            for &c in map {
+                seen[c as usize] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "level {i} map not surjective");
+        }
+    }
+
+    #[test]
+    fn project_down_inherits_values() {
+        let g = grid_2d(20, 20);
+        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 50, ..Default::default() });
+        let k = h.depth() - 1;
+        let coarse_vals: Vec<f64> =
+            (0..h.levels[k].graph.n()).map(|i| i as f64).collect();
+        let fine = h.project_down(k - 1, &coarse_vals);
+        let map = h.levels[k - 1].map_to_coarser.as_ref().unwrap();
+        for (v, &val) in fine.iter().enumerate() {
+            assert_eq!(val, coarse_vals[map[v] as usize]);
+        }
+    }
+
+    #[test]
+    fn tiny_graph_single_level() {
+        let g = grid_2d(5, 5);
+        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 100, ..Default::default() });
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.coarsest().n(), 25);
+    }
+}

@@ -1,0 +1,21 @@
+//! Multilevel coarsening via heavy-edge matching (HEM).
+//!
+//! ScalaPart "coarsens graphs in the same manner as in ParMetis": repeated
+//! heavy-edge matching and contraction, halving the vertex count per step.
+//! The paper's one adaptation — retaining only every *other* graph so
+//! successive retained levels shrink by ≈ 4× (and the active rank count
+//! shrinks by 4× with them) — lives in [`hierarchy`].
+//!
+//! Both a sequential matcher and the SPMD formulation (proposal/grant
+//! rounds with communication charged to a [`sp_machine::Machine`]) are
+//! provided; they produce matchings of the same quality class.
+
+pub mod contract;
+pub mod hierarchy;
+pub mod matching;
+pub mod parallel;
+
+pub use contract::{contract, Contraction};
+pub use hierarchy::{CoarsenConfig, Hierarchy, Level};
+pub use matching::{heavy_edge_matching, validate_matching, Matching};
+pub use parallel::parallel_hem;

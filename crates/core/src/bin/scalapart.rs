@@ -1,0 +1,182 @@
+//! `scalapart` — command-line partitioner.
+//!
+//! Partition a graph file (Chaco/Metis or MatrixMarket) into k parts with
+//! any of the methods from the paper's evaluation, on a simulated P-rank
+//! machine; writes one part id per line (vertex order) to `--out`.
+//!
+//! Examples:
+//!   scalapart mesh.graph --parts 8 --ranks 64 --out mesh.part
+//!   scalapart power.mtx --format mm --method ptscotch --parts 2
+//!   scalapart mesh.graph --coords mesh.xy --method rcb --parts 16
+
+use scalapart::{recursive_kway, Method};
+use sp_graph::io::{read_chaco, read_coords, read_matrix_market};
+use std::io::BufReader;
+use std::path::PathBuf;
+
+struct Args {
+    input: PathBuf,
+    format: String,
+    method: Method,
+    parts: usize,
+    ranks: usize,
+    coords: Option<PathBuf>,
+    out: Option<PathBuf>,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scalapart <graph-file> [options]\n\
+         \n\
+         options:\n\
+           --format chaco|mm       input format (default: by extension, .mtx = mm)\n\
+           --method sp|sp-pg7nl|rcb|parmetis|ptscotch|g30|g7|g7nl   (default sp)\n\
+           --parts K               number of parts (default 2)\n\
+           --ranks P               simulated ranks (default 64)\n\
+           --coords FILE           x-y coordinate file (one pair per line)\n\
+           --out FILE              write part ids here (default: stdout summary only)\n\
+           --seed N                RNG seed (default 42)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: PathBuf::new(),
+        format: String::new(),
+        method: Method::ScalaPart,
+        parts: 2,
+        ranks: 64,
+        coords: None,
+        out: None,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut have_input = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => args.format = it.next().unwrap_or_else(|| usage()),
+            "--method" => {
+                args.method = match it.next().as_deref() {
+                    Some("sp") => Method::ScalaPart,
+                    Some("sp-pg7nl") => Method::SpPg7Nl,
+                    Some("rcb") => Method::Rcb,
+                    Some("parmetis") => Method::ParMetisLike,
+                    Some("ptscotch") => Method::PtScotchLike,
+                    Some("g30") => Method::G30,
+                    Some("g7") => Method::G7,
+                    Some("g7nl") => Method::G7Nl,
+                    other => {
+                        eprintln!("unknown method {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--parts" => {
+                args.parts = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--ranks" => {
+                args.ranks = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--coords" => args.coords = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--seed" => {
+                args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if !have_input => {
+                args.input = PathBuf::from(other);
+                have_input = true;
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if !have_input {
+        usage();
+    }
+    if args.format.is_empty() {
+        args.format = if args.input.extension().is_some_and(|e| e == "mtx") {
+            "mm".into()
+        } else {
+            "chaco".into()
+        };
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let file = std::fs::File::open(&args.input).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", args.input.display());
+        std::process::exit(1);
+    });
+    let reader = BufReader::new(file);
+    let graph = match args.format.as_str() {
+        "chaco" => read_chaco(reader),
+        "mm" => read_matrix_market(reader),
+        other => {
+            eprintln!("unknown format '{other}'");
+            usage()
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "loaded {}: N = {}, M = {}",
+        args.input.display(),
+        graph.n(),
+        graph.m()
+    );
+    let coords = args.coords.as_ref().map(|p| {
+        let f = std::fs::File::open(p).unwrap_or_else(|e| {
+            eprintln!("cannot open {}: {e}", p.display());
+            std::process::exit(1);
+        });
+        let c = read_coords(BufReader::new(f)).unwrap_or_else(|e| {
+            eprintln!("coords parse error: {e}");
+            std::process::exit(1);
+        });
+        if c.len() != graph.n() {
+            eprintln!("coords cover {} of {} vertices", c.len(), graph.n());
+            std::process::exit(1);
+        }
+        c
+    });
+
+    let t0 = std::time::Instant::now();
+    let kp = recursive_kway(
+        args.method,
+        &graph,
+        coords.as_deref(),
+        args.parts,
+        args.ranks,
+        args.seed,
+    );
+    let wall = t0.elapsed();
+    kp.validate(&graph).unwrap_or_else(|e| {
+        eprintln!("internal error: invalid partition: {e}");
+        std::process::exit(1);
+    });
+    println!("method     : {}", args.method.name());
+    println!("parts      : {}", args.parts);
+    println!("ranks      : {}", args.ranks);
+    println!("edge cut   : {}", kp.cut_edges(&graph));
+    println!("comm volume: {}", kp.comm_volume(&graph));
+    println!("imbalance  : {:.4}", kp.imbalance(&graph));
+    println!("wall time  : {:.2?}", wall);
+    if let Some(out) = args.out {
+        let body: String =
+            kp.part.iter().map(|p| format!("{p}\n")).collect();
+        std::fs::write(&out, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        });
+        eprintln!("wrote {}", out.display());
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end configuration for the ScalaPart pipeline.
+
+use sp_coarsen::CoarsenConfig;
+use sp_embed::MultilevelEmbedConfig;
+use sp_geopart::GeoConfig;
+use sp_refine::FmConfig;
+
+/// All knobs of a ScalaPart run. `Default` reproduces the paper's setup:
+/// quartering retained levels, fixed-lattice smoothing with a communication
+/// block of 4, the G7-NL try policy, and strip refinement sized at ~6× the
+/// separator (Fig 2 shows 5.6×).
+#[derive(Clone, Copy, Debug)]
+pub struct SpConfig {
+    /// Coarsening controls (retain-every-other-level on by default).
+    pub coarsen: CoarsenConfig,
+    /// Multilevel fixed-lattice embedding controls.
+    pub embed: MultilevelEmbedConfig,
+    /// Geometric try policy (G7-NL by default — the paper's SP-PG7-NL).
+    pub geo: GeoConfig,
+    /// Strip size as a multiple of the separator size; 0 disables strip
+    /// refinement (the ablation baseline).
+    pub strip_factor: f64,
+    /// FM settings for the strip refinement.
+    pub fm: FmConfig,
+    /// Parallel matching rounds per contraction during coarsening.
+    pub matching_rounds: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SpConfig {
+    fn default() -> Self {
+        SpConfig {
+            coarsen: CoarsenConfig { target_coarsest: 160, ..CoarsenConfig::default() },
+            embed: MultilevelEmbedConfig::default(),
+            geo: GeoConfig::g7_nl(),
+            strip_factor: 6.0,
+            fm: FmConfig { max_passes: 4, balance_tol: 0.08, move_fraction: 1.0 },
+            matching_rounds: 12,
+            seed: 0x5CA1A_9A87,
+        }
+    }
+}
+
+impl SpConfig {
+    /// Derive a run with a different seed (the paper reports cut ranges
+    /// across runs/processor counts; seeds provide the ensemble).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.embed.seed = seed ^ 0xE3BED;
+        self.coarsen.seed = seed ^ 0xC0A45;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_choices() {
+        let c = SpConfig::default();
+        assert!(c.coarsen.keep_every_other);
+        assert_eq!(c.geo.n_lines, 0); // NL: no line separators
+        assert_eq!(c.geo.total_tries(), 5);
+        assert!(c.strip_factor > 1.0);
+        assert!((2..=8).contains(&c.embed.lattice.block));
+    }
+
+    #[test]
+    fn with_seed_changes_subsystem_seeds() {
+        let a = SpConfig::default().with_seed(1);
+        let b = SpConfig::default().with_seed(2);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.embed.seed, b.embed.seed);
+        assert_ne!(a.coarsen.seed, b.coarsen.seed);
+    }
+}

@@ -1,0 +1,215 @@
+//! Unified dispatch over every partitioner in the paper's evaluation.
+
+use crate::config::SpConfig;
+use crate::pipeline::{scalapart_bisect, sp_pg7nl_bisect, PhaseTimes};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_baselines::{multilevel_bisect, rcb_bisect, MultilevelConfig};
+use sp_embed::{embed_multilevel_seq, SeqEmbedConfig};
+use sp_geometry::Point2;
+use sp_geopart::{geometric_partition, GeoConfig};
+use sp_graph::distr::Distribution;
+use sp_graph::{Bisection, Graph};
+use sp_machine::{CostModel, Machine};
+
+/// Every method in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// ScalaPart — the full pipeline.
+    ScalaPart,
+    /// SP-PG7-NL — ScalaPart's partitioning component only (requires or
+    /// receives coordinates).
+    SpPg7Nl,
+    /// The ParMetis-like multilevel comparator.
+    ParMetisLike,
+    /// The Pt-Scotch-like multilevel comparator.
+    PtScotchLike,
+    /// Recursive coordinate bisection (Zoltan).
+    Rcb,
+    /// Sequential geometric mesh partitioning, 30 tries.
+    G30,
+    /// Sequential geometric, 7 tries.
+    G7,
+    /// Sequential geometric, 7 tries, no line separators.
+    G7Nl,
+}
+
+impl Method {
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::ScalaPart => "ScalaPart",
+            Method::SpPg7Nl => "SP-PG7-NL",
+            Method::ParMetisLike => "ParMetis",
+            Method::PtScotchLike => "Pt-Scotch",
+            Method::Rcb => "RCB",
+            Method::G30 => "G30",
+            Method::G7 => "G7",
+            Method::G7Nl => "G7-NL",
+        }
+    }
+
+    /// Does the method need vertex coordinates?
+    pub fn needs_coords(self) -> bool {
+        matches!(
+            self,
+            Method::SpPg7Nl | Method::Rcb | Method::G30 | Method::G7 | Method::G7Nl
+        )
+    }
+}
+
+/// Outcome of one method run.
+#[derive(Clone, Debug)]
+pub struct MethodResult {
+    pub method: Method,
+    /// Unweighted separator size |S|.
+    pub cut: usize,
+    /// Simulated elapsed time (seconds) on the given rank count.
+    pub time: f64,
+    /// Weighted imbalance.
+    pub imbalance: f64,
+    /// Phase breakdown (ScalaPart variants only).
+    pub phases: Option<PhaseTimes>,
+    pub bisection: Bisection,
+}
+
+/// Run `method` on `g` with `p` simulated ranks. `coords` supplies vertex
+/// coordinates for the geometric methods; when absent they are produced by
+/// the sequential Hu-style embedder, matching the paper's protocol (and,
+/// as in the paper, that embedding time is *not* included in the method's
+/// reported time).
+pub fn run_method(
+    method: Method,
+    g: &Graph,
+    coords: Option<&[Point2]>,
+    p: usize,
+    seed: u64,
+) -> MethodResult {
+    let mut machine = Machine::new(p, CostModel::qdr_infiniband());
+    let owned_coords: Option<Vec<Point2>> = if method.needs_coords() && coords.is_none() {
+        Some(embed_multilevel_seq(g, &SeqEmbedConfig { seed, ..Default::default() }))
+    } else {
+        None
+    };
+    let coords = owned_coords.as_deref().or(coords);
+    match method {
+        Method::ScalaPart => {
+            let r = scalapart_bisect(g, &mut machine, &SpConfig::default().with_seed(seed));
+            MethodResult {
+                method,
+                cut: r.cut,
+                time: r.total_time,
+                imbalance: r.imbalance,
+                phases: Some(r.times),
+                bisection: r.bisection,
+            }
+        }
+        Method::SpPg7Nl => {
+            let coords = coords.expect("SP-PG7-NL needs coordinates");
+            let r = sp_pg7nl_bisect(
+                g,
+                coords,
+                &mut machine,
+                &SpConfig::default().with_seed(seed),
+            );
+            MethodResult {
+                method,
+                cut: r.cut,
+                time: r.total_time,
+                imbalance: r.imbalance,
+                phases: Some(r.times),
+                bisection: r.bisection,
+            }
+        }
+        Method::ParMetisLike | Method::PtScotchLike => {
+            let cfg = if method == Method::ParMetisLike {
+                MultilevelConfig::parmetis_like(seed)
+            } else {
+                MultilevelConfig::ptscotch_like(seed)
+            };
+            let (bi, _st) = multilevel_bisect(g, &mut machine, &cfg);
+            MethodResult {
+                method,
+                cut: bi.cut_edges(g),
+                time: machine.elapsed(),
+                imbalance: bi.imbalance(g),
+                phases: None,
+                bisection: bi,
+            }
+        }
+        Method::Rcb => {
+            let coords = coords.expect("RCB needs coordinates");
+            let dist = Distribution::block(g.n(), p);
+            let r = rcb_bisect(g, coords, &dist, &mut machine);
+            MethodResult {
+                method,
+                cut: r.cut,
+                time: machine.elapsed(),
+                imbalance: r.bisection.imbalance(g),
+                phases: None,
+                bisection: r.bisection,
+            }
+        }
+        Method::G30 | Method::G7 | Method::G7Nl => {
+            let coords = coords.expect("geometric methods need coordinates");
+            let cfg = match method {
+                Method::G30 => GeoConfig::g30(),
+                Method::G7 => GeoConfig::g7(),
+                _ => GeoConfig::g7_nl(),
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = geometric_partition(g, coords, &cfg, &mut rng);
+            // Sequential method: charge its work to a single rank.
+            machine.charge_ops(0, (g.m() * cfg.total_tries()) as f64);
+            MethodResult {
+                method,
+                cut: r.cut,
+                time: machine.elapsed(),
+                imbalance: r.bisection.imbalance(g),
+                phases: None,
+                bisection: r.bisection,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::{grid_2d, grid_2d_coords};
+
+    #[test]
+    fn every_method_runs_and_validates() {
+        let g = grid_2d(20, 20);
+        let coords = grid_2d_coords(20, 20);
+        for method in [
+            Method::ScalaPart,
+            Method::SpPg7Nl,
+            Method::ParMetisLike,
+            Method::PtScotchLike,
+            Method::Rcb,
+            Method::G30,
+            Method::G7,
+            Method::G7Nl,
+        ] {
+            let r = run_method(method, &g, Some(&coords), 4, 7);
+            r.bisection.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            assert!(r.cut > 0, "{}", method.name());
+            assert_eq!(r.cut, r.bisection.cut_edges(&g), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn coordinate_free_graphs_get_embedded_automatically() {
+        let g = grid_2d(12, 12);
+        let r = run_method(Method::Rcb, &g, None, 2, 3);
+        r.bisection.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn needs_coords_classification() {
+        assert!(Method::Rcb.needs_coords());
+        assert!(Method::G30.needs_coords());
+        assert!(!Method::ScalaPart.needs_coords());
+        assert!(!Method::PtScotchLike.needs_coords());
+    }
+}

@@ -1,0 +1,298 @@
+//! The ScalaPart pipeline: coarsen → embed → partition → strip-refine.
+
+use crate::config::SpConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sp_coarsen::{contract, parallel_hem, Hierarchy, Level};
+use sp_embed::multilevel_lattice_embed;
+use sp_geometry::Point2;
+use sp_geopart::parallel_geometric_partition;
+use sp_graph::distr::Distribution;
+use sp_graph::{Bisection, Graph};
+use sp_machine::{Machine, PhaseBreakdown};
+use sp_refine::{fm_refine, strip_around_separator};
+
+/// Per-phase simulated time (computation/communication split), the data
+/// behind the paper's Figures 7 and 8.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    pub coarsen: PhaseBreakdown,
+    pub embed: PhaseBreakdown,
+    pub partition: PhaseBreakdown,
+}
+
+impl PhaseTimes {
+    pub fn total(&self) -> f64 {
+        self.coarsen.total() + self.embed.total() + self.partition.total()
+    }
+}
+
+/// Result of a ScalaPart run.
+pub struct SpResult {
+    pub bisection: Bisection,
+    /// Unweighted separator size |S| after refinement.
+    pub cut: usize,
+    /// Separator size before strip refinement.
+    pub cut_before_refine: usize,
+    /// Weighted imbalance of the final bisection.
+    pub imbalance: f64,
+    /// Simulated elapsed time of the whole run.
+    pub total_time: f64,
+    /// Per-phase breakdown.
+    pub times: PhaseTimes,
+    /// The embedding that was partitioned (for plotting / reuse).
+    pub coords: Vec<Point2>,
+    /// Strip size used by the refinement (0 when disabled).
+    pub strip_size: usize,
+}
+
+/// Run the full ScalaPart pipeline on `machine`.
+pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpResult {
+    let p = machine.p();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // ---- Phase 1: coarsening (parallel HEM at full P, retaining every
+    // other contraction so retained levels shrink ≈ 4×).
+    machine.phase("coarsen");
+    let t0 = machine.elapsed();
+    let hierarchy = coarsen_parallel(g, machine, cfg, &mut rng);
+    machine.barrier();
+    let t1 = machine.elapsed();
+
+    // ---- Phase 2: multilevel fixed-lattice embedding.
+    machine.phase("embed");
+    let mut embed_cfg = cfg.embed;
+    embed_cfg.seed = cfg.embed.seed ^ cfg.seed;
+    let coords = multilevel_lattice_embed(&hierarchy, machine, &embed_cfg);
+    machine.barrier();
+    let t2 = machine.elapsed();
+
+    // ---- Phase 3: parallel geometric partitioning + strip refinement.
+    machine.phase("partition");
+    let dist = Distribution::block(g.n(), p);
+    let geo =
+        parallel_geometric_partition(g, &coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
+    let mut bisection = geo.bisection;
+    let cut_before_refine = geo.cut;
+    let mut strip_size = 0;
+    if cfg.strip_factor > 0.0 && geo.cut > 0 {
+        let target = ((geo.cut as f64 * cfg.strip_factor) as usize).clamp(4, g.n());
+        let movable = strip_around_separator(&geo.separator.signed, target);
+        strip_size = movable.iter().filter(|&&b| b).count();
+        let st = fm_refine(g, &mut bisection, Some(&movable), &cfg.fm);
+        // Strip FM cost: the strip is distributed over ranks; charge its
+        // ops split across P plus one consensus collective per pass —
+        // "negligible" per the paper, and it is.
+        let mut states: Vec<()> = vec![(); p];
+        let ops = st.ops / p as f64;
+        machine.compute(&mut states, |_, _| ops);
+        for _ in 0..st.passes {
+            let _ = machine.allreduce_sum(&vec![vec![0.0; 2]; p]);
+        }
+    }
+    let t3 = machine.elapsed();
+    machine.phase("done");
+
+    // Phase walls are barrier-delimited; the communication share of a
+    // phase is wall time minus the critical-path computation within it
+    // (idle waiting counts as communication, as it would in an MPI trace).
+    let breakdown = machine.phase_breakdown();
+    let mut comp = [0.0f64; 3];
+    for (name, pb) in &breakdown {
+        if name.starts_with("coarsen") {
+            comp[0] += pb.comp;
+        } else if name.starts_with("embed") {
+            comp[1] += pb.comp;
+        } else if name.starts_with("partition") {
+            comp[2] += pb.comp;
+        }
+    }
+    let walls = [t1 - t0, t2 - t1, t3 - t2];
+    let mk = |i: usize| PhaseBreakdown {
+        comp: comp[i].min(walls[i]),
+        comm: (walls[i] - comp[i]).max(0.0),
+    };
+    let times = PhaseTimes { coarsen: mk(0), embed: mk(1), partition: mk(2) };
+    let cut = bisection.cut_edges(g);
+    let imbalance = bisection.imbalance(g);
+    SpResult {
+        bisection,
+        cut,
+        cut_before_refine,
+        imbalance,
+        total_time: machine.elapsed(),
+        times,
+        coords,
+        strip_size,
+    }
+}
+
+/// SP-PG7-NL alone: parallel geometric partitioning plus strip refinement
+/// of a graph that *already has coordinates* — the paper's Fig 4 / Table 4
+/// use case (re-partitioning meshes, competing directly with RCB).
+pub fn sp_pg7nl_bisect(
+    g: &Graph,
+    coords: &[Point2],
+    machine: &mut Machine,
+    cfg: &SpConfig,
+) -> SpResult {
+    let p = machine.p();
+    machine.phase("partition");
+    let dist = Distribution::block(g.n(), p);
+    let geo =
+        parallel_geometric_partition(g, coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
+    let mut bisection = geo.bisection;
+    let cut_before_refine = geo.cut;
+    let mut strip_size = 0;
+    if cfg.strip_factor > 0.0 && geo.cut > 0 {
+        let target = ((geo.cut as f64 * cfg.strip_factor) as usize).clamp(4, g.n());
+        let movable = strip_around_separator(&geo.separator.signed, target);
+        strip_size = movable.iter().filter(|&&b| b).count();
+        let st = fm_refine(g, &mut bisection, Some(&movable), &cfg.fm);
+        let mut states: Vec<()> = vec![(); p];
+        let ops = st.ops / p as f64;
+        machine.compute(&mut states, |_, _| ops);
+        for _ in 0..st.passes {
+            let _ = machine.allreduce_sum(&vec![vec![0.0; 2]; p]);
+        }
+    }
+    machine.phase("done");
+    let mut breakdown = machine.phase_breakdown();
+    let times = PhaseTimes {
+        partition: breakdown.remove("partition").unwrap_or_default(),
+        ..Default::default()
+    };
+    let cut = bisection.cut_edges(g);
+    let imbalance = bisection.imbalance(g);
+    SpResult {
+        bisection,
+        cut,
+        cut_before_refine,
+        imbalance,
+        total_time: machine.elapsed(),
+        times,
+        coords: coords.to_vec(),
+        strip_size,
+    }
+}
+
+/// Parallel coarsening retaining every other contraction, charged to the
+/// machine (the paper: "the graph is coarsened using the heavy-edge
+/// matching as in ParMetis … we only retain every other graph").
+fn coarsen_parallel(
+    g: &Graph,
+    machine: &mut Machine,
+    cfg: &SpConfig,
+    rng: &mut StdRng,
+) -> Hierarchy {
+    let p = machine.p();
+    let mut levels = vec![Level { graph: g.clone(), map_to_coarser: None }];
+    loop {
+        let cur = &levels.last().unwrap().graph;
+        if cur.n() <= cfg.coarsen.target_coarsest || levels.len() > cfg.coarsen.max_levels {
+            break;
+        }
+        let step = |graph: &Graph, machine: &mut Machine, rng: &mut StdRng| {
+            let dist = Distribution::block(graph.n(), p);
+            let matching =
+                parallel_hem(graph, &dist, machine, cfg.matching_rounds, rng.random::<u64>());
+            let c = contract(graph, &matching);
+            // Contraction cost: local edges plus ghost-id exchange.
+            let mut states: Vec<()> = vec![(); p];
+            let edges_per_rank = (graph.m() / p).max(1) as f64;
+            machine.compute(&mut states, |_, _| edges_per_rank);
+            if p > 1 {
+                let cross = dist.cross_edges(graph);
+                let words = (2 * cross / p).max(1);
+                let outbox: Vec<Vec<(usize, Vec<u64>)>> =
+                    (0..p).map(|r| vec![((r + 1) % p, vec![0u64; words])]).collect();
+                let _ = machine.exchange(outbox);
+            }
+            c
+        };
+        let c1 = step(cur, machine, rng);
+        let (coarse, map) =
+            if cfg.coarsen.keep_every_other && c1.coarse.n() > cfg.coarsen.target_coarsest {
+                let c2 = step(&c1.coarse, machine, rng);
+                let composed: Vec<u32> =
+                    c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
+                (c2.coarse, composed)
+            } else {
+                (c1.coarse, c1.map)
+            };
+        // Stop when matching stalls: grinding out barely-shrinking levels
+        // costs smoothing iterations without improving the coarsest embed.
+        if coarse.n() as f64 > 0.7 * levels.last().unwrap().graph.n() as f64 {
+            break;
+        }
+        levels.last_mut().unwrap().map_to_coarser = Some(map);
+        levels.push(Level { graph: coarse, map_to_coarser: None });
+    }
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::grid_2d;
+    use sp_machine::CostModel;
+
+    #[test]
+    fn pipeline_produces_valid_balanced_bisection() {
+        let g = grid_2d(32, 32);
+        let mut m = Machine::new(16, CostModel::qdr_infiniband());
+        let r = scalapart_bisect(&g, &mut m, &SpConfig::default());
+        r.bisection.validate(&g).unwrap();
+        assert!(r.imbalance < 0.12, "imbalance {}", r.imbalance);
+        assert!(r.cut > 0);
+        assert!(r.cut < g.m() / 4, "cut {} of m {}", r.cut, g.m());
+        assert_eq!(r.coords.len(), g.n());
+        assert!(r.total_time > 0.0);
+    }
+
+    #[test]
+    fn refinement_does_not_worsen_cut() {
+        let g = grid_2d(24, 24);
+        let mut m = Machine::new(4, CostModel::qdr_infiniband());
+        let r = scalapart_bisect(&g, &mut m, &SpConfig::default());
+        assert!(r.cut <= r.cut_before_refine, "{} > {}", r.cut, r.cut_before_refine);
+        assert!(r.strip_size > 0);
+    }
+
+    #[test]
+    fn phase_times_cover_total() {
+        // Big enough that coarsening actually happens (default target 1000).
+        let g = grid_2d(48, 48);
+        let mut m = Machine::new(16, CostModel::qdr_infiniband());
+        let r = scalapart_bisect(&g, &mut m, &SpConfig::default());
+        assert!(r.times.coarsen.total() > 0.0);
+        assert!(r.times.embed.total() > 0.0);
+        assert!(r.times.partition.total() > 0.0);
+        // Embedding dominates (the paper's Fig 7 observation).
+        assert!(r.times.embed.total() > r.times.partition.total());
+    }
+
+    #[test]
+    fn sp_pg7nl_reuses_coordinates() {
+        let g = grid_2d(20, 20);
+        let coords = sp_graph::gen::grid_2d_coords(20, 20);
+        let mut m = Machine::new(4, CostModel::qdr_infiniband());
+        let r = sp_pg7nl_bisect(&g, &coords, &mut m, &SpConfig::default());
+        r.bisection.validate(&g).unwrap();
+        // With perfect mesh coordinates the cut is near-optimal (20).
+        assert!(r.cut <= 40, "cut {}", r.cut);
+        assert_eq!(r.times.coarsen.total(), 0.0);
+        assert_eq!(r.times.embed.total(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_p() {
+        let g = grid_2d(16, 16);
+        let run = || {
+            let mut m = Machine::new(4, CostModel::qdr_infiniband());
+            let r = scalapart_bisect(&g, &mut m, &SpConfig::default());
+            (r.cut, m.elapsed())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal SVG output for embeddings and partitions (used by the examples
+//! and the Fig 1 / Fig 2 reproductions; no external dependency needed).
+
+use sp_geometry::{Aabb2, Point2};
+use sp_graph::{Bisection, Graph};
+use std::fmt::Write as _;
+
+/// Render an embedded graph as an SVG string. Vertices are coloured by
+/// bisection side when one is given; edges crossing the cut are highlighted.
+pub fn render_svg(
+    g: &Graph,
+    coords: &[Point2],
+    bisection: Option<&Bisection>,
+    width_px: f64,
+) -> String {
+    let bb = Aabb2::from_points(coords).unwrap_or_else(Aabb2::unit).inflated(0.05 + 1e-9);
+    let scale = width_px / bb.width().max(1e-12);
+    let h_px = bb.height() * scale;
+    let tx = |p: Point2| -> (f64, f64) {
+        ((p.x - bb.min.x) * scale, h_px - (p.y - bb.min.y) * scale)
+    };
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.0}" height="{h_px:.0}" viewBox="0 0 {width_px:.0} {h_px:.0}">"#
+    );
+    let _ = writeln!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Edges.
+    for v in 0..g.n() as u32 {
+        for &u in g.neighbors(v) {
+            if u <= v {
+                continue;
+            }
+            let (x1, y1) = tx(coords[v as usize]);
+            let (x2, y2) = tx(coords[u as usize]);
+            let crossing =
+                bisection.is_some_and(|b| b.side(v) != b.side(u));
+            let (stroke, sw) = if crossing { ("#d62728", 1.2) } else { ("#bbbbbb", 0.5) };
+            let _ = writeln!(
+                s,
+                r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{sw}"/>"#
+            );
+        }
+    }
+    // Vertices.
+    let r = (width_px / (g.n() as f64).sqrt() / 6.0).clamp(0.6, 4.0);
+    for v in 0..g.n() as u32 {
+        let (x, y) = tx(coords[v as usize]);
+        let fill = match bisection.map(|b| b.side(v)) {
+            Some(0) => "#1f77b4",
+            Some(_) => "#ff7f0e",
+            None => "#333333",
+        };
+        let _ = writeln!(s, r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="{fill}"/>"#);
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Overlay a `q × q` lattice and per-cell centre-of-mass markers (the β
+/// special vertices of Fig 1) on an embedding.
+pub fn render_lattice_svg(g: &Graph, coords: &[Point2], q: usize, width_px: f64) -> String {
+    let base = render_svg(g, coords, None, width_px);
+    let bb = Aabb2::from_points(coords).unwrap_or_else(Aabb2::unit).inflated(0.05 + 1e-9);
+    let scale = width_px / bb.width().max(1e-12);
+    let h_px = bb.height() * scale;
+    let mut overlay = String::new();
+    for i in 0..=q {
+        let x = i as f64 / q as f64 * width_px;
+        let y = i as f64 / q as f64 * h_px;
+        let _ = writeln!(
+            overlay,
+            r##"<line x1="{x:.1}" y1="0" x2="{x:.1}" y2="{h_px:.1}" stroke="#444" stroke-width="1" stroke-dasharray="6,4"/>"##
+        );
+        let _ = writeln!(
+            overlay,
+            r##"<line x1="0" y1="{y:.1}" x2="{width_px:.1}" y2="{y:.1}" stroke="#444" stroke-width="1" stroke-dasharray="6,4"/>"##
+        );
+    }
+    // β markers.
+    for cj in 0..q {
+        for ci in 0..q {
+            let cell = bb.lattice_cell(q, ci, cj);
+            let mut mu = 0.0;
+            let mut com = Point2::ZERO;
+            for (v, &c) in coords.iter().enumerate() {
+                if cell.contains(c) {
+                    let m = g.vwgt(v as u32);
+                    mu += m;
+                    com += c * m;
+                }
+            }
+            if mu > 0.0 {
+                com = com / mu;
+                let x = (com.x - bb.min.x) * scale;
+                let y = h_px - (com.y - bb.min.y) * scale;
+                let r = 4.0 + 6.0 * (mu / g.total_vwgt() * q as f64 * q as f64).min(2.0);
+                let _ = writeln!(
+                    overlay,
+                    r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="#2ca02c" fill-opacity="0.8"/>"##
+                );
+            }
+        }
+    }
+    base.replace("</svg>", &format!("{overlay}</svg>"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::{grid_2d, grid_2d_coords};
+
+    #[test]
+    fn svg_is_well_formed() {
+        let g = grid_2d(5, 5);
+        let coords = grid_2d_coords(5, 5);
+        let svg = render_svg(&g, &coords, None, 300.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 25);
+        assert_eq!(svg.matches("<line").count(), g.m());
+    }
+
+    #[test]
+    fn cut_edges_are_highlighted() {
+        let g = grid_2d(4, 4);
+        let coords = grid_2d_coords(4, 4);
+        let bi = Bisection::from_fn(g.n(), |v| (v as usize % 4) >= 2);
+        let svg = render_svg(&g, &coords, Some(&bi), 200.0);
+        assert_eq!(svg.matches("#d62728").count(), bi.cut_edges(&g));
+        assert!(svg.contains("#1f77b4") && svg.contains("#ff7f0e"));
+    }
+
+    #[test]
+    fn lattice_overlay_has_beta_markers() {
+        let g = grid_2d(6, 6);
+        let coords = grid_2d_coords(6, 6);
+        let svg = render_lattice_svg(&g, &coords, 3, 300.0);
+        assert!(svg.matches("#2ca02c").count() >= 9);
+        assert!(svg.contains("stroke-dasharray"));
+    }
+}

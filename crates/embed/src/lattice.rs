@@ -1,0 +1,630 @@
+//! The fixed-lattice parallel embedding scheme — the paper's main
+//! contribution (§3, "Fixed Lattice Parallel Graph Embedding").
+//!
+//! The domain bounding box `B` is viewed as a `q × q` lattice matching a
+//! `q × q` processor grid; rank `(i,j)` owns the vertices whose coordinates
+//! lie in sub-box `B_{i,j}`. Long-range repulsion is approximated through
+//! one *special vertex* `β_{i,j}` per box — total mass `μ_{i,j}` at the
+//! centre of mass `φ_{i,j}` — Eq. (1)/(2) of the paper. Attractive forces
+//! use true neighbour coordinates when the neighbour lives in the same or
+//! an adjacent box (refreshed every iteration by nearest-neighbour halo
+//! exchange) and *stale, clamped* coordinates otherwise: far ghosts are
+//! pinned into the adjacent box at shortest L1 distance, and their data is
+//! refreshed only once per block of `block` iterations by a global
+//! allgather (the paper found block sizes of 2–8 to cost less communication
+//! at no observable quality loss).
+
+use crate::force::ForceParams;
+use sp_geometry::{Aabb2, Point2};
+use sp_graph::Graph;
+use sp_machine::Machine;
+
+/// Controls for lattice smoothing.
+#[derive(Clone, Copy, Debug)]
+pub struct LatticeConfig {
+    /// Repulsion constant `C`.
+    pub c: f64,
+    /// Maximum smoothing iterations (the run stops earlier once the
+    /// adaptive step has cooled below 0.5% of K).
+    pub iters: usize,
+    /// Iterations per global refresh (the paper's 2–8; 1 disables
+    /// staleness and is the ablation baseline).
+    pub block: usize,
+    /// Initial step as a fraction of `K`.
+    pub step0: f64,
+    /// Hu's adaptive step ratio `t`: the step shrinks ×t on an energy
+    /// increase and grows ÷t after five consecutive decreases.
+    pub cooling: f64,
+}
+
+impl Default for LatticeConfig {
+    fn default() -> Self {
+        LatticeConfig { c: 0.2, iters: 60, block: 4, step0: 0.5, cooling: 0.9 }
+    }
+}
+
+/// Statistics returned by a smoothing run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatticeStats {
+    /// Mean per-vertex displacement in the final iteration (in units of K).
+    pub final_move: f64,
+    /// Vertices that migrated between boxes over the whole run.
+    pub migrations: usize,
+}
+
+/// One cell's special vertex β: total mass and centre of mass.
+#[derive(Clone, Copy, Debug, Default)]
+struct Beta {
+    mu: f64,
+    phi: Point2,
+}
+
+/// The paper's neighbourhood: the *four* boxes at L1 distance 1
+/// (diagonal boxes count as far and see only block-stale data).
+#[inline]
+fn cell_adjacent(q: usize, a: usize, b: usize) -> bool {
+    let (ai, aj) = (a % q, a / q);
+    let (bi, bj) = (b % q, b / q);
+    ai.abs_diff(bi) + aj.abs_diff(bj) <= 1
+}
+
+/// The domain lattice with RCB-balanced cells.
+///
+/// The paper maps the embedded graph to the processor grid with Zoltan-style
+/// recursive coordinate bisection, so every lattice cell holds (nearly) the
+/// same number of vertices. We realise that as a rectilinear quantile
+/// partition: `q` columns at x-quantiles, then `q` rows per column at that
+/// column's y-quantiles. Cells are fixed for the whole smoothing run (the
+/// "fixed lattice"); vertices that drift across a boundary migrate owners.
+pub struct QuantileLattice {
+    q: usize,
+    /// Column boundaries (len q−1, ascending).
+    xcuts: Vec<f64>,
+    /// Per-column row boundaries (q × (q−1)).
+    ycuts: Vec<Vec<f64>>,
+    bbox: Aabb2,
+}
+
+impl QuantileLattice {
+    /// Build from the current coordinates.
+    pub fn build(coords: &[Point2], q: usize) -> Self {
+        let bbox =
+            Aabb2::from_points(coords).unwrap_or_else(Aabb2::unit).inflated(0.02 + 1e-9);
+        let n = coords.len().max(1);
+        let mut xs: Vec<f64> = coords.iter().map(|c| c.x).collect();
+        if xs.is_empty() {
+            xs.push(0.0);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let xcuts: Vec<f64> = (1..q).map(|k| xs[(k * n / q).min(xs.len() - 1)]).collect();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); q];
+        for c in coords {
+            let i = xcuts.partition_point(|&cut| c.x >= cut);
+            cols[i].push(c.y);
+        }
+        let ycuts = cols
+            .into_iter()
+            .map(|mut ys| {
+                if ys.is_empty() {
+                    // Empty column (duplicate-heavy input): uniform rows.
+                    let h = bbox.height() / q as f64;
+                    return (1..q).map(|k| bbox.min.y + h * k as f64).collect();
+                }
+                ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let m = ys.len();
+                (1..q).map(|k| ys[(k * m / q).min(m - 1)]).collect()
+            })
+            .collect();
+        QuantileLattice { q, xcuts, ycuts, bbox }
+    }
+
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    pub fn bbox(&self) -> &Aabb2 {
+        &self.bbox
+    }
+
+    /// Cell of a point: `(column i, row j)`.
+    #[inline]
+    pub fn cell_of(&self, p: Point2) -> (usize, usize) {
+        let i = self.xcuts.partition_point(|&cut| p.x >= cut);
+        let j = self.ycuts[i].partition_point(|&cut| p.y >= cut);
+        (i, j)
+    }
+
+    /// Bounding box of cell `(i, j)`.
+    pub fn cell_box(&self, i: usize, j: usize) -> Aabb2 {
+        let x0 = if i == 0 { self.bbox.min.x } else { self.xcuts[i - 1] };
+        let x1 = if i + 1 == self.q { self.bbox.max.x } else { self.xcuts[i] };
+        let y0 = if j == 0 { self.bbox.min.y } else { self.ycuts[i][j - 1] };
+        let y1 = if j + 1 == self.q { self.bbox.max.y } else { self.ycuts[i][j] };
+        Aabb2::new(
+            Point2::new(x0.min(x1), y0.min(y1)),
+            Point2::new(x0.max(x1), y0.max(y1)),
+        )
+    }
+
+    /// Per-cell vertex counts (diagnostics/tests).
+    pub fn occupancy(&self, coords: &[Point2]) -> Vec<usize> {
+        let mut occ = vec![0usize; self.q * self.q];
+        for &c in coords {
+            let (i, j) = self.cell_of(c);
+            occ[j * self.q + i] += 1;
+        }
+        occ
+    }
+}
+
+/// Clamp a far ghost's (stale) position into the cell adjacent to `my_cell`
+/// in the direction of the ghost's cell — the paper's shortest-L1 rule.
+fn clamp_far(
+    lattice: &QuantileLattice,
+    my_cell: usize,
+    ghost_cell: usize,
+    pos: Point2,
+) -> Point2 {
+    let q = lattice.q();
+    let (mi, mj) = (my_cell % q, my_cell / q);
+    let (gi, gj) = (ghost_cell % q, ghost_cell / q);
+    let ai = (mi as i64 + (gi as i64 - mi as i64).signum()).clamp(0, q as i64 - 1) as usize;
+    let aj = (mj as i64 + (gj as i64 - mj as i64).signum()).clamp(0, q as i64 - 1) as usize;
+    let cell = lattice.cell_box(ai, aj);
+    // Nudge strictly inside the target box so the clamped ghost still maps
+    // to that cell under the half-open cell assignment.
+    let p = cell.clamp(pos);
+    let ex = cell.width() * 1e-9;
+    let ey = cell.height() * 1e-9;
+    Point2::new(
+        p.x.clamp(cell.min.x + ex, (cell.max.x - ex).max(cell.min.x)),
+        p.y.clamp(cell.min.y + ey, (cell.max.y - ey).max(cell.min.y)),
+    )
+}
+
+/// Run fixed-lattice smoothing over `coords` in place on a `q × q` lattice
+/// using ranks `0..q²` of `machine` (extra ranks idle, matching the paper's
+/// shrinking active set `Pⁱ ≈ P/4ⁱ`). Charges computation, halo exchange,
+/// per-block global refresh, and box migrations to the machine.
+pub fn lattice_smooth(
+    g: &Graph,
+    coords: &mut [Point2],
+    q: usize,
+    machine: &mut Machine,
+    cfg: &LatticeConfig,
+) -> LatticeStats {
+    assert_eq!(coords.len(), g.n());
+    assert!(q * q <= machine.p(), "lattice {q}×{q} needs ≥ {} ranks", q * q);
+    let n = g.n();
+    if n == 0 || cfg.iters == 0 {
+        return LatticeStats::default();
+    }
+    let p = machine.p();
+    let ncells = q * q;
+    let bbox = Aabb2::from_points(coords).unwrap().inflated(0.02 + 1e-9);
+    let params = ForceParams::for_domain(cfg.c, bbox.width() * bbox.height(), n);
+    let mut step = cfg.step0 * params.k;
+    let max_step = 3.0 * params.k;
+    let t_ratio = cfg.cooling.clamp(0.5, 0.99);
+    let mut energy = f64::INFINITY;
+    let mut progress = 0u32;
+
+    // RCB-balanced fixed lattice (the paper computes this mapping with
+    // Zoltan RCB after each projection; we refresh it at block boundaries
+    // because the layout breathes under the adaptive step). Construction is
+    // a distributed quantile computation: charge n/P ops per rank and one
+    // small collective.
+    let mut lattice = QuantileLattice::build(coords, q);
+    {
+        let share = (n / ncells.max(1)) as f64;
+        let mut states: Vec<()> = vec![(); p];
+        machine.compute(&mut states, |r, _| if r < ncells { share } else { 0.0 });
+        let _ = machine.group_allreduce_sum(ncells, &vec![vec![0.0; q]; p]);
+    }
+    let cell_of = |p: Point2, lattice: &QuantileLattice| -> u32 {
+        let (i, j) = lattice.cell_of(p);
+        (j * q + i) as u32
+    };
+    let mut owner: Vec<u32> = coords.iter().map(|&c| cell_of(c, &lattice)).collect();
+    let mut snapshot: Vec<Point2> = coords.to_vec();
+    let mut beta_snapshot: Vec<Beta> = vec![Beta::default(); ncells];
+    let mut stats = LatticeStats::default();
+
+    for it in 0..cfg.iters {
+        // --- Owned vertex lists per cell.
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); ncells];
+        for (v, &c) in owner.iter().enumerate() {
+            owned[c as usize].push(v as u32);
+        }
+
+        // --- β computation (each active rank scans its owned vertices).
+        let mut betas: Vec<Beta> = vec![Beta::default(); ncells];
+        {
+            let owned_ref = &owned;
+            let coords_ref = &*coords;
+            let mut states: Vec<Beta> = vec![Beta::default(); p];
+            machine.compute(&mut states, |r, b| {
+                if r >= ncells {
+                    return 0.0;
+                }
+                let mut mu = 0.0;
+                let mut wsum = Point2::ZERO;
+                for &v in &owned_ref[r] {
+                    let m = g.vwgt(v);
+                    mu += m;
+                    wsum += coords_ref[v as usize] * m;
+                }
+                if mu > 0.0 {
+                    *b = Beta { mu, phi: wsum / mu };
+                }
+                owned_ref[r].len() as f64
+            });
+            betas[..ncells].copy_from_slice(&states[..ncells]);
+        }
+
+        // --- Communication. The nearest-neighbour halo — β of adjacent
+        // cells plus fresh coordinates of boundary vertices with edges into
+        // each adjacent cell — runs every iteration; the global allgather
+        // (far β table + far-cross-edge coordinates, the paper's ñ) and
+        // the reduction run only once per block.
+        {
+            let mut nbr_words: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ncells];
+            let mut pairs: std::collections::HashMap<(usize, usize), usize> =
+                std::collections::HashMap::new();
+            for v in 0..n as u32 {
+                let cv = owner[v as usize] as usize;
+                for &u in g.neighbors(v) {
+                    let cu = owner[u as usize] as usize;
+                    if cu != cv && cell_adjacent(q, cv, cu) {
+                        *pairs.entry((cv, cu)).or_default() += 1;
+                    }
+                }
+            }
+            for ((from, to), cnt) in pairs {
+                nbr_words[from].push((to, 3 + 2 * cnt));
+            }
+            let outbox: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
+                .map(|r| {
+                    if r < ncells {
+                        nbr_words[r]
+                            .iter()
+                            .map(|&(to, words)| (to, vec![0u64; words]))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let _ = machine.exchange(outbox);
+        }
+        if it % cfg.block.max(1) == 0 {
+            if it > 0 {
+                // Re-derive the balanced lattice from the current layout and
+                // charge the quantile computation (n/P ops + one collective).
+                lattice = QuantileLattice::build(coords, q);
+                let share = (n / ncells.max(1)) as f64;
+                let mut states: Vec<()> = vec![(); p];
+                machine.compute(&mut states, |r, _| if r < ncells { share } else { 0.0 });
+                let _ = machine.group_allreduce_sum(ncells, &vec![vec![0.0; q]; p]);
+                for (v, c) in coords.iter().enumerate() {
+                    owner[v] = cell_of(*c, &lattice);
+                }
+            }
+            let mut far_counts = vec![0usize; ncells];
+            for v in 0..n as u32 {
+                let cv = owner[v as usize] as usize;
+                for &u in g.neighbors(v) {
+                    let cu = owner[u as usize] as usize;
+                    if cu != cv && !cell_adjacent(q, cv, cu) {
+                        far_counts[cv] += 1;
+                    }
+                }
+            }
+            let beta_payload: Vec<Vec<u64>> = (0..p)
+                .map(|r| if r < ncells { vec![0u64; 3 + 2 * far_counts[r]] } else { Vec::new() })
+                .collect();
+            let _ = machine.group_allgather(ncells, beta_payload);
+            let _ = machine.group_allreduce_sum(ncells, &vec![vec![0.0f64]; p]);
+            snapshot.copy_from_slice(coords);
+            beta_snapshot.copy_from_slice(&betas);
+        }
+
+        // --- Force computation and displacement per rank.
+        let displacements: Vec<(Vec<(u32, Point2)>, f64)> = {
+            let owned_ref = &owned;
+            let coords_ref = &*coords;
+            let owner_ref = &owner;
+            let snapshot_ref = &snapshot;
+            let betas_ref = &betas;
+            let beta_snap_ref = &beta_snapshot;
+            let lattice_ref = &lattice;
+            let mut states: Vec<(Vec<(u32, Point2)>, f64)> =
+                vec![(Vec::new(), 0.0); p];
+            machine.compute(&mut states, |r, state| {
+                let (out, local_energy) = state;
+                if r >= ncells {
+                    return 0.0;
+                }
+                let my = r;
+                let mut ops = 0.0;
+                // Inherited lattice repulsion (Eq. 1, per unit mass): sum
+                // over all other cells of C·K²·μ_s / dist(φ_my, φ_s),
+                // using fresh β for adjacent cells and block-stale β
+                // otherwise.
+                let my_beta = betas_ref[my];
+                let mut inherited = Point2::ZERO;
+                if my_beta.mu > 0.0 {
+                    for s in 0..ncells {
+                        if s == my {
+                            continue;
+                        }
+                        let b = if cell_adjacent(q, my, s) {
+                            betas_ref[s]
+                        } else {
+                            beta_snap_ref[s]
+                        };
+                        if b.mu > 0.0 {
+                            inherited += params.repulsive(my_beta.phi, 1.0, b.phi, b.mu);
+                        }
+                        ops += 1.0;
+                    }
+                }
+                // Near field: the own cell's repulsion is resolved one
+                // lattice level deeper — a fixed 4×4 sub-lattice of β
+                // vertices over the cell's own (fresh) points. Eq. (2)'s
+                // single own-β term is the 1×1 limit and collapses local
+                // structure; a sub-lattice keeps the per-vertex cost an
+                // exact 16 ops regardless of how the layout clumps.
+                const SUB: usize = 4;
+                let my_box = lattice_ref.cell_box(my % q, my / q);
+                let mut sub = [Beta::default(); SUB * SUB];
+                let sub_of = |c: Point2| -> usize {
+                    let (si, sj) = my_box.cell_of(SUB, c);
+                    sj * SUB + si
+                };
+                for &v in &owned_ref[my] {
+                    let c = coords_ref[v as usize];
+                    let m = g.vwgt(v);
+                    let b = &mut sub[sub_of(c)];
+                    b.mu += m;
+                    b.phi += c * m;
+                    ops += 1.0;
+                }
+                for b in sub.iter_mut() {
+                    if b.mu > 0.0 {
+                        b.phi = b.phi / b.mu;
+                    }
+                }
+                for &v in &owned_ref[my] {
+                    let cv = coords_ref[v as usize];
+                    let mv = g.vwgt(v);
+                    let mut f = inherited * mv;
+                    let own_sub = sub_of(cv);
+                    for (si, b) in sub.iter().enumerate() {
+                        ops += 1.0;
+                        let mass = if si == own_sub { b.mu - mv } else { b.mu };
+                        if mass > 1e-12 {
+                            f += params.repulsive(cv, mv, b.phi, mass);
+                        }
+                    }
+                    // Attraction over edges with the freshness rules.
+                    for (u, w) in g.neighbors_w(v) {
+                        let cu = owner_ref[u as usize] as usize;
+                        let pu = if cu == my || cell_adjacent(q, my, cu) {
+                            coords_ref[u as usize]
+                        } else {
+                            clamp_far(lattice_ref, my, cu, snapshot_ref[u as usize])
+                        };
+                        f += params.attractive(cv, pu) * w;
+                        ops += 1.0;
+                    }
+                    let norm = f.norm();
+                    *local_energy += norm * norm;
+                    if norm > 1e-12 {
+                        out.push((v, f * (step / norm)));
+                    }
+                    ops += 2.0;
+                }
+                ops
+            });
+            states
+        };
+
+        // --- Apply moves (owned vertices only — ghosts are by construction
+        // other ranks' owned vertices and move on their own ranks).
+        let mut total_move = 0.0;
+        let mut moved = 0usize;
+        let mut new_energy = 0.0;
+        for (rank_moves, e) in &displacements {
+            new_energy += e;
+            for &(v, d) in rank_moves {
+                let np = coords[v as usize] + d;
+                total_move += d.norm();
+                coords[v as usize] = np;
+                moved += 1;
+            }
+        }
+        stats.final_move = if moved > 0 { total_move / moved as f64 / params.k } else { 0.0 };
+
+        // --- Migration: vertices whose box changed move to the new owner.
+        // Adjacent-cell migrations ride the next halo exchange (their data
+        // is a few extra words on messages that are sent anyway); only
+        // migrations to non-adjacent cells — rare between refreshes — cost
+        // a message of their own.
+        let mut migration_out: Vec<Vec<(usize, Vec<u64>)>> = vec![Vec::new(); p];
+        let mut mig_counts: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for v in 0..n {
+            let nc = cell_of(coords[v], &lattice);
+            if nc != owner[v] {
+                if !cell_adjacent(q, owner[v] as usize, nc as usize) {
+                    *mig_counts.entry((owner[v] as usize, nc as usize)).or_default() += 1;
+                }
+                owner[v] = nc;
+                stats.migrations += 1;
+            }
+        }
+        for ((from, to), cnt) in mig_counts {
+            migration_out[from].push((to, vec![0u64; 3 * cnt]));
+        }
+        let _ = machine.exchange(migration_out);
+
+        // Hu's adaptive step control on the global energy (the global
+        // reduction this needs is the per-block reduction already charged).
+        if new_energy < energy {
+            progress += 1;
+            if progress >= 5 {
+                progress = 0;
+                step = (step / t_ratio).min(max_step);
+            }
+        } else {
+            progress = 0;
+            step *= t_ratio;
+        }
+        energy = new_energy;
+        if step < 0.005 * params.k {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::edge_length_stats;
+    use crate::seq::random_init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sp_graph::gen::grid_2d;
+    use sp_machine::CostModel;
+
+    fn setup(n_side: usize, q: usize) -> (Graph, Vec<Point2>, Machine) {
+        let g = grid_2d(n_side, n_side);
+        let mut rng = StdRng::seed_from_u64(3);
+        let coords = random_init(g.n(), &mut rng);
+        let m = Machine::new(q * q, CostModel::qdr_infiniband());
+        (g, coords, m)
+    }
+
+    #[test]
+    fn smoothing_improves_edge_uniformity() {
+        let (g, mut coords, mut m) = setup(16, 2);
+        let before = edge_length_stats(&g, &coords);
+        lattice_smooth(
+            &g,
+            &mut coords,
+            2,
+            &mut m,
+            &LatticeConfig { iters: 60, step0: 0.8, cooling: 0.97, ..Default::default() },
+        );
+        let after = edge_length_stats(&g, &coords);
+        assert!(after.mean < before.mean, "mean {} -> {}", before.mean, after.mean);
+        assert!(coords.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn charges_compute_and_communication() {
+        let (g, mut coords, mut m) = setup(12, 2);
+        lattice_smooth(&g, &mut coords, 2, &mut m, &LatticeConfig::default());
+        assert!(m.comp_time() > 0.0);
+        assert!(m.comm_time() > 0.0);
+    }
+
+    #[test]
+    fn block_size_reduces_communication() {
+        let (g, coords0, _) = setup(16, 3);
+        let mut comm = Vec::new();
+        for block in [1usize, 8] {
+            let mut coords = coords0.clone();
+            let mut m = Machine::new(9, CostModel::qdr_infiniband());
+            lattice_smooth(
+                &g,
+                &mut coords,
+                3,
+                &mut m,
+                &LatticeConfig { iters: 16, block, ..Default::default() },
+            );
+            comm.push(m.comm_time());
+        }
+        assert!(
+            comm[1] < comm[0],
+            "blocked comm {} should beat per-iteration {}",
+            comm[1],
+            comm[0]
+        );
+    }
+
+    #[test]
+    fn single_cell_lattice_works() {
+        let (g, mut coords, mut m) = setup(8, 1);
+        let s = lattice_smooth(&g, &mut coords, 1, &mut m, &LatticeConfig::default());
+        assert!(coords.iter().all(|c| c.is_finite()));
+        assert_eq!(s.migrations, 0); // one cell: nothing to migrate to
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, coords0, _) = setup(10, 2);
+        let mut a = coords0.clone();
+        let mut b = coords0.clone();
+        let mut ma = Machine::new(4, CostModel::qdr_infiniband());
+        let mut mb = Machine::new(4, CostModel::qdr_infiniband());
+        lattice_smooth(&g, &mut a, 2, &mut ma, &LatticeConfig::default());
+        lattice_smooth(&g, &mut b, 2, &mut mb, &LatticeConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(ma.elapsed(), mb.elapsed());
+    }
+
+    #[test]
+    fn clamp_far_lands_in_adjacent_cell() {
+        // Uniform point cloud → quantile lattice ≈ uniform grid.
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = random_init(4000, &mut rng);
+        let lat = QuantileLattice::build(&pts, 4);
+        // my cell (0,0) = 0; ghost cell (3,3) = 15; clamped into (1,1).
+        let far = Point2::new(lat.bbox().max.x - 1e-6, lat.bbox().max.y - 1e-6);
+        let p = clamp_far(&lat, 0, 15, far);
+        assert_eq!(lat.cell_of(p), (1, 1));
+    }
+
+    #[test]
+    fn quantile_lattice_balances_occupancy() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // A very skewed cloud: dense blob plus sparse halo.
+        let mut pts = random_init(3000, &mut rng);
+        for p in pts.iter_mut().take(2500) {
+            *p = *p * 0.05; // dense corner blob
+        }
+        let lat = QuantileLattice::build(&pts, 4);
+        let occ = lat.occupancy(&pts);
+        let max = *occ.iter().max().unwrap();
+        let min = *occ.iter().min().unwrap();
+        assert!(max <= 2 * (3000 / 16), "max occupancy {max}");
+        assert!(min >= (3000 / 16) / 2, "min occupancy {min}");
+    }
+
+    #[test]
+    fn cell_box_contains_its_points() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts = random_init(1000, &mut rng);
+        let lat = QuantileLattice::build(&pts, 3);
+        for &p in &pts {
+            let (i, j) = lat.cell_of(p);
+            assert!(lat.cell_box(i, j).contains(p), "{p:?} not in its cell box");
+        }
+    }
+
+    #[test]
+    fn adjacency_predicate() {
+        // The paper's rule: the *four* L1-distance-1 boxes are neighbours;
+        // diagonals are far (block-stale data only).
+        let q = 3;
+        assert!(cell_adjacent(q, 0, 1));
+        assert!(cell_adjacent(q, 0, 3));
+        assert!(!cell_adjacent(q, 0, 4)); // diagonal is far
+        assert!(!cell_adjacent(q, 0, 2));
+        assert!(!cell_adjacent(q, 0, 8));
+        assert!(cell_adjacent(q, 4, 4));
+    }
+}

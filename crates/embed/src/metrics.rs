@@ -1,0 +1,105 @@
+//! Embedding-quality metrics.
+
+use sp_geometry::{Aabb2, Point2};
+use sp_graph::Graph;
+
+/// Summary statistics of embedded edge lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeLengthStats {
+    pub mean: f64,
+    pub std: f64,
+    pub max: f64,
+}
+
+impl EdgeLengthStats {
+    /// Coefficient of variation (std/mean); lower = more uniform mesh.
+    pub fn cv(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.std / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Compute edge-length statistics for an embedding.
+pub fn edge_length_stats(g: &Graph, coords: &[Point2]) -> EdgeLengthStats {
+    let mut lens = Vec::with_capacity(g.m());
+    for v in 0..g.n() as u32 {
+        for &u in g.neighbors(v) {
+            if u > v {
+                lens.push(coords[v as usize].dist(coords[u as usize]));
+            }
+        }
+    }
+    if lens.is_empty() {
+        return EdgeLengthStats { mean: 0.0, std: 0.0, max: 0.0 };
+    }
+    let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+    let var = lens.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / lens.len() as f64;
+    let max = lens.iter().copied().fold(0.0, f64::max);
+    EdgeLengthStats { mean, std: var.sqrt(), max }
+}
+
+/// Bounding-box diagonal over mean edge length: how far the embedding
+/// spreads relative to local structure. Degenerate (collapsed) embeddings
+/// have spread ≈ 1.
+pub fn embedding_spread(coords: &[Point2]) -> f64 {
+    let Some(bb) = Aabb2::from_points(coords) else {
+        return 0.0;
+    };
+    let diag = (bb.width().powi(2) + bb.height().powi(2)).sqrt();
+    // Mean nearest-sample distance as the local scale (sampled).
+    let n = coords.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let step = (n / 256).max(1);
+    let mut acc = 0.0;
+    let mut cnt = 0;
+    let mut i = 0;
+    while i + step < n {
+        acc += coords[i].dist(coords[i + step]);
+        cnt += 1;
+        i += step;
+    }
+    if cnt == 0 || acc == 0.0 {
+        return 0.0;
+    }
+    diag / (acc / cnt as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::{grid_2d, grid_2d_coords};
+
+    #[test]
+    fn grid_natural_coords_have_uniform_edges() {
+        let g = grid_2d(10, 10);
+        let coords = grid_2d_coords(10, 10);
+        let s = edge_length_stats(&g, &coords);
+        assert!(s.cv() < 1e-9);
+        assert!((s.mean - 1.0 / 9.0).abs() < 1e-12);
+        assert!((s.max - s.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collapsed_embedding_has_zero_stats() {
+        let g = grid_2d(5, 5);
+        let coords = vec![Point2::ZERO; 25];
+        let s = edge_length_stats(&g, &coords);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn spread_detects_degenerate_clouds() {
+        let spread_line: f64 = embedding_spread(
+            &(0..100).map(|i| Point2::new(i as f64, 0.0)).collect::<Vec<_>>(),
+        );
+        assert!(spread_line > 1.0);
+        assert_eq!(embedding_spread(&[]), 0.0);
+        assert_eq!(embedding_spread(&[Point2::ZERO]), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Axis-aligned bounding boxes in the plane.
+
+use crate::point::Point2;
+
+/// A 2-D axis-aligned bounding box. The fixed-lattice embedder views the
+/// domain as a box `B` subdivided into a √P × √P lattice of sub-boxes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb2 {
+    pub min: Point2,
+    pub max: Point2,
+}
+
+impl Aabb2 {
+    pub fn new(min: Point2, max: Point2) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y);
+        Aabb2 { min, max }
+    }
+
+    /// The unit box `[0,1]²`.
+    pub fn unit() -> Self {
+        Aabb2::new(Point2::ZERO, Point2::new(1.0, 1.0))
+    }
+
+    /// Smallest box containing all `pts`; `None` for an empty slice.
+    pub fn from_points(pts: &[Point2]) -> Option<Self> {
+        let first = *pts.first()?;
+        let mut bb = Aabb2 { min: first, max: first };
+        for &p in &pts[1..] {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grow to include `p`.
+    pub fn expand(&mut self, p: Point2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        (self.min + self.max) * 0.5
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Longest side; used by the quadtree opening criterion and RCB.
+    #[inline]
+    pub fn longest_side(&self) -> f64 {
+        self.width().max(self.height())
+    }
+
+    /// Scale the box about the origin by `s` (the multilevel projection step
+    /// scales the bounding box by 2 in each dimension per level).
+    pub fn scaled(&self, s: f64) -> Aabb2 {
+        Aabb2 { min: self.min * s, max: self.max * s }
+    }
+
+    /// Grow symmetrically by a fraction `f` of each side (used to give the
+    /// lattice a little slack so moved vertices rarely exit the domain).
+    pub fn inflated(&self, f: f64) -> Aabb2 {
+        let dx = self.width() * f;
+        let dy = self.height() * f;
+        Aabb2 {
+            min: Point2::new(self.min.x - dx, self.min.y - dy),
+            max: Point2::new(self.max.x + dx, self.max.y + dy),
+        }
+    }
+
+    /// Clamp a point into the box.
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// The sub-box (i, j) of a `q × q` lattice subdivision of this box, with
+    /// `i` indexing x and `j` indexing y.
+    pub fn lattice_cell(&self, q: usize, i: usize, j: usize) -> Aabb2 {
+        let w = self.width() / q as f64;
+        let h = self.height() / q as f64;
+        let min = Point2::new(self.min.x + w * i as f64, self.min.y + h * j as f64);
+        Aabb2::new(min, Point2::new(min.x + w, min.y + h))
+    }
+
+    /// Which cell of a `q × q` lattice the point falls into (clamped to the
+    /// lattice so points on/outside the boundary still get a home cell).
+    pub fn cell_of(&self, q: usize, p: Point2) -> (usize, usize) {
+        let fx = if self.width() > 0.0 { (p.x - self.min.x) / self.width() } else { 0.0 };
+        let fy = if self.height() > 0.0 { (p.y - self.min.y) / self.height() } else { 0.0 };
+        let i = ((fx * q as f64) as isize).clamp(0, q as isize - 1) as usize;
+        let j = ((fy * q as f64) as isize).clamp(0, q as isize - 1) as usize;
+        (i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [Point2::new(1.0, 2.0), Point2::new(-3.0, 0.5), Point2::new(2.0, -1.0)];
+        let bb = Aabb2::from_points(&pts).unwrap();
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.min, Point2::new(-3.0, -1.0));
+        assert_eq!(bb.max, Point2::new(2.0, 2.0));
+        assert!(Aabb2::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn lattice_cells_tile_the_box() {
+        let bb = Aabb2::unit();
+        let q = 4;
+        let mut area = 0.0;
+        for i in 0..q {
+            for j in 0..q {
+                let c = bb.lattice_cell(q, i, j);
+                area += c.width() * c.height();
+            }
+        }
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_of_matches_lattice_cell() {
+        let bb = Aabb2::new(Point2::new(-1.0, -1.0), Point2::new(1.0, 1.0));
+        let q = 3;
+        let p = Point2::new(0.9, -0.9);
+        let (i, j) = bb.cell_of(q, p);
+        assert!(bb.lattice_cell(q, i, j).contains(p));
+        // Out-of-box points clamp to a border cell.
+        assert_eq!(bb.cell_of(q, Point2::new(10.0, 10.0)), (2, 2));
+        assert_eq!(bb.cell_of(q, Point2::new(-10.0, -10.0)), (0, 0));
+    }
+
+    #[test]
+    fn clamp_and_inflate() {
+        let bb = Aabb2::unit();
+        assert_eq!(bb.clamp(Point2::new(2.0, -1.0)), Point2::new(1.0, 0.0));
+        let big = bb.inflated(0.5);
+        assert_eq!(big.width(), 2.0);
+        assert_eq!(big.center(), bb.center());
+    }
+
+    #[test]
+    fn scaled_doubles_extent() {
+        let bb = Aabb2::new(Point2::new(-1.0, 0.0), Point2::new(1.0, 2.0)).scaled(2.0);
+        assert_eq!(bb.min, Point2::new(-2.0, 0.0));
+        assert_eq!(bb.max, Point2::new(2.0, 4.0));
+    }
+}

@@ -1,0 +1,181 @@
+//! Approximate centerpoints via iterated Radon points.
+//!
+//! A centerpoint of a point set `S` in ℝ^d is a point `c` such that every
+//! halfspace containing `c` contains at least `|S|/(d+1)` points of `S`.
+//! Gilbert–Miller–Teng partitioning computes a centerpoint of the lifted
+//! points on the sphere and conformally maps it to the origin before cutting
+//! with random great circles.
+//!
+//! We use the classic randomized scheme (Clarkson et al.): repeatedly draw
+//! `d + 2` points from the working set, replace one of them with the Radon
+//! point of the group, and iterate. The Radon point of `d + 2` points lies in
+//! the intersection of the convex hulls of both sides of its Radon partition,
+//! so the iteration drives points toward the "deep" region; the final
+//! surviving point is a centerpoint with high probability.
+
+use crate::linalg::radon_coefficients;
+use crate::point::Point3;
+use rand::Rng;
+
+/// Controls for the iterated-Radon-point centerpoint approximation.
+#[derive(Clone, Copy, Debug)]
+pub struct CenterpointConfig {
+    /// Number of sample points drawn from the input (the paper computes the
+    /// centerpoint on a sample gathered across processors).
+    pub sample_size: usize,
+    /// Number of Radon replacement iterations.
+    pub iterations: usize,
+}
+
+impl Default for CenterpointConfig {
+    fn default() -> Self {
+        CenterpointConfig { sample_size: 1000, iterations: 600 }
+    }
+}
+
+/// Radon point of `d + 2 = 5` points in ℝ³.
+///
+/// Splits the group by the sign of the Radon coefficients and returns the
+/// common point of the two convex hulls. Returns `None` for degenerate
+/// configurations.
+pub fn radon_point3(pts: &[Point3; 5]) -> Option<Point3> {
+    let rows: Vec<Vec<f64>> = pts.iter().map(|p| vec![p.x, p.y, p.z]).collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let lam = radon_coefficients(&refs, 3)?;
+    // Positive side: point = Σ_{λ_i > 0} λ_i p_i / Σ_{λ_i > 0} λ_i.
+    let mut num = Point3::ZERO;
+    let mut den = 0.0;
+    for (l, p) in lam.iter().zip(pts.iter()) {
+        if *l > 0.0 {
+            num += *p * *l;
+            den += *l;
+        }
+    }
+    if den <= 1e-12 {
+        return None;
+    }
+    let r = num / den;
+    r.is_finite().then_some(r)
+}
+
+/// Approximate centerpoint of `pts` (3-D) by iterated Radon points.
+///
+/// Operates on a random sample of `cfg.sample_size` points; each iteration
+/// overwrites a random sample slot with the Radon point of five random slots.
+/// Falls back to the centroid if the input is too small or too degenerate.
+pub fn centerpoint<R: Rng>(pts: &[Point3], cfg: &CenterpointConfig, rng: &mut R) -> Point3 {
+    if pts.is_empty() {
+        return Point3::ZERO;
+    }
+    if pts.len() < 8 {
+        return centroid(pts);
+    }
+    let m = cfg.sample_size.min(pts.len());
+    let mut work: Vec<Point3> =
+        (0..m).map(|_| pts[rng.random_range(0..pts.len())]).collect();
+    let mut last_good = centroid(&work);
+    for _ in 0..cfg.iterations {
+        let mut group = [Point3::ZERO; 5];
+        let mut idx = [0usize; 5];
+        for k in 0..5 {
+            idx[k] = rng.random_range(0..work.len());
+            group[k] = work[idx[k]];
+        }
+        if let Some(r) = radon_point3(&group) {
+            work[idx[0]] = r;
+            last_good = r;
+        }
+    }
+    last_good
+}
+
+/// Arithmetic mean of a point set.
+pub fn centroid(pts: &[Point3]) -> Point3 {
+    if pts.is_empty() {
+        return Point3::ZERO;
+    }
+    let mut s = Point3::ZERO;
+    for &p in pts {
+        s += p;
+    }
+    s / pts.len() as f64
+}
+
+/// Fraction of `pts` on the positive side of the plane through `c` with
+/// normal `n`; used to validate centerpoint depth in tests.
+pub fn halfspace_fraction(pts: &[Point3], c: Point3, n: Point3) -> f64 {
+    if pts.is_empty() {
+        return 0.0;
+    }
+    let cnt = pts.iter().filter(|p| (**p - c).dot(n) > 0.0).count();
+    cnt as f64 / pts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sphere_cloud(n: usize, rng: &mut StdRng) -> Vec<Point3> {
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+                .normalized()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radon_point_of_simplex_interior() {
+        // Four corners of a tetrahedron plus its centroid: the Radon point
+        // must coincide with the interior point (up to solver tolerance).
+        let pts = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(0.25, 0.25, 0.25),
+        ];
+        let r = radon_point3(&pts).unwrap();
+        assert!(r.dist(Point3::new(0.25, 0.25, 0.25)) < 1e-9);
+    }
+
+    #[test]
+    fn centerpoint_of_uniform_sphere_is_deep() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = sphere_cloud(4000, &mut rng);
+        let c = centerpoint(&pts, &CenterpointConfig::default(), &mut rng);
+        // A true centerpoint guarantees every halfspace through it holds at
+        // least 1/(d+1) = 25% of the points; the randomized approximation on
+        // a symmetric cloud should comfortably beat 20%.
+        let mut probe = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let n = Point3::new(
+                probe.random_range(-1.0..1.0),
+                probe.random_range(-1.0..1.0),
+                probe.random_range(-1.0..1.0),
+            )
+            .normalized();
+            let f = halfspace_fraction(&pts, c, n);
+            assert!(f > 0.20 && f < 0.80, "halfspace fraction {f} too shallow");
+        }
+    }
+
+    #[test]
+    fn centerpoint_small_input_is_centroid() {
+        let pts = vec![Point3::new(1.0, 0.0, 0.0), Point3::new(-1.0, 0.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = centerpoint(&pts, &CenterpointConfig::default(), &mut rng);
+        assert!(c.dist(Point3::ZERO) < 1e-12);
+    }
+
+    #[test]
+    fn centroid_empty_is_zero() {
+        assert_eq!(centroid(&[]), Point3::ZERO);
+    }
+}

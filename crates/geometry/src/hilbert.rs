@@ -1,0 +1,110 @@
+//! Hilbert space-filling curve on a 2^k × 2^k grid.
+//!
+//! Used in two places: (1) the Delaunay generator inserts points in Hilbert
+//! order so that successive insertions are spatially close, making walk-based
+//! point location nearly O(1) amortised; (2) initial block distribution of an
+//! embedded graph over ranks can follow the curve for locality.
+
+/// Map grid coordinates `(x, y)` on a `2^order × 2^order` grid to the
+/// distance along the Hilbert curve.
+pub fn hilbert_xy2d(order: u32, mut x: u32, mut y: u32) -> u64 {
+    let n = 1u32 << order;
+    debug_assert!(x < n && y < n);
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s = n >> 1;
+    while s > 0 {
+        rx = u32::from((x & s) > 0);
+        ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (n - 1);
+                y = s.wrapping_sub(1).wrapping_sub(y) & (n - 1);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s >>= 1;
+    }
+    d
+}
+
+/// Inverse of [`hilbert_xy2d`].
+pub fn hilbert_d2xy(order: u32, mut d: u64) -> (u32, u32) {
+    let n = 1u64 << order;
+    let mut x: u64 = 0;
+    let mut y: u64 = 0;
+    let mut s: u64 = 1;
+    while s < n {
+        let rx = 1 & (d / 2);
+        let ry = 1 & (d ^ rx);
+        // Rotate.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        d /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// Hilbert key of a point in the unit square, quantised to a `2^order` grid.
+pub fn hilbert_key_unit(order: u32, fx: f64, fy: f64) -> u64 {
+    let n = (1u32 << order) as f64;
+    let x = ((fx * n) as i64).clamp(0, (1i64 << order) - 1) as u32;
+    let y = ((fy * n) as i64).clamp(0, (1i64 << order) - 1) as u32;
+    hilbert_xy2d(order, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_order_4() {
+        let order = 4;
+        let n = 1u32 << order;
+        let mut seen = vec![false; (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                let d = hilbert_xy2d(order, x, y);
+                assert!((d as usize) < seen.len());
+                assert!(!seen[d as usize], "curve index {d} repeated");
+                seen[d as usize] = true;
+                assert_eq!(hilbert_d2xy(order, d), (x, y));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn curve_is_contiguous() {
+        // Consecutive curve positions are grid neighbours (the defining
+        // property of the Hilbert curve).
+        let order = 5;
+        let n = 1u64 << order;
+        for d in 0..(n * n - 1) {
+            let (x0, y0) = hilbert_d2xy(order, d);
+            let (x1, y1) = hilbert_d2xy(order, d + 1);
+            let step = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(step, 1, "jump at d={d}");
+        }
+    }
+
+    #[test]
+    fn unit_key_clamps() {
+        // Values outside [0,1) quantise to the border cells without panic.
+        let _ = hilbert_key_unit(8, -0.5, 1.5);
+        let a = hilbert_key_unit(8, 0.0, 0.0);
+        let b = hilbert_key_unit(8, 1e-9, 1e-9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,146 @@
+//! Tiny dense linear algebra: just enough to compute Radon points.
+
+/// Solve `A x = b` for a small dense system by Gaussian elimination with
+/// partial pivoting. `a` is row-major `n × n`. Returns `None` if the matrix
+/// is (numerically) singular.
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = m[col * n + col].abs();
+        for r in col + 1..n {
+            let v = m[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                m.swap(col * n + c, piv * n + c);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in col + 1..n {
+            let f = m[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[r * n + c] -= f * m[col * n + c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for c in row + 1..n {
+            s -= m[row * n + c] * x[c];
+        }
+        x[row] = s / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Find a non-trivial solution of the homogeneous system used by the Radon
+/// partition: given `k` points in `d` dimensions with `k = d + 2`, find
+/// coefficients `λ` with `Σ λ_i p_i = 0` and `Σ λ_i = 0`, `λ ≠ 0`.
+///
+/// We fix `λ_{k-1} = 1` and solve the resulting `(d+1) × (d+1)` system; if
+/// that system is singular we fall back to fixing a different coefficient.
+pub fn radon_coefficients(points: &[&[f64]], d: usize) -> Option<Vec<f64>> {
+    let k = points.len();
+    assert_eq!(k, d + 2);
+    for fixed in (0..k).rev() {
+        // Unknowns: λ_i for i != fixed (k-1 = d+1 of them).
+        let n = k - 1;
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        // Rows 0..d: Σ λ_i p_i[r] = -p_fixed[r]
+        for r in 0..d {
+            let mut cj = 0;
+            for (i, p) in points.iter().enumerate() {
+                if i == fixed {
+                    continue;
+                }
+                a[r * n + cj] = p[r];
+                cj += 1;
+            }
+            b[r] = -points[fixed][r];
+        }
+        // Row d: Σ λ_i = -1
+        for c in 0..n {
+            a[d * n + c] = 1.0;
+        }
+        b[d] = -1.0;
+        if let Some(x) = solve_dense(&a, &b, n) {
+            let mut lam = Vec::with_capacity(k);
+            let mut cj = 0;
+            for i in 0..k {
+                if i == fixed {
+                    lam.push(1.0);
+                } else {
+                    lam.push(x[cj]);
+                    cj += 1;
+                }
+            }
+            return Some(lam);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [3.0, -2.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solve_general_3x3() {
+        let a = [2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let b = [8.0, -11.0, -3.0];
+        let x = solve_dense(&a, &b, 3).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] - -1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn radon_coefficients_sum_to_zero() {
+        // 4 points in 2-D (d + 2 = 4).
+        let pts: Vec<Vec<f64>> =
+            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]];
+        let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let lam = radon_coefficients(&refs, 2).unwrap();
+        let s: f64 = lam.iter().sum();
+        assert!(s.abs() < 1e-9);
+        for r in 0..2 {
+            let v: f64 = lam.iter().zip(&pts).map(|(l, p)| l * p[r]).sum();
+            assert!(v.abs() < 1e-9, "weighted point sum nonzero: {v}");
+        }
+        assert!(lam.iter().any(|&l| l.abs() > 1e-9));
+    }
+}

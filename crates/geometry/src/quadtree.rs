@@ -1,0 +1,280 @@
+//! An arena-allocated Barnes–Hut quadtree over weighted planar points.
+//!
+//! The sequential force-directed embedder (Hu 2006 style) approximates the
+//! O(n²) repulsive force sum in O(n log n) by treating distant clusters as
+//! single bodies at their centre of mass. The fixed-lattice scheme in the
+//! paper is explicitly described as "a fixed lattice Barnes–Hut type
+//! approximation", so this tree is both the sequential baseline and the
+//! reference for the lattice-approximation ablation.
+
+use crate::bbox::Aabb2;
+use crate::point::Point2;
+
+const LEAF_CAPACITY: usize = 8;
+const MAX_DEPTH: usize = 48;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Aabb2,
+    /// Total mass of bodies below this node.
+    mass: f64,
+    /// Centre of mass of bodies below this node.
+    com: Point2,
+    /// Index of the first of four children in the arena, or `u32::MAX`.
+    children: u32,
+    /// Body indices for leaves.
+    bodies: Vec<u32>,
+}
+
+/// Barnes–Hut quadtree over a fixed set of weighted points.
+pub struct QuadTree {
+    nodes: Vec<Node>,
+    points: Vec<Point2>,
+    masses: Vec<f64>,
+}
+
+impl QuadTree {
+    /// Build a tree over `points` with the given per-point `masses`
+    /// (pass `None` for unit masses).
+    pub fn build(points: &[Point2], masses: Option<&[f64]>) -> Self {
+        let masses: Vec<f64> = match masses {
+            Some(m) => {
+                assert_eq!(m.len(), points.len());
+                m.to_vec()
+            }
+            None => vec![1.0; points.len()],
+        };
+        let bbox = Aabb2::from_points(points)
+            .unwrap_or_else(Aabb2::unit)
+            .inflated(1e-9 + 1e-12);
+        let mut tree = QuadTree {
+            nodes: vec![Node {
+                bbox,
+                mass: 0.0,
+                com: Point2::ZERO,
+                children: u32::MAX,
+                bodies: Vec::new(),
+            }],
+            points: points.to_vec(),
+            masses,
+        };
+        for i in 0..points.len() {
+            tree.insert(0, i as u32, 0);
+        }
+        tree.finalize(0);
+        tree
+    }
+
+    fn insert(&mut self, node: usize, body: u32, depth: usize) {
+        let p = self.points[body as usize];
+        let m = self.masses[body as usize];
+        self.nodes[node].mass += m;
+        self.nodes[node].com += p * m;
+        if self.nodes[node].children == u32::MAX {
+            if self.nodes[node].bodies.len() < LEAF_CAPACITY || depth >= MAX_DEPTH {
+                self.nodes[node].bodies.push(body);
+                return;
+            }
+            // Split: push four children and re-insert resident bodies.
+            let bb = self.nodes[node].bbox;
+            let first = self.nodes.len() as u32;
+            self.nodes[node].children = first;
+            let c = bb.center();
+            let quads = [
+                Aabb2::new(bb.min, c),
+                Aabb2::new(Point2::new(c.x, bb.min.y), Point2::new(bb.max.x, c.y)),
+                Aabb2::new(Point2::new(bb.min.x, c.y), Point2::new(c.x, bb.max.y)),
+                Aabb2::new(c, bb.max),
+            ];
+            for q in quads {
+                self.nodes.push(Node {
+                    bbox: q,
+                    mass: 0.0,
+                    com: Point2::ZERO,
+                    children: u32::MAX,
+                    bodies: Vec::new(),
+                });
+            }
+            let resident = std::mem::take(&mut self.nodes[node].bodies);
+            for b in resident {
+                let q = self.quadrant(node, self.points[b as usize]);
+                self.insert_into_child(first, q, b, depth + 1);
+            }
+        }
+        let first = self.nodes[node].children;
+        let q = self.quadrant(node, p);
+        self.insert_into_child(first, q, body, depth + 1);
+    }
+
+    fn insert_into_child(&mut self, first: u32, quad: usize, body: u32, depth: usize) {
+        self.insert(first as usize + quad, body, depth);
+    }
+
+    fn quadrant(&self, node: usize, p: Point2) -> usize {
+        let c = self.nodes[node].bbox.center();
+        usize::from(p.x >= c.x) + 2 * usize::from(p.y >= c.y)
+    }
+
+    fn finalize(&mut self, node: usize) {
+        // Convert mass-weighted sums into centres of mass (iterative to
+        // avoid recursion-depth issues on adversarial inputs).
+        let mut stack = vec![node];
+        while let Some(i) = stack.pop() {
+            if self.nodes[i].mass > 0.0 {
+                self.nodes[i].com = self.nodes[i].com / self.nodes[i].mass;
+            }
+            if self.nodes[i].children != u32::MAX {
+                let f = self.nodes[i].children as usize;
+                stack.extend([f, f + 1, f + 2, f + 3]);
+            }
+        }
+    }
+
+    /// Total mass in the tree.
+    pub fn total_mass(&self) -> f64 {
+        self.nodes[0].mass
+    }
+
+    /// Visit approximated bodies for a query point: clusters whose opening
+    /// ratio `side / dist` is below `theta` are reported once as
+    /// `(centre_of_mass, mass)`; near clusters are opened, and individual
+    /// bodies (excluding `skip`) are reported exactly.
+    ///
+    /// Returns the number of interactions visited (for cost accounting).
+    pub fn for_each_approx<F: FnMut(Point2, f64)>(
+        &self,
+        query: Point2,
+        skip: Option<u32>,
+        theta: f64,
+        mut visit: F,
+    ) -> usize {
+        let mut count = 0;
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i];
+            if node.mass <= 0.0 {
+                continue;
+            }
+            let d = query.dist(node.com);
+            let side = node.bbox.longest_side();
+            if node.children == u32::MAX {
+                for &b in &node.bodies {
+                    if Some(b) == skip {
+                        continue;
+                    }
+                    visit(self.points[b as usize], self.masses[b as usize]);
+                    count += 1;
+                }
+            } else if d > 0.0 && side / d < theta {
+                visit(node.com, node.mass);
+                count += 1;
+            } else {
+                let f = node.children as usize;
+                stack.extend([f, f + 1, f + 2, f + 3]);
+            }
+        }
+        count
+    }
+
+    /// Number of arena nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let pts = cloud(500, 1);
+        let masses: Vec<f64> = (0..500).map(|i| 1.0 + (i % 7) as f64).collect();
+        let t = QuadTree::build(&pts, Some(&masses));
+        let want: f64 = masses.iter().sum();
+        assert!((t.total_mass() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_zero_visits_every_body() {
+        let pts = cloud(200, 2);
+        let t = QuadTree::build(&pts, None);
+        let mut m = 0.0;
+        let n = t.for_each_approx(Point2::new(0.5, 0.5), None, 0.0, |_, mass| m += mass);
+        assert_eq!(n, 200);
+        assert!((m - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skip_excludes_the_query_body() {
+        let pts = cloud(64, 3);
+        let t = QuadTree::build(&pts, None);
+        let mut m = 0.0;
+        t.for_each_approx(pts[10], Some(10), 0.0, |_, mass| m += mass);
+        assert!((m - 63.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximation_conserves_visited_mass() {
+        // With any theta, the sum of visited masses equals the total mass
+        // when nothing is skipped (approximated clusters report full mass).
+        let pts = cloud(1000, 4);
+        let t = QuadTree::build(&pts, None);
+        for theta in [0.3, 0.7, 1.2] {
+            let mut m = 0.0;
+            let visited =
+                t.for_each_approx(Point2::new(0.1, 0.9), None, theta, |_, mass| m += mass);
+            assert!((m - 1000.0).abs() < 1e-9, "theta {theta}: mass {m}");
+            assert!(visited <= 1000);
+        }
+    }
+
+    #[test]
+    fn larger_theta_visits_fewer_interactions() {
+        let pts = cloud(2000, 5);
+        let t = QuadTree::build(&pts, None);
+        let exact = t.for_each_approx(Point2::new(0.5, 0.5), None, 0.0, |_, _| {});
+        let approx = t.for_each_approx(Point2::new(0.5, 0.5), None, 1.0, |_, _| {});
+        assert!(approx < exact / 4, "approx {approx} vs exact {exact}");
+    }
+
+    #[test]
+    fn duplicate_points_do_not_overflow_depth() {
+        let pts = vec![Point2::new(0.25, 0.25); 100];
+        let t = QuadTree::build(&pts, None);
+        assert!((t.total_mass() - 100.0).abs() < 1e-9);
+        let mut cnt = 0;
+        t.for_each_approx(Point2::new(0.75, 0.75), None, 0.0, |_, _| cnt += 1);
+        assert_eq!(cnt, 100);
+    }
+
+    #[test]
+    fn approx_force_matches_exact_within_tolerance() {
+        // Compare an inverse-distance "force" computed exactly and with
+        // theta = 0.5; they should agree to a few percent.
+        let pts = cloud(1500, 6);
+        let t = QuadTree::build(&pts, None);
+        let q = Point2::new(-0.5, -0.5); // outside the cloud: smooth field
+        let force = |theta: f64| {
+            let mut f = Point2::ZERO;
+            t.for_each_approx(q, None, theta, |p, m| {
+                let d = q - p;
+                let n = d.norm().max(1e-9);
+                f += d / n * (m / n);
+            });
+            f
+        };
+        let exact = force(0.0);
+        let approx = force(0.5);
+        assert!(exact.dist(approx) / exact.norm() < 0.03);
+    }
+}

@@ -1,0 +1,124 @@
+//! Stereographic lifting between the plane and the unit sphere S² ⊂ ℝ³.
+//!
+//! Gilbert–Miller–Teng mesh partitioning projects the (2-D) vertex
+//! coordinates onto the unit sphere one dimension up, computes a centerpoint
+//! there, and cuts with great circles. We use the standard stereographic map
+//! from the north pole `(0,0,1)`:
+//!
+//! lift:    (x, y)      ↦ (2x, 2y, |p|² − 1) / (|p|² + 1)
+//! project: (X, Y, Z)   ↦ (X, Y) / (1 − Z)
+//!
+//! Both maps are mutually inverse away from the pole, and circles on the
+//! sphere correspond to circles or lines in the plane.
+
+use crate::point::{Point2, Point3};
+
+/// Lift a planar point onto the unit sphere by inverse stereographic
+/// projection from the north pole.
+#[inline]
+pub fn stereo_lift(p: Point2) -> Point3 {
+    let n2 = p.norm_sq();
+    let d = n2 + 1.0;
+    Point3::new(2.0 * p.x / d, 2.0 * p.y / d, (n2 - 1.0) / d)
+}
+
+/// Project a sphere point back to the plane (stereographic projection from
+/// the north pole). Points at the pole itself map to a far-away sentinel.
+#[inline]
+pub fn stereo_project(s: Point3) -> Point2 {
+    let d = 1.0 - s.z;
+    if d.abs() < 1e-12 {
+        return Point2::new(f64::MAX / 4.0, f64::MAX / 4.0);
+    }
+    Point2::new(s.x / d, s.y / d)
+}
+
+/// Normalize coordinates into a centered, unit-scale cloud before lifting:
+/// translating to the median-ish center and scaling by the RMS radius keeps
+/// the lifted points spread over the sphere instead of bunched at a pole,
+/// which is what makes random great circles informative.
+pub fn normalize_for_lift(coords: &[Point2]) -> (Point2, f64) {
+    if coords.is_empty() {
+        return (Point2::ZERO, 1.0);
+    }
+    let mut c = Point2::ZERO;
+    for &p in coords {
+        c += p;
+    }
+    c = c / coords.len() as f64;
+    let mut rms = 0.0;
+    for &p in coords {
+        rms += (p - c).norm_sq();
+    }
+    rms = (rms / coords.len() as f64).sqrt();
+    if rms <= 0.0 {
+        rms = 1.0;
+    }
+    (c, rms)
+}
+
+/// Apply the normalization returned by [`normalize_for_lift`] and lift.
+#[inline]
+pub fn lift_normalized(p: Point2, center: Point2, scale: f64) -> Point3 {
+    stereo_lift((p - center) / scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lift_lands_on_unit_sphere() {
+        for p in [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(-3.5, 2.25),
+            Point2::new(1e3, -1e3),
+        ] {
+            let s = stereo_lift(p);
+            assert!((s.norm() - 1.0).abs() < 1e-12, "not on sphere: {s:?}");
+        }
+    }
+
+    #[test]
+    fn lift_project_roundtrip() {
+        for p in [Point2::new(0.3, -0.7), Point2::new(5.0, 2.0), Point2::new(-0.001, 0.002)] {
+            let q = stereo_project(stereo_lift(p));
+            assert!(p.dist(q) < 1e-9, "{p:?} vs {q:?}");
+        }
+    }
+
+    #[test]
+    fn origin_maps_to_south_pole() {
+        let s = stereo_lift(Point2::ZERO);
+        assert!(s.dist(Point3::new(0.0, 0.0, -1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn normalize_centers_and_scales() {
+        let pts = vec![
+            Point2::new(10.0, 10.0),
+            Point2::new(12.0, 10.0),
+            Point2::new(10.0, 12.0),
+            Point2::new(12.0, 12.0),
+        ];
+        let (c, s) = normalize_for_lift(&pts);
+        assert!(c.dist(Point2::new(11.0, 11.0)) < 1e-12);
+        assert!(s > 0.0);
+        // After normalization the RMS radius is 1.
+        let mut rms = 0.0;
+        for &p in &pts {
+            rms += ((p - c) / s).norm_sq();
+        }
+        rms = (rms / pts.len() as f64).sqrt();
+        assert!((rms - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_degenerate_cloud() {
+        let pts = vec![Point2::new(3.0, 3.0); 5];
+        let (c, s) = normalize_for_lift(&pts);
+        assert_eq!(c, Point2::new(3.0, 3.0));
+        assert_eq!(s, 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the geometric substrate.
+
+use proptest::prelude::*;
+use sp_geometry::bbox::Aabb2;
+use sp_geometry::centerpoint::{centroid, halfspace_fraction, radon_point3};
+use sp_geometry::conformal::ConformalMap;
+use sp_geometry::point::{Point2, Point3};
+use sp_geometry::sphere::{stereo_lift, stereo_project};
+
+fn arb_p2() -> impl Strategy<Value = Point2> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+fn arb_unit3() -> impl Strategy<Value = Point3> {
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)
+        .prop_filter_map("degenerate", |(x, y, z)| {
+            let p = Point3::new(x, y, z);
+            (p.norm() > 1e-3).then(|| p.normalized())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bbox_from_points_is_tight_and_containing(pts in prop::collection::vec(arb_p2(), 1..40)) {
+        let bb = Aabb2::from_points(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+        // Tight: some point touches each face.
+        let eps = 1e-12;
+        prop_assert!(pts.iter().any(|p| (p.x - bb.min.x).abs() < eps));
+        prop_assert!(pts.iter().any(|p| (p.x - bb.max.x).abs() < eps));
+        prop_assert!(pts.iter().any(|p| (p.y - bb.min.y).abs() < eps));
+        prop_assert!(pts.iter().any(|p| (p.y - bb.max.y).abs() < eps));
+    }
+
+    #[test]
+    fn lattice_cell_assignment_is_consistent(p in arb_p2(), q in 1usize..9) {
+        let bb = Aabb2::new(Point2::new(-10.0, -10.0), Point2::new(10.0, 10.0));
+        let (i, j) = bb.cell_of(q, p);
+        prop_assert!(i < q && j < q);
+        prop_assert!(bb.lattice_cell(q, i, j).contains(p));
+    }
+
+    #[test]
+    fn stereo_lift_is_an_isometry_onto_the_sphere(p in arb_p2()) {
+        let s = stereo_lift(p);
+        prop_assert!((s.norm() - 1.0).abs() < 1e-12);
+        let back = stereo_project(s);
+        prop_assert!(back.dist(p) < 1e-6 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn conformal_map_preserves_the_sphere(c in arb_unit3(), r in 0.0f64..0.9, p in arb_unit3()) {
+        let m = ConformalMap::centering(c * r);
+        let q = m.apply(p);
+        prop_assert!((q.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radon_point_lies_in_bounding_box(pts in prop::collection::vec(
+        (-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 5))
+    {
+        let group: [Point3; 5] = [
+            Point3::new(pts[0].0, pts[0].1, pts[0].2),
+            Point3::new(pts[1].0, pts[1].1, pts[1].2),
+            Point3::new(pts[2].0, pts[2].1, pts[2].2),
+            Point3::new(pts[3].0, pts[3].1, pts[3].2),
+            Point3::new(pts[4].0, pts[4].1, pts[4].2),
+        ];
+        if let Some(r) = radon_point3(&group) {
+            // A Radon point is a convex combination of a subset of the
+            // input, so it lies inside the group's bounding box.
+            for ax in 0..3 {
+                let coord = |p: Point3| [p.x, p.y, p.z][ax];
+                let lo = group.iter().map(|&p| coord(p)).fold(f64::INFINITY, f64::min);
+                let hi = group.iter().map(|&p| coord(p)).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(coord(r) >= lo - 1e-6 && coord(r) <= hi + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_halfspace_fraction_sane(pts in prop::collection::vec(
+        (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 10..60), n in arb_unit3())
+    {
+        let cloud: Vec<Point3> =
+            pts.iter().map(|&(x, y, z)| Point3::new(x, y, z)).collect();
+        let c = centroid(&cloud);
+        let f = halfspace_fraction(&cloud, c, n);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

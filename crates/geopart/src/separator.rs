@@ -1,0 +1,68 @@
+//! Separator descriptions and evaluation.
+
+use sp_geometry::{Point2, Point3};
+
+/// What kind of geometric separator produced a bisection.
+#[derive(Clone, Debug)]
+pub enum SeparatorKind {
+    /// A circle: the image of a (shifted) great circle of the conformally
+    /// mapped sphere. `normal · mapped(p) > offset` defines side 1.
+    Circle { normal: Point3, offset: f64 },
+    /// A line: `dir · p > threshold` in the original plane defines side 1.
+    Line { dir: Point2, threshold: f64 },
+}
+
+/// A geometric separator together with each vertex's signed distance from
+/// it (in the separator's own metric) — the strip refinement selects
+/// movable vertices by small |signed distance|.
+#[derive(Clone, Debug)]
+pub struct Separator {
+    pub kind: SeparatorKind,
+    /// Per-vertex signed value; side 1 ⇔ positive.
+    pub signed: Vec<f64>,
+}
+
+impl Separator {
+    /// Side of vertex `v` (`1` = positive side).
+    #[inline]
+    pub fn side(&self, v: u32) -> u8 {
+        u8::from(self.signed[v as usize] > 0.0)
+    }
+
+    /// Sides for all vertices.
+    pub fn sides(&self) -> Vec<u8> {
+        self.signed.iter().map(|&s| u8::from(s > 0.0)).collect()
+    }
+}
+
+/// Median of a slice (by value, averaging is unnecessary for splitting).
+pub fn median(vals: &[f64]) -> f64 {
+    assert!(!vals.is_empty());
+    let mut v = vals.to_vec();
+    let mid = v.len() / 2;
+    v.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+    v[mid]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_splits_half() {
+        let vals: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(median(&vals), 50.0);
+        let below = vals.iter().filter(|&&v| v < 50.0).count();
+        assert_eq!(below, 50);
+    }
+
+    #[test]
+    fn sides_follow_sign() {
+        let s = Separator {
+            kind: SeparatorKind::Line { dir: Point2::new(1.0, 0.0), threshold: 0.0 },
+            signed: vec![-1.0, 0.5, 0.0, 2.0],
+        };
+        assert_eq!(s.sides(), vec![0, 1, 0, 1]);
+        assert_eq!(s.side(3), 1);
+    }
+}

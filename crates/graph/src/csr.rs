@@ -1,0 +1,347 @@
+//! Compressed-sparse-row graphs with vertex and edge weights.
+//!
+//! All ScalaPart stages operate on undirected weighted graphs: the input is
+//! unweighted, but coarsening introduces vertex weights (contracted masses)
+//! and edge weights (summed multi-edges), so the representation carries both
+//! from the start. Vertices are `u32`; adjacency offsets are `usize`.
+
+/// An undirected graph in CSR form. Every edge `(u, v)` appears twice, once
+/// in each endpoint's adjacency list; self-loops are disallowed.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    ewgt: Vec<f64>,
+    vwgt: Vec<f64>,
+}
+
+impl Graph {
+    /// Build directly from CSR arrays. Panics (debug) on malformed input;
+    /// call [`Graph::validate`] for a checked verdict.
+    pub fn from_csr(xadj: Vec<usize>, adjncy: Vec<u32>, ewgt: Vec<f64>, vwgt: Vec<f64>) -> Self {
+        debug_assert_eq!(xadj.len(), vwgt.len() + 1);
+        debug_assert_eq!(adjncy.len(), ewgt.len());
+        debug_assert_eq!(*xadj.last().unwrap_or(&0), adjncy.len());
+        Graph { xadj, adjncy, ewgt, vwgt }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adjncy[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Neighbours of `v` together with edge weights.
+    #[inline]
+    pub fn neighbors_w(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
+        self.adjncy[r.clone()].iter().copied().zip(self.ewgt[r].iter().copied())
+    }
+
+    /// Vertex weight (mass) of `v`.
+    #[inline]
+    pub fn vwgt(&self, v: u32) -> f64 {
+        self.vwgt[v as usize]
+    }
+
+    /// All vertex weights.
+    #[inline]
+    pub fn vwgts(&self) -> &[f64] {
+        &self.vwgt
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vwgt(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of undirected edge weights.
+    pub fn total_ewgt(&self) -> f64 {
+        self.ewgt.iter().sum::<f64>() / 2.0
+    }
+
+    /// Raw CSR offsets (for algorithms that stream the structure).
+    #[inline]
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// Raw adjacency array.
+    #[inline]
+    pub fn adjncy(&self) -> &[u32] {
+        &self.adjncy
+    }
+
+    /// Raw edge-weight array, parallel to [`Graph::adjncy`].
+    #[inline]
+    pub fn ewgts(&self) -> &[f64] {
+        &self.ewgt
+    }
+
+    /// Average degree `2M / N`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.adjncy.len() as f64 / self.n() as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Structural validation: monotone offsets, in-range targets, no
+    /// self-loops, symmetric adjacency with matching weights.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.xadj.len() != self.n() + 1 {
+            return Err("xadj length mismatch".into());
+        }
+        if self.xadj[0] != 0 || *self.xadj.last().unwrap() != self.adjncy.len() {
+            return Err("xadj endpoints wrong".into());
+        }
+        for w in self.xadj.windows(2) {
+            if w[1] < w[0] {
+                return Err("xadj not monotone".into());
+            }
+        }
+        if self.ewgt.len() != self.adjncy.len() {
+            return Err("ewgt length mismatch".into());
+        }
+        let n = self.n() as u32;
+        for v in 0..n {
+            for (u, w) in self.neighbors_w(v) {
+                if u >= n {
+                    return Err(format!("edge target {u} out of range"));
+                }
+                if u == v {
+                    return Err(format!("self loop at {v}"));
+                }
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(format!("bad edge weight {w} on ({v},{u})"));
+                }
+                // Symmetric counterpart with equal weight.
+                let found = self
+                    .neighbors_w(u)
+                    .any(|(x, wx)| x == v && (wx - w).abs() <= 1e-9 * w.max(1.0));
+                if !found {
+                    return Err(format!("edge ({v},{u}) missing symmetric counterpart"));
+                }
+            }
+        }
+        for (v, &w) in self.vwgt.iter().enumerate() {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(format!("bad vertex weight {w} at {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the subgraph induced by `verts` (which must be duplicate-free).
+    /// Returns the subgraph plus the map from sub-vertex index to original id.
+    pub fn induced_subgraph(&self, verts: &[u32]) -> (Graph, Vec<u32>) {
+        let mut inv = vec![u32::MAX; self.n()];
+        for (i, &v) in verts.iter().enumerate() {
+            debug_assert_eq!(inv[v as usize], u32::MAX, "duplicate vertex {v}");
+            inv[v as usize] = i as u32;
+        }
+        let mut b = GraphBuilder::new(verts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            b.set_vwgt(i as u32, self.vwgt(v));
+            for (u, w) in self.neighbors_w(v) {
+                let j = inv[u as usize];
+                if j != u32::MAX && (i as u32) < j {
+                    b.add_edge(i as u32, j, w);
+                }
+            }
+        }
+        (b.build(), verts.to_vec())
+    }
+}
+
+/// Incremental builder accumulating an undirected edge list; deduplicates
+/// parallel edges by summing their weights and silently drops self-loops.
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+    vwgt: Vec<f64>,
+}
+
+impl GraphBuilder {
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), vwgt: vec![1.0; n] }
+    }
+
+    /// Pre-size the edge buffer.
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m), vwgt: vec![1.0; n] }
+    }
+
+    /// Add an undirected edge (either endpoint order). Self-loops ignored.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    pub fn set_vwgt(&mut self, v: u32, w: f64) {
+        self.vwgt[v as usize] = w;
+    }
+
+    /// Number of (possibly duplicate) edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish: sort, merge duplicates, emit symmetric CSR.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
+        for e in self.edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 += e.2,
+                _ => merged.push(e),
+            }
+        }
+        // Counting pass.
+        let mut deg = vec![0usize; self.n];
+        for &(u, v, _) in &merged {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(self.n + 1);
+        xadj.push(0usize);
+        for d in &deg {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        let total = *xadj.last().unwrap();
+        let mut adjncy = vec![0u32; total];
+        let mut ewgt = vec![0f64; total];
+        let mut cursor = xadj[..self.n].to_vec();
+        for &(u, v, w) in &merged {
+            adjncy[cursor[u as usize]] = v;
+            ewgt[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            adjncy[cursor[v as usize]] = u;
+            ewgt[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        Graph { xadj, adjncy, ewgt, vwgt: self.vwgt }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = path(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 2.5);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+        let w = g.neighbors_w(0).find(|&(u, _)| u == 1).unwrap().1;
+        assert_eq!(w, 3.5);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn weights_and_totals() {
+        let mut b = GraphBuilder::new(3);
+        b.set_vwgt(0, 2.0);
+        b.set_vwgt(1, 3.0);
+        b.add_edge(0, 1, 4.0);
+        b.add_edge(1, 2, 6.0);
+        let g = b.build();
+        assert_eq!(g.total_vwgt(), 6.0);
+        assert_eq!(g.total_ewgt(), 10.0);
+        assert_eq!(g.vwgt(0), 2.0);
+        assert_eq!(g.avg_degree(), 4.0 / 3.0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_asymmetry() {
+        // Hand-build a broken CSR: edge 0→1 without the reverse.
+        let g = Graph::from_csr(vec![0, 1, 1], vec![1], vec![1.0], vec![1.0, 1.0]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        // Triangle 0-1-2 plus pendant 3; take {0, 1, 3}.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        let (s, map) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.m(), 1); // only 0-1 survives
+        assert_eq!(map, vec![0, 1, 3]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        g.validate().unwrap();
+    }
+}

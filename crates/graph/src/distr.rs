@@ -1,0 +1,174 @@
+//! Distributing graph vertices over simulated ranks.
+//!
+//! The paper reads the graph "in approximately equal sized chunks" (block
+//! distribution) and later redistributes by lattice sub-domain once
+//! coordinates exist. Both mappings live here, as does the bookkeeping a
+//! rank needs about its boundary and ghost vertices.
+
+use crate::csr::Graph;
+use sp_geometry::{Aabb2, Point2};
+
+/// An assignment of every vertex to a rank.
+#[derive(Clone, Debug)]
+pub struct Distribution {
+    /// `owner[v]` = rank that owns vertex `v`.
+    pub owner: Vec<u32>,
+    /// Number of ranks.
+    pub p: usize,
+}
+
+impl Distribution {
+    /// Contiguous block distribution: vertex `v` goes to rank
+    /// `v / ceil(n/p)` (the paper's initial read-in layout).
+    pub fn block(n: usize, p: usize) -> Self {
+        assert!(p >= 1);
+        let chunk = n.div_ceil(p.max(1)).max(1);
+        let owner = (0..n).map(|v| ((v / chunk) as u32).min(p as u32 - 1)).collect();
+        Distribution { owner, p }
+    }
+
+    /// Lattice distribution: rank = lattice cell of the vertex coordinate on
+    /// a `q × q` grid over `bbox` (row-major: rank = j·q + i).
+    pub fn lattice(coords: &[Point2], bbox: &Aabb2, q: usize) -> Self {
+        let owner = coords
+            .iter()
+            .map(|&c| {
+                let (i, j) = bbox.cell_of(q, c);
+                (j * q + i) as u32
+            })
+            .collect();
+        Distribution { owner, p: q * q }
+    }
+
+    /// Vertices owned by each rank.
+    pub fn rank_vertices(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.p];
+        for (v, &r) in self.owner.iter().enumerate() {
+            out[r as usize].push(v as u32);
+        }
+        out
+    }
+
+    /// Per-rank vertex counts.
+    pub fn rank_sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.p];
+        for &r in &self.owner {
+            s[r as usize] += 1;
+        }
+        s
+    }
+
+    /// Load imbalance: `max_size / (n/p)`; 1.0 is perfect.
+    pub fn imbalance(&self) -> f64 {
+        if self.owner.is_empty() {
+            return 1.0;
+        }
+        let max = *self.rank_sizes().iter().max().unwrap() as f64;
+        max / (self.owner.len() as f64 / self.p as f64)
+    }
+
+    /// Boundary vertices of `rank`: owned vertices with a neighbour owned
+    /// elsewhere (the paper's `Ṽ_{i,j}`).
+    pub fn boundary_of(&self, g: &Graph, rank: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        for v in 0..g.n() as u32 {
+            if self.owner[v as usize] != rank {
+                continue;
+            }
+            if g.neighbors(v).iter().any(|&u| self.owner[u as usize] != rank) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Ghost vertices of `rank`: non-owned vertices adjacent to an owned
+    /// vertex (the paper's `V̂_{i,j}`), deduplicated and sorted.
+    pub fn ghosts_of(&self, g: &Graph, rank: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        for v in 0..g.n() as u32 {
+            if self.owner[v as usize] != rank {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if self.owner[u as usize] != rank {
+                    out.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total number of edges crossing rank boundaries (each counted once).
+    pub fn cross_edges(&self, g: &Graph) -> usize {
+        let mut c = 0;
+        for v in 0..g.n() as u32 {
+            for &u in g.neighbors(v) {
+                if u > v && self.owner[u as usize] != self.owner[v as usize] {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid::{grid_2d, grid_2d_coords};
+
+    #[test]
+    fn block_distribution_is_balanced() {
+        let d = Distribution::block(103, 8);
+        assert_eq!(d.owner.len(), 103);
+        let sizes = d.rank_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s <= 13 + 1));
+        assert!(d.imbalance() < 1.15);
+    }
+
+    #[test]
+    fn block_handles_p_greater_than_n() {
+        let d = Distribution::block(3, 8);
+        assert_eq!(d.rank_sizes().iter().sum::<usize>(), 3);
+        assert!(d.owner.iter().all(|&r| (r as usize) < 8));
+    }
+
+    #[test]
+    fn lattice_distribution_respects_cells() {
+        let coords = grid_2d_coords(8, 8);
+        let bb = Aabb2::unit();
+        let d = Distribution::lattice(&coords, &bb, 2);
+        assert_eq!(d.p, 4);
+        // Vertex at (0,0) is in cell (0,0) = rank 0; at (1,1) rank 3.
+        assert_eq!(d.owner[0], 0);
+        assert_eq!(d.owner[63], 3);
+        // Roughly a quarter each.
+        let sizes = d.rank_sizes();
+        assert!(sizes.iter().all(|&s| s >= 9 && s <= 25), "{sizes:?}");
+    }
+
+    #[test]
+    fn boundary_and_ghosts_are_consistent() {
+        let g = grid_2d(4, 4);
+        let d = Distribution::block(16, 2); // rows 0-1 vs 2-3
+        let b0 = d.boundary_of(&g, 0);
+        let g0 = d.ghosts_of(&g, 0);
+        // Rank 0 owns vertices 0..8; boundary is the second row (4..8).
+        assert_eq!(b0, vec![4, 5, 6, 7]);
+        assert_eq!(g0, vec![8, 9, 10, 11]);
+        assert_eq!(d.cross_edges(&g), 4);
+    }
+
+    #[test]
+    fn single_rank_has_no_boundary() {
+        let g = grid_2d(3, 3);
+        let d = Distribution::block(9, 1);
+        assert!(d.boundary_of(&g, 0).is_empty());
+        assert!(d.ghosts_of(&g, 0).is_empty());
+        assert_eq!(d.cross_edges(&g), 0);
+    }
+}

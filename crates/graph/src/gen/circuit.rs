@@ -1,0 +1,95 @@
+//! Circuit-style graphs: a grid backbone with sparse longer-range links.
+//!
+//! `G3_circuit` is a circuit-simulation matrix — mostly local (mesh-like)
+//! connectivity plus a modest number of nets that span farther than the
+//! immediate neighbourhood. We reproduce that as a 2-D grid (local wiring)
+//! with an extra fraction of random "jumper" edges whose span is drawn from
+//! a short-tailed distribution in grid space.
+
+use crate::csr::{Graph, GraphBuilder};
+use rand::Rng;
+use sp_geometry::Point2;
+
+/// Grid of `rows × cols` plus `extra_frac · n` jumper edges. Jumpers connect
+/// a vertex to another within a `span × span` window, modelling short nets;
+/// a small share (10%) are long-range (anywhere), modelling global nets like
+/// power rails.
+pub fn circuit_graph<R: Rng>(
+    rows: usize,
+    cols: usize,
+    extra_frac: f64,
+    span: usize,
+    rng: &mut R,
+) -> (Graph, Vec<Point2>) {
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::with_edge_capacity(n, 2 * n + (extra_frac * n as f64) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1), 1.0);
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c), 1.0);
+            }
+        }
+    }
+    let jumpers = (extra_frac * n as f64) as usize;
+    for _ in 0..jumpers {
+        let r = rng.random_range(0..rows);
+        let c = rng.random_range(0..cols);
+        let (r2, c2) = if rng.random_range(0.0..1.0) < 0.1 {
+            // Global net.
+            (rng.random_range(0..rows), rng.random_range(0..cols))
+        } else {
+            // Short net within the window.
+            let dr = rng.random_range(0..=span) as i64 - (span / 2) as i64;
+            let dc = rng.random_range(0..=span) as i64 - (span / 2) as i64;
+            (
+                (r as i64 + dr).clamp(0, rows as i64 - 1) as usize,
+                (c as i64 + dc).clamp(0, cols as i64 - 1) as usize,
+            )
+        };
+        if (r, c) != (r2, c2) {
+            b.add_edge(idx(r, c), idx(r2, c2), 1.0);
+        }
+    }
+    let coords = super::grid::grid_2d_coords(rows, cols);
+    (b.build(), coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn circuit_has_grid_plus_jumpers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, coords) = circuit_graph(40, 40, 0.4, 6, &mut rng);
+        assert_eq!(g.n(), 1600);
+        assert_eq!(coords.len(), 1600);
+        let grid_edges = 2 * 40 * 39;
+        assert!(g.m() > grid_edges, "no jumpers added");
+        assert!(g.m() < grid_edges + 700);
+        g.validate().unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn zero_extra_is_pure_grid() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (g, _) = circuit_graph(10, 10, 0.0, 4, &mut rng);
+        assert_eq!(g.m(), 2 * 10 * 9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (a, _) = circuit_graph(20, 20, 0.3, 5, &mut StdRng::seed_from_u64(1));
+        let (b, _) = circuit_graph(20, 20, 0.3, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.m(), b.m());
+        assert_eq!(a.adjncy(), b.adjncy());
+    }
+}

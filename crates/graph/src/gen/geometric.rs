@@ -1,0 +1,98 @@
+//! Random geometric graphs: points in the unit square, edges within radius.
+//!
+//! Used for small illustrative examples (Fig 1's lattice picture) and as a
+//! well-shaped mesh-like family for tests; neighbour search uses uniform
+//! cell binning so construction is O(n) in expectation.
+
+use crate::csr::{Graph, GraphBuilder};
+use rand::Rng;
+use sp_geometry::Point2;
+
+/// `n` uniform points in the unit square, edges between pairs at distance
+/// `< radius`. Isolated vertices are possible at small radii; callers that
+/// need connectivity should take the largest component.
+pub fn random_geometric_graph<R: Rng>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> (Graph, Vec<Point2>) {
+    let pts: Vec<Point2> = (0..n)
+        .map(|_| Point2::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+    let cell_of = |p: Point2| -> (usize, usize) {
+        (
+            ((p.x * cells as f64) as usize).min(cells - 1),
+            ((p.y * cells as f64) as usize).min(cells - 1),
+        )
+    };
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        bins[cy * cells + cx].push(i as u32);
+    }
+    let mut b = GraphBuilder::new(n);
+    let r2 = radius * radius;
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                    continue;
+                }
+                for &j in &bins[ny as usize * cells + nx as usize] {
+                    if j as usize > i && (pts[j as usize] - p).norm_sq() < r2 {
+                        b.add_edge(i as u32, j, 1.0);
+                    }
+                }
+            }
+        }
+    }
+    (b.build(), pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edges_respect_radius() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, pts) = random_geometric_graph(400, 0.08, &mut rng);
+        g.validate().unwrap();
+        for v in 0..g.n() as u32 {
+            for &u in g.neighbors(v) {
+                assert!(pts[v as usize].dist(pts[u as usize]) < 0.08);
+            }
+        }
+    }
+
+    #[test]
+    fn no_close_pair_missed() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (g, pts) = random_geometric_graph(200, 0.1, &mut rng);
+        for i in 0..200u32 {
+            for j in i + 1..200u32 {
+                if pts[i as usize].dist(pts[j as usize]) < 0.1 {
+                    assert!(
+                        g.neighbors(i).contains(&j),
+                        "missing edge ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_grows_with_radius() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (small, _) = random_geometric_graph(500, 0.05, &mut rng);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (large, _) = random_geometric_graph(500, 0.15, &mut rng);
+        assert!(large.m() > small.m() * 3);
+    }
+}

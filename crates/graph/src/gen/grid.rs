@@ -1,0 +1,80 @@
+//! Regular 2-D grid graphs (5-point stencil), the "ecology" analog.
+//!
+//! The ecology1/ecology2 matrices are 5-point-stencil discretisations of a
+//! rectangular landscape (circuitscape models); a `k × k` grid graph has the
+//! same structure exactly.
+
+use crate::csr::{Graph, GraphBuilder};
+use sp_geometry::Point2;
+
+/// `rows × cols` grid with 4-neighbour connectivity.
+pub fn grid_2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::with_edge_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1), 1.0);
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c), 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Natural coordinates of the grid vertices in the unit square.
+pub fn grid_2d_coords(rows: usize, cols: usize) -> Vec<Point2> {
+    let mut pts = Vec::with_capacity(rows * cols);
+    let dr = if rows > 1 { 1.0 / (rows - 1) as f64 } else { 0.0 };
+    let dc = if cols > 1 { 1.0 / (cols - 1) as f64 } else { 0.0 };
+    for r in 0..rows {
+        for c in 0..cols {
+            pts.push(Point2::new(c as f64 * dc, r as f64 * dr));
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_2d(10, 7);
+        assert_eq!(g.n(), 70);
+        // Edges: 10*6 horizontal + 9*7 vertical.
+        assert_eq!(g.m(), 60 + 63);
+        g.validate().unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid_2d(3, 3);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(4), 4); // centre
+    }
+
+    #[test]
+    fn coords_cover_unit_square() {
+        let pts = grid_2d_coords(3, 5);
+        assert_eq!(pts.len(), 15);
+        assert_eq!(pts[0], Point2::new(0.0, 0.0));
+        assert_eq!(pts[14], Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_single_row() {
+        let g = grid_2d(1, 5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        let pts = grid_2d_coords(1, 5);
+        assert!(pts.iter().all(|p| p.y == 0.0));
+    }
+}

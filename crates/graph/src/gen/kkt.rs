@@ -1,0 +1,115 @@
+//! KKT saddle-point graphs, the `kkt_power` analog.
+//!
+//! `kkt_power` is the graph of a KKT (Karush–Kuhn–Tucker) system from an
+//! optimal-power-flow problem: a block matrix [H Aᵀ; A 0] where H couples
+//! primal variables over a power network and A ties constraints to the
+//! primal variables they govern. Structurally this is a network graph plus
+//! a layer of constraint vertices adjacent to small sets of network
+//! vertices — decidedly *not* mesh-like, which is why it is the adversarial
+//! case in the paper (every method's cut is an order of magnitude worse
+//! than on the mesh graphs, and relative spreads are wide).
+
+use crate::csr::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Build a KKT-style graph.
+///
+/// The primal network is a random power-grid-like graph over `n_primal`
+/// buses: a ring backbone plus random shortcut branches (giving the low
+/// diameter and irregular degrees of transmission networks). Each of the
+/// `n_constraints` constraint vertices attaches to a contiguous run of
+/// 2–`max_stencil` buses plus an occasional remote bus.
+pub fn kkt_graph<R: Rng>(
+    n_primal: usize,
+    n_constraints: usize,
+    max_stencil: usize,
+    rng: &mut R,
+) -> Graph {
+    assert!(n_primal >= 4);
+    let n = n_primal + n_constraints;
+    let mut b = GraphBuilder::new(n);
+    // Ring backbone.
+    for i in 0..n_primal {
+        b.add_edge(i as u32, ((i + 1) % n_primal) as u32, 1.0);
+    }
+    // Shortcut branches: ~1.5 per bus with mixed spans.
+    let branches = n_primal * 3 / 2;
+    for _ in 0..branches {
+        let u = rng.random_range(0..n_primal);
+        let span = if rng.random_range(0.0..1.0) < 0.8 {
+            rng.random_range(2..(n_primal / 8).max(3))
+        } else {
+            rng.random_range(2..n_primal)
+        };
+        let v = (u + span) % n_primal;
+        if u != v {
+            b.add_edge(u as u32, v as u32, 1.0);
+        }
+    }
+    // Hub buses: transmission networks have a few very-high-degree
+    // substations (kkt_power's max degree is ~96 vs average ~6).
+    let hubs = (n_primal / 400).max(2);
+    for h in 0..hubs {
+        let hub = rng.random_range(0..n_primal);
+        let fan = rng.random_range(20..60);
+        for _ in 0..fan {
+            let v = rng.random_range(0..n_primal);
+            if v != hub {
+                b.add_edge(hub as u32, v as u32, 1.0);
+            }
+        }
+        let _ = h;
+    }
+    // Constraint layer.
+    for c in 0..n_constraints {
+        let cv = (n_primal + c) as u32;
+        let k = rng.random_range(2..=max_stencil.max(2));
+        let start = rng.random_range(0..n_primal);
+        for j in 0..k {
+            b.add_edge(cv, ((start + j) % n_primal) as u32, 1.0);
+        }
+        if rng.random_range(0.0..1.0) < 0.2 {
+            b.add_edge(cv, rng.random_range(0..n_primal) as u32, 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kkt_structure() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = kkt_graph(1000, 500, 5, &mut rng);
+        assert_eq!(g.n(), 1500);
+        g.validate().unwrap();
+        assert!(is_connected(&g));
+        // Constraint vertices only touch primal vertices.
+        for c in 1000..1500u32 {
+            for &u in g.neighbors(c) {
+                assert!(u < 1000, "constraint-constraint edge {c}-{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn density_in_paper_range() {
+        // kkt_power has M/N ≈ 6.2; ours should land in the same ballpark.
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = kkt_graph(4000, 2000, 6, &mut rng);
+        let ratio = g.m() as f64 / g.n() as f64;
+        assert!((1.5..6.0).contains(&ratio), "M/N = {ratio}");
+    }
+
+    #[test]
+    fn irregular_degrees() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = kkt_graph(2000, 1000, 5, &mut rng);
+        assert!(g.max_degree() > 3 * g.avg_degree() as usize);
+    }
+}

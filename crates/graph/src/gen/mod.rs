@@ -1,0 +1,25 @@
+//! Synthetic graph generators standing in for the paper's UFL test suite.
+//!
+//! The evaluation graphs (Table 1 of the paper) are not redistributable
+//! here, so each family is replaced by a generator reproducing its
+//! structure: 5-point grids (ecology1/2), Delaunay triangulations of random
+//! points (delaunay_nXX), a grid with sparse long-range links (G3_circuit),
+//! a KKT saddle-point graph (kkt_power), and Delaunay meshes of shaped
+//! regions (hugetrace / hugebubbles). See DESIGN.md for the substitution
+//! rationale.
+
+pub mod circuit;
+pub mod delaunay;
+pub mod geometric;
+pub mod grid;
+pub mod kkt;
+pub mod mesh;
+pub mod rmat;
+
+pub use circuit::circuit_graph;
+pub use delaunay::{delaunay_graph, delaunay_of_points};
+pub use geometric::random_geometric_graph;
+pub use grid::{grid_2d, grid_2d_coords};
+pub use kkt::kkt_graph;
+pub use mesh::{bubbles_mesh, trace_mesh};
+pub use rmat::rmat_graph;

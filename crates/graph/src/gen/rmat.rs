@@ -1,0 +1,75 @@
+//! R-MAT power-law graphs — an adversarial, non-geometric family used in
+//! tests to check that every stage degrades gracefully on graphs with no
+//! good geometric structure (the paper's methods target mesh-like graphs;
+//! kkt_power already stresses them, R-MAT stresses them harder).
+
+use crate::csr::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Generate an R-MAT graph with `2^scale` vertices and ~`edge_factor · n`
+/// undirected edges using partition probabilities `(a, b, c)` (d = 1−a−b−c).
+pub fn rmat_graph<R: Rng>(
+    scale: u32,
+    edge_factor: usize,
+    (a, b, c): (f64, f64, f64),
+    rng: &mut R,
+) -> Graph {
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let d = 1.0 - a - b - c;
+    assert!(d >= 0.0, "probabilities exceed 1");
+    let mut builder = GraphBuilder::with_edge_capacity(n, m);
+    for _ in 0..m {
+        let mut u = 0usize;
+        let mut v = 0usize;
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.random_range(0.0..1.0);
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        if u != v {
+            builder.add_edge(u as u32, v as u32, 1.0);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rmat_basic_shape() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = rmat_graph(10, 8, (0.57, 0.19, 0.19), &mut rng);
+        assert_eq!(g.n(), 1024);
+        assert!(g.m() > 4 * 1024); // some dedup/self-loop loss is fine
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let g = rmat_graph(12, 8, (0.57, 0.19, 0.19), &mut rng);
+        // Power-law-ish: max degree far above average.
+        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn uniform_probabilities_give_er_like_graph() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let g = rmat_graph(10, 8, (0.25, 0.25, 0.25), &mut rng);
+        assert!((g.max_degree() as f64) < 6.0 * g.avg_degree());
+    }
+}

@@ -1,0 +1,312 @@
+//! Text I/O: Chaco/Metis graph format and coordinate files.
+//!
+//! The UFL graphs in the paper circulate in Chaco/Metis format; supporting
+//! it lets users run this library on the real collection. The format:
+//! first line `N M [fmt]`, then one line per vertex listing its 1-based
+//! neighbours (optionally with weights, which we support for fmt=1/11).
+
+use crate::csr::{Graph, GraphBuilder};
+use sp_geometry::Point2;
+use std::io::{BufRead, BufWriter, Write};
+
+/// Parse a Chaco/Metis-format graph from a reader.
+pub fn read_chaco<R: BufRead>(r: R) -> Result<Graph, String> {
+    let mut lines = r.lines().enumerate();
+    // Header (skipping comments).
+    let (n, _m, has_ewgt, has_vwgt) = loop {
+        let (_, line) = lines.next().ok_or("empty file")?;
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let n: usize = it
+            .next()
+            .ok_or("missing N")?
+            .parse()
+            .map_err(|_| "bad N".to_string())?;
+        let m: usize = it
+            .next()
+            .ok_or("missing M")?
+            .parse()
+            .map_err(|_| "bad M".to_string())?;
+        let fmt = it.next().unwrap_or("0");
+        let fmt_digits: Vec<char> = fmt.chars().collect();
+        let has_ewgt = fmt_digits.last() == Some(&'1');
+        let has_vwgt = fmt_digits.len() >= 2 && fmt_digits[fmt_digits.len() - 2] == '1';
+        break (n, m, has_ewgt, has_vwgt);
+    };
+    let mut b = GraphBuilder::new(n);
+    let mut v = 0u32;
+    for (lineno, line) in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        if v as usize >= n {
+            if !line.is_empty() {
+                return Err(format!("line {}: more vertex lines than N", lineno + 1));
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace().peekable();
+        if has_vwgt {
+            let w: f64 = it
+                .next()
+                .ok_or(format!("line {}: missing vertex weight", lineno + 1))?
+                .parse()
+                .map_err(|_| format!("line {}: bad vertex weight", lineno + 1))?;
+            b.set_vwgt(v, w);
+        }
+        while let Some(tok) = it.next() {
+            let u: usize = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad neighbour '{tok}'", lineno + 1))?;
+            if u == 0 || u > n {
+                return Err(format!("line {}: neighbour {u} out of range", lineno + 1));
+            }
+            let w = if has_ewgt {
+                it.next()
+                    .ok_or(format!("line {}: missing edge weight", lineno + 1))?
+                    .parse()
+                    .map_err(|_| format!("line {}: bad edge weight", lineno + 1))?
+            } else {
+                1.0
+            };
+            let u = (u - 1) as u32;
+            if u > v {
+                b.add_edge(v, u, w);
+            }
+        }
+        v += 1;
+    }
+    if (v as usize) != n {
+        return Err(format!("expected {n} vertex lines, found {v}"));
+    }
+    Ok(b.build())
+}
+
+/// Write a graph in Chaco/Metis format (unweighted form).
+pub fn write_chaco<W: Write>(g: &Graph, w: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "{} {}", g.n(), g.m())?;
+    for v in 0..g.n() as u32 {
+        let mut first = true;
+        for &u in g.neighbors(v) {
+            if first {
+                write!(out, "{}", u + 1)?;
+                first = false;
+            } else {
+                write!(out, " {}", u + 1)?;
+            }
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Parse a MatrixMarket `coordinate` file as an undirected graph — the
+/// native format of the UFL/SuiteSparse collection the paper's suite comes
+/// from. The matrix must be square; diagonal entries are dropped; values
+/// (if present) become edge weights by absolute value; `pattern` files get
+/// unit weights. Both `symmetric` and `general` symmetry are accepted
+/// (for `general`, each direction contributes and duplicates merge).
+pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Graph, String> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| e.to_string())?;
+    let h: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if h.len() < 4 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err("not a MatrixMarket matrix file".into());
+    }
+    if h[2] != "coordinate" {
+        return Err(format!("unsupported storage '{}'", h[2]));
+    }
+    let pattern = h[3] == "pattern";
+    // Dimensions (skipping comments).
+    let (n, nnz) = loop {
+        let line = lines.next().ok_or("missing dimensions")?.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let rows: usize = it.next().ok_or("missing rows")?.parse().map_err(|_| "bad rows")?;
+        let cols: usize = it.next().ok_or("missing cols")?.parse().map_err(|_| "bad cols")?;
+        let nnz: usize = it.next().ok_or("missing nnz")?.parse().map_err(|_| "bad nnz")?;
+        if rows != cols {
+            return Err(format!("matrix must be square, got {rows}×{cols}"));
+        }
+        break (rows, nnz);
+    };
+    let mut b = GraphBuilder::with_edge_capacity(n, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let i: usize = it.next().ok_or("missing row index")?.parse().map_err(|_| "bad row")?;
+        let j: usize = it.next().ok_or("missing col index")?.parse().map_err(|_| "bad col")?;
+        if i == 0 || j == 0 || i > n || j > n {
+            return Err(format!("entry ({i},{j}) out of range"));
+        }
+        let w = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or("missing value")?
+                .parse::<f64>()
+                .map_err(|_| "bad value")?
+                .abs()
+                .max(1e-12)
+        };
+        if i != j {
+            b.add_edge((i - 1) as u32, (j - 1) as u32, w);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(format!("expected {nnz} entries, found {seen}"));
+    }
+    Ok(b.build())
+}
+
+/// Read whitespace-separated `x y` coordinate lines.
+pub fn read_coords<R: BufRead>(r: R) -> Result<Vec<Point2>, String> {
+    let mut pts = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let x: f64 = it
+            .next()
+            .ok_or(format!("line {}: missing x", i + 1))?
+            .parse()
+            .map_err(|_| format!("line {}: bad x", i + 1))?;
+        let y: f64 = it
+            .next()
+            .ok_or(format!("line {}: missing y", i + 1))?
+            .parse()
+            .map_err(|_| format!("line {}: bad y", i + 1))?;
+        pts.push(Point2::new(x, y));
+    }
+    Ok(pts)
+}
+
+/// Write coordinates, one `x y` pair per line.
+pub fn write_coords<W: Write>(pts: &[Point2], w: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    for p in pts {
+        writeln!(out, "{} {}", p.x, p.y)?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid::grid_2d;
+
+    #[test]
+    fn chaco_roundtrip() {
+        let g = grid_2d(6, 7);
+        let mut buf = Vec::new();
+        write_chaco(&g, &mut buf).unwrap();
+        let g2 = read_chaco(buf.as_slice()).unwrap();
+        assert_eq!(g.n(), g2.n());
+        assert_eq!(g.m(), g2.m());
+        assert_eq!(g.adjncy(), g2.adjncy());
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn chaco_reads_weighted_format() {
+        let text = "3 2 11\n5 2 10\n3 1 10 3 7\n2 2 7\n";
+        let g = read_chaco(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.vwgt(0), 5.0);
+        assert_eq!(g.vwgt(1), 3.0);
+        let w01 = g.neighbors_w(0).find(|&(u, _)| u == 1).unwrap().1;
+        assert_eq!(w01, 10.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn chaco_rejects_out_of_range() {
+        let text = "2 1\n3\n1\n";
+        assert!(read_chaco(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn chaco_skips_comments() {
+        let text = "% a comment\n2 1\n2\n1\n";
+        let g = read_chaco(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    % a comment\n\
+                    3 3 4\n1 1\n2 1\n3 1\n3 2\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3); // diagonal dropped; edges 1-2, 1-3, 2-3
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn matrix_market_real_values_become_weights() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n2 1 -4.5\n1 1 3.0\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 1);
+        let w = g.neighbors_w(0).next().unwrap().1;
+        assert_eq!(w, 4.5); // absolute value
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes())
+            .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1\n".as_bytes()
+        )
+        .is_err()); // non-square
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n".as_bytes()
+        )
+        .is_err()); // nnz mismatch
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n".as_bytes()
+        )
+        .is_err()); // out of range
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let pts = vec![Point2::new(0.5, -1.25), Point2::new(3.0, 4.0)];
+        let mut buf = Vec::new();
+        write_coords(&pts, &mut buf).unwrap();
+        let back = read_coords(buf.as_slice()).unwrap();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn coords_reject_garbage() {
+        assert!(read_coords("1.0 nope\n".as_bytes()).is_err());
+        assert!(read_coords("1.0\n".as_bytes()).is_err());
+    }
+}

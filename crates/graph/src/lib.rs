@@ -1,0 +1,19 @@
+//! Graph substrate for the ScalaPart reproduction.
+//!
+//! Provides the CSR graph representation shared by every stage (coarsening,
+//! embedding, partitioning, refinement), bisection bookkeeping and quality
+//! metrics, BFS/connectivity utilities, Chaco/Metis-format I/O, the synthetic
+//! generators standing in for the paper's UFL test suite, and block/geometric
+//! distribution of vertices over simulated ranks.
+
+pub mod csr;
+pub mod distr;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod suite;
+pub mod traversal;
+
+pub use csr::{Graph, GraphBuilder};
+pub use partition::{Bisection, PartitionQuality};
+pub use suite::{SuiteGraph, TestGraph, TestScale};

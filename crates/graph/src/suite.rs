@@ -1,0 +1,254 @@
+//! The nine-graph evaluation suite (Table 1 of the paper), backed by the
+//! synthetic generators in [`crate::gen`].
+//!
+//! Each entry reproduces the *family* of the corresponding UFL graph; sizes
+//! scale with [`TestScale`] so the full harness runs in minutes at
+//! `Bench` scale while `Paper` scale matches the published vertex counts.
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::gen;
+use crate::traversal::bfs_distances;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_geometry::Point2;
+
+/// The nine graphs of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SuiteGraph {
+    Ecology1,
+    Ecology2,
+    DelaunayN20,
+    G3Circuit,
+    KktPower,
+    HugeTrace,
+    DelaunayN23,
+    DelaunayN24,
+    HugeBubbles,
+}
+
+/// How large to instantiate the suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestScale {
+    /// ~1/2000 of the paper sizes; for unit/integration tests.
+    Tiny,
+    /// ~1/100 of the paper sizes; the default for the benchmark harness.
+    Bench,
+    /// The paper's published sizes (1–21 M vertices). Slow.
+    Paper,
+}
+
+impl TestScale {
+    /// Divisor applied to the paper's vertex counts.
+    pub fn divisor(self) -> usize {
+        match self {
+            TestScale::Tiny => 2000,
+            TestScale::Bench => 100,
+            TestScale::Paper => 1,
+        }
+    }
+}
+
+/// An instantiated suite graph.
+pub struct TestGraph {
+    pub name: &'static str,
+    pub graph: Graph,
+    /// Natural coordinates where the family has them (meshes/grids);
+    /// `None` for kkt_power, which is the paper's coordinate-free case.
+    pub coords: Option<Vec<Point2>>,
+    /// Which suite entry this is.
+    pub which: SuiteGraph,
+}
+
+impl SuiteGraph {
+    /// All nine graphs in the paper's table order.
+    pub fn all() -> [SuiteGraph; 9] {
+        [
+            SuiteGraph::Ecology1,
+            SuiteGraph::Ecology2,
+            SuiteGraph::DelaunayN20,
+            SuiteGraph::G3Circuit,
+            SuiteGraph::KktPower,
+            SuiteGraph::HugeTrace,
+            SuiteGraph::DelaunayN23,
+            SuiteGraph::DelaunayN24,
+            SuiteGraph::HugeBubbles,
+        ]
+    }
+
+    /// The four largest graphs (Fig 9's subjects).
+    pub fn largest4() -> [SuiteGraph; 4] {
+        [
+            SuiteGraph::HugeTrace,
+            SuiteGraph::DelaunayN23,
+            SuiteGraph::DelaunayN24,
+            SuiteGraph::HugeBubbles,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteGraph::Ecology1 => "ecology1",
+            SuiteGraph::Ecology2 => "ecology2",
+            SuiteGraph::DelaunayN20 => "delaunay_n20",
+            SuiteGraph::G3Circuit => "G3_circuit",
+            SuiteGraph::KktPower => "kkt_power",
+            SuiteGraph::HugeTrace => "hugetrace-00000",
+            SuiteGraph::DelaunayN23 => "delaunay_n23",
+            SuiteGraph::DelaunayN24 => "delaunay_n24",
+            SuiteGraph::HugeBubbles => "hugebubbles-00020",
+        }
+    }
+
+    /// Paper vertex count (×10⁶ in Table 1).
+    pub fn paper_n(self) -> usize {
+        match self {
+            SuiteGraph::Ecology1 => 1_000_000,
+            SuiteGraph::Ecology2 => 990_000,
+            SuiteGraph::DelaunayN20 => 1_048_576,
+            SuiteGraph::G3Circuit => 1_585_478,
+            SuiteGraph::KktPower => 2_063_494,
+            SuiteGraph::HugeTrace => 4_588_484,
+            SuiteGraph::DelaunayN23 => 8_388_608,
+            SuiteGraph::DelaunayN24 => 16_777_216,
+            SuiteGraph::HugeBubbles => 21_198_119,
+        }
+    }
+
+    /// Paper edge count (Table 1, ×10⁶).
+    pub fn paper_m(self) -> f64 {
+        match self {
+            SuiteGraph::Ecology1 => 4.99e6,
+            SuiteGraph::Ecology2 => 4.99e6,
+            SuiteGraph::DelaunayN20 => 6.29e6,
+            SuiteGraph::G3Circuit => 7.66e6,
+            SuiteGraph::KktPower => 12.77e6,
+            SuiteGraph::HugeTrace => 13.76e6,
+            SuiteGraph::DelaunayN23 => 50.33e6,
+            SuiteGraph::DelaunayN24 => 100.66e6,
+            SuiteGraph::HugeBubbles => 63.58e6,
+        }
+    }
+
+    /// Instantiate at the given scale with a deterministic seed.
+    pub fn instantiate(self, scale: TestScale, seed: u64) -> TestGraph {
+        let n = (self.paper_n() / scale.divisor()).max(256);
+        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64) << 32);
+        let (graph, coords) = match self {
+            SuiteGraph::Ecology1 | SuiteGraph::Ecology2 => {
+                let side = (n as f64).sqrt().round() as usize;
+                (
+                    gen::grid_2d(side, side),
+                    Some(gen::grid_2d_coords(side, side)),
+                )
+            }
+            SuiteGraph::DelaunayN20 | SuiteGraph::DelaunayN23 | SuiteGraph::DelaunayN24 => {
+                let (g, c) = gen::delaunay_graph(n, &mut rng);
+                (g, Some(c))
+            }
+            SuiteGraph::G3Circuit => {
+                // G3_circuit has M/N ≈ 4.8: grid (≈4) + ~0.8 jumpers/vertex.
+                let side = (n as f64).sqrt().round() as usize;
+                let (g, c) = gen::circuit_graph(side, side, 0.85, 8, &mut rng);
+                (g, Some(c))
+            }
+            SuiteGraph::KktPower => {
+                let primal = n * 2 / 3;
+                (gen::kkt_graph(primal, n - primal, 6, &mut rng), None)
+            }
+            SuiteGraph::HugeTrace => {
+                let (g, c) = gen::trace_mesh(n, &mut rng);
+                (g, Some(c))
+            }
+            SuiteGraph::HugeBubbles => {
+                let (g, c) = gen::bubbles_mesh(n, 14, &mut rng);
+                (g, Some(c))
+            }
+        };
+        // Relabel by BFS order: UFL matrices circulate in locality-
+        // preserving orderings (RCM and friends), which is what makes the
+        // paper's block distribution reasonable. Our generators emit
+        // random orders, so we restore locality explicitly.
+        let (graph, coords) = bfs_relabel(graph, coords);
+        TestGraph { name: self.name(), graph, coords, which: self }
+    }
+}
+
+/// Relabel vertices in BFS order from vertex 0 (unreached vertices keep
+/// their relative order at the end), permuting coordinates alongside.
+fn bfs_relabel(g: Graph, coords: Option<Vec<Point2>>) -> (Graph, Option<Vec<Point2>>) {
+    let n = g.n();
+    if n == 0 {
+        return (g, coords);
+    }
+    let dist = bfs_distances(&g, 0);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| (dist[v as usize], v));
+    // order[new] = old; invert.
+    let mut new_id = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::with_edge_capacity(n, g.m());
+    for v in 0..n as u32 {
+        b.set_vwgt(new_id[v as usize], g.vwgt(v));
+        for (u, w) in g.neighbors_w(v) {
+            if u > v {
+                b.add_edge(new_id[v as usize], new_id[u as usize], w);
+            }
+        }
+    }
+    let new_coords =
+        coords.map(|c| order.iter().map(|&old| c[old as usize]).collect());
+    (b.build(), new_coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn all_tiny_graphs_are_valid_and_connected() {
+        for sg in SuiteGraph::all() {
+            let t = sg.instantiate(TestScale::Tiny, 1);
+            t.graph.validate().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            assert!(is_connected(&t.graph), "{} disconnected", t.name);
+            if let Some(c) = &t.coords {
+                assert_eq!(c.len(), t.graph.n(), "{} coords mismatch", t.name);
+            }
+            assert!(t.graph.n() >= 256, "{} too small: {}", t.name, t.graph.n());
+        }
+    }
+
+    #[test]
+    fn kkt_is_the_coordinate_free_case() {
+        let t = SuiteGraph::KktPower.instantiate(TestScale::Tiny, 1);
+        assert!(t.coords.is_none());
+    }
+
+    #[test]
+    fn density_tracks_paper_families() {
+        // Sparse, M a small multiple of N, for every family (paper §1).
+        for sg in SuiteGraph::all() {
+            let t = sg.instantiate(TestScale::Tiny, 2);
+            let ratio = t.graph.m() as f64 / t.graph.n() as f64;
+            assert!((0.9..7.0).contains(&ratio), "{}: M/N = {ratio}", t.name);
+        }
+    }
+
+    #[test]
+    fn scales_order_sizes() {
+        let tiny = SuiteGraph::DelaunayN20.instantiate(TestScale::Tiny, 3);
+        let bench = SuiteGraph::DelaunayN20.instantiate(TestScale::Bench, 3);
+        assert!(bench.graph.n() > 10 * tiny.graph.n());
+    }
+
+    #[test]
+    fn largest4_matches_paper() {
+        let names: Vec<_> = SuiteGraph::largest4().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["hugetrace-00000", "delaunay_n23", "delaunay_n24", "hugebubbles-00020"]
+        );
+    }
+}

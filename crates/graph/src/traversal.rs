@@ -1,0 +1,143 @@
+//! BFS and connectivity utilities.
+
+use crate::csr::Graph;
+
+/// BFS distances (in hops) from `src`; unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, src: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    if g.n() == 0 {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels (0-based, in order of first discovery) and the
+/// number of components.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.n()];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..g.n() as u32 {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = next;
+                    stack.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// `true` if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() == 0 || connected_components(g).1 == 1
+}
+
+/// Keep only the largest connected component, relabelling vertices.
+/// Returns the component graph and the map new-index → old-index.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<u32>) {
+    let (comp, k) = connected_components(g);
+    if k <= 1 {
+        return (g.clone(), (0..g.n() as u32).collect());
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let big = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let verts: Vec<u32> =
+        (0..g.n() as u32).filter(|&v| comp[v as usize] == big).collect();
+    g.induced_subgraph(&verts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn two_paths() -> Graph {
+        // 0-1-2 and 3-4.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(3, 4, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = two_paths();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(&d[..3], &[0, 1, 2]);
+        assert_eq!(d[3], u32::MAX);
+        assert_eq!(d[4], u32::MAX);
+    }
+
+    #[test]
+    fn component_count_and_labels() {
+        let g = two_paths();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = two_paths();
+        let (big, map) = largest_component(&g);
+        assert_eq!(big.n(), 3);
+        assert_eq!(big.m(), 2);
+        assert_eq!(map, vec![0, 1, 2]);
+        assert!(is_connected(&big));
+    }
+
+    #[test]
+    fn connected_graph_passthrough() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        assert!(is_connected(&g));
+        let (same, map) = largest_component(&g);
+        assert_eq!(same.n(), 3);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        assert!(is_connected(&g));
+        let (comp, k) = connected_components(&g);
+        assert!(comp.is_empty());
+        assert_eq!(k, 0);
+    }
+}

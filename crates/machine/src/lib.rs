@@ -1,0 +1,27 @@
+//! A deterministic simulated message-passing machine.
+//!
+//! The paper evaluates on 1–1024 MPI ranks of a Nehalem/QDR-InfiniBand
+//! cluster. This crate substitutes that testbed: algorithms are written in
+//! SPMD style against [`Machine`], which executes per-rank compute closures
+//! in parallel on real threads (rayon) while *charging* a LogP-style cost
+//! model — latency `t_s`, per-word bandwidth `t_w`, per-operation compute
+//! `t_op` — to per-rank simulated clocks. Simulated elapsed time
+//! (`Machine::elapsed`) is what the scaling figures report.
+//!
+//! Accounting matches the model the paper itself uses in §3.1:
+//! * point-to-point/neighbour exchange: local synchronisation only — a rank
+//!   waits for its communication partners, not the whole machine;
+//! * collectives (allgather, allreduce, reduce): global synchronisation with
+//!   `t_s log P` latency plus the appropriate bandwidth term.
+//!
+//! Every charge is attributed to the current *phase* and split into
+//! computation vs communication so Figures 7 and 8 (component and
+//! communication fractions) can be regenerated.
+
+pub mod cost;
+pub mod machine;
+pub mod words;
+
+pub use cost::CostModel;
+pub use machine::{Machine, PhaseBreakdown};
+pub use words::Words;

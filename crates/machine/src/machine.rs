@@ -1,0 +1,479 @@
+//! The simulated machine: per-rank clocks, parallel superstep execution,
+//! point-to-point exchange, and collectives.
+
+use crate::cost::CostModel;
+use crate::words::Words;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Per-phase time breakdown (simulated seconds, max over ranks).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    pub comp: f64,
+    pub comm: f64,
+}
+
+impl PhaseBreakdown {
+    pub fn total(&self) -> f64 {
+        self.comp + self.comm
+    }
+}
+
+/// A P-rank simulated message-passing machine.
+pub struct Machine {
+    p: usize,
+    cost: CostModel,
+    /// Per-rank simulated clock.
+    clock: Vec<f64>,
+    /// Per-rank, per-phase accumulated computation time.
+    comp: Vec<f64>,
+    /// Per-rank accumulated communication time.
+    comm: Vec<f64>,
+    /// Current phase label.
+    phase: String,
+    /// Accumulated (comp, comm) per phase, tracked as the max-rank share at
+    /// phase switch boundaries.
+    phases: HashMap<String, PhaseBreakdown>,
+    /// comp/comm snapshot at the start of the current phase (per rank).
+    phase_start: (Vec<f64>, Vec<f64>),
+}
+
+impl Machine {
+    pub fn new(p: usize, cost: CostModel) -> Self {
+        assert!(p >= 1, "machine needs at least one rank");
+        Machine {
+            p,
+            cost,
+            clock: vec![0.0; p],
+            comp: vec![0.0; p],
+            comm: vec![0.0; p],
+            phase: "default".into(),
+            phases: HashMap::new(),
+            phase_start: (vec![0.0; p], vec![0.0; p]),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Simulated elapsed time: the maximum rank clock.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Begin a named phase; closes the previous phase's accounting.
+    pub fn phase(&mut self, name: &str) {
+        self.close_phase();
+        self.phase = name.to_string();
+    }
+
+    fn close_phase(&mut self) {
+        let dcomp = self
+            .comp
+            .iter()
+            .zip(&self.phase_start.0)
+            .map(|(a, b)| a - b)
+            .fold(0.0, f64::max);
+        let dcomm = self
+            .comm
+            .iter()
+            .zip(&self.phase_start.1)
+            .map(|(a, b)| a - b)
+            .fold(0.0, f64::max);
+        let e = self.phases.entry(self.phase.clone()).or_default();
+        e.comp += dcomp;
+        e.comm += dcomm;
+        self.phase_start = (self.comp.clone(), self.comm.clone());
+    }
+
+    /// Per-phase breakdown (max-rank comp and comm per phase).
+    pub fn phase_breakdown(&mut self) -> HashMap<String, PhaseBreakdown> {
+        self.close_phase();
+        self.phases.clone()
+    }
+
+    /// Total communication time (max over ranks).
+    pub fn comm_time(&self) -> f64 {
+        self.comm.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total computation time (max over ranks).
+    pub fn comp_time(&self) -> f64 {
+        self.comp.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Run one superstep: `f(rank, state)` executes for every rank in
+    /// parallel on real threads and returns the number of abstract ops the
+    /// rank performed, which is charged to its clock.
+    pub fn compute<S: Send, F>(&mut self, states: &mut [S], f: F)
+    where
+        F: Fn(usize, &mut S) -> f64 + Sync,
+    {
+        assert_eq!(states.len(), self.p, "one state per rank");
+        let ops: Vec<f64> = states
+            .par_iter_mut()
+            .enumerate()
+            .map(|(r, s)| f(r, s))
+            .collect();
+        for (r, o) in ops.into_iter().enumerate() {
+            let dt = o * self.cost.t_op;
+            self.clock[r] += dt;
+            self.comp[r] += dt;
+        }
+    }
+
+    /// Charge compute ops to a single rank without running anything (for
+    /// cost-only modelling of work already done on the data).
+    pub fn charge_ops(&mut self, rank: usize, ops: f64) {
+        let dt = ops * self.cost.t_op;
+        self.clock[rank] += dt;
+        self.comp[rank] += dt;
+    }
+
+    /// Point-to-point exchange with local synchronisation. `out[r]` holds
+    /// `(dest, payload)` pairs sent by rank `r`; the return value's entry
+    /// `r` holds `(src, payload)` pairs received by rank `r`, ordered by
+    /// source rank.
+    ///
+    /// Cost: each rank pays `t_s + t_w·words` per message sent and per
+    /// message received, and cannot finish before any partner's send
+    /// completes (receivers wait for senders; senders do not wait).
+    pub fn exchange<M: Words + Send>(
+        &mut self,
+        out: Vec<Vec<(usize, M)>>,
+    ) -> Vec<Vec<(usize, M)>> {
+        assert_eq!(out.len(), self.p);
+        // Send-completion time per rank.
+        let mut send_done = self.clock.clone();
+        for (r, msgs) in out.iter().enumerate() {
+            for (d, m) in msgs {
+                assert!(*d < self.p, "bad destination {d}");
+                assert!(*d != r, "self-message from rank {r}");
+                send_done[r] += self.cost.msg(m.words());
+            }
+        }
+        // Deliver.
+        let mut inbox: Vec<Vec<(usize, M)>> = (0..self.p).map(|_| Vec::new()).collect();
+        let mut recv_cost = vec![0.0; self.p];
+        let mut sender_bound = vec![0.0f64; self.p];
+        for (r, msgs) in out.into_iter().enumerate() {
+            for (d, m) in msgs {
+                recv_cost[d] += self.cost.msg(m.words());
+                sender_bound[d] = sender_bound[d].max(send_done[r]);
+                inbox[d].push((r, m));
+            }
+        }
+        for msgs in &mut inbox {
+            msgs.sort_by_key(|(s, _)| *s);
+        }
+        for r in 0..self.p {
+            let start = send_done[r].max(sender_bound[r]);
+            let new_clock = start + recv_cost[r];
+            self.comm[r] += new_clock - self.clock[r];
+            self.clock[r] = new_clock;
+        }
+        inbox
+    }
+
+    /// Globally synchronising barrier (cost: one zero-byte collective).
+    pub fn barrier(&mut self) {
+        let t = self.elapsed() + self.cost.collective(self.p, 0);
+        for r in 0..self.p {
+            self.comm[r] += t - self.clock[r];
+            self.clock[r] = t;
+        }
+    }
+
+    /// Element-wise sum allreduce of per-rank `f64` vectors; every rank
+    /// receives the same reduced vector.
+    pub fn allreduce_sum(&mut self, contrib: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(contrib.len(), self.p);
+        let len = contrib.first().map_or(0, |v| v.len());
+        let mut acc = vec![0.0; len];
+        for v in contrib {
+            assert_eq!(v.len(), len, "allreduce contributions must be same length");
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+        }
+        self.charge_collective(len);
+        acc
+    }
+
+    /// Allgather: concatenates every rank's contribution (in rank order)
+    /// and hands the full vector to all ranks.
+    pub fn allgather<T: Clone>(&mut self, contrib: Vec<Vec<T>>) -> Vec<T> {
+        assert_eq!(contrib.len(), self.p);
+        let total: usize = contrib.iter().map(|v| v.len()).sum();
+        let words = (total * std::mem::size_of::<T>()).div_ceil(8);
+        let mut all = Vec::with_capacity(total);
+        for v in contrib {
+            all.extend(v);
+        }
+        // Recursive doubling: log P stages, total data volume dominated by
+        // the full gathered vector in the final stages.
+        let t0 = self.elapsed();
+        let stages = (self.p.max(1) as f64).log2().ceil().max(0.0);
+        let t = t0 + stages * self.cost.t_s + self.cost.t_w * words as f64;
+        for r in 0..self.p {
+            self.comm[r] += t - self.clock[r];
+            self.clock[r] = t;
+        }
+        all
+    }
+
+    /// Reduce to the arg-min over per-rank `(key, payload)` pairs; all
+    /// ranks receive the winning rank's index. Payload words charged.
+    pub fn allreduce_min_index(&mut self, keys: &[f64]) -> usize {
+        assert_eq!(keys.len(), self.p);
+        let best = keys
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.charge_collective(1);
+        best
+    }
+
+    fn charge_collective(&mut self, words: usize) {
+        let t = self.elapsed() + self.cost.collective(self.p, words);
+        for r in 0..self.p {
+            self.comm[r] += t - self.clock[r];
+            self.clock[r] = t;
+        }
+    }
+
+    /// Allgather over the sub-communicator of ranks `0..active` only (the
+    /// paper's shrinking rank groups `Pⁱ`): synchronises and charges just
+    /// those ranks. `contrib` must still have one entry per machine rank;
+    /// entries of inactive ranks must be empty.
+    pub fn group_allgather<T: Clone>(&mut self, active: usize, contrib: Vec<Vec<T>>) -> Vec<T> {
+        assert_eq!(contrib.len(), self.p);
+        let active = active.clamp(1, self.p);
+        debug_assert!(contrib[active..].iter().all(|v| v.is_empty()));
+        let total: usize = contrib.iter().map(|v| v.len()).sum();
+        let words = (total * std::mem::size_of::<T>()).div_ceil(8);
+        let mut all = Vec::with_capacity(total);
+        for v in contrib {
+            all.extend(v);
+        }
+        let t0 = self.clock[..active].iter().copied().fold(0.0, f64::max);
+        let stages = (active as f64).log2().ceil().max(0.0);
+        let t = t0 + stages * self.cost.t_s + self.cost.t_w * words as f64;
+        for r in 0..active {
+            self.comm[r] += t - self.clock[r];
+            self.clock[r] = t;
+        }
+        all
+    }
+
+    /// Allreduce over ranks `0..active` only; inactive contributions must
+    /// be zero-filled vectors of the same length (they are not summed).
+    pub fn group_allreduce_sum(&mut self, active: usize, contrib: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(contrib.len(), self.p);
+        let active = active.clamp(1, self.p);
+        let len = contrib.first().map_or(0, |v| v.len());
+        let mut acc = vec![0.0; len];
+        for v in &contrib[..active] {
+            assert_eq!(v.len(), len);
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+        }
+        let t0 = self.clock[..active].iter().copied().fold(0.0, f64::max);
+        let t = t0 + {
+            let stages = (active as f64).log2().ceil().max(0.0);
+            stages * self.cost.msg(len)
+        };
+        for r in 0..active {
+            self.comm[r] += t - self.clock[r];
+            self.clock[r] = t;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free() -> CostModel {
+        CostModel { t_s: 0.0, t_w: 0.0, t_op: 1.0 }
+    }
+
+    #[test]
+    fn compute_charges_max_rank() {
+        let mut m = Machine::new(4, free());
+        let mut states = vec![0u32; 4];
+        m.compute(&mut states, |r, s| {
+            *s = r as u32;
+            (r + 1) as f64
+        });
+        assert_eq!(m.elapsed(), 4.0);
+        assert_eq!(states, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn exchange_delivers_and_orders_by_source() {
+        let mut m = Machine::new(3, free());
+        let out = vec![
+            vec![(1usize, vec![10u64]), (2usize, vec![20u64])],
+            vec![(2usize, vec![21u64])],
+            vec![],
+        ];
+        let inbox = m.exchange(out);
+        assert!(inbox[0].is_empty());
+        assert_eq!(inbox[1], vec![(0, vec![10u64])]);
+        assert_eq!(inbox[2], vec![(0, vec![20u64]), (1, vec![21u64])]);
+    }
+
+    #[test]
+    fn exchange_charges_latency_and_bandwidth() {
+        let cost = CostModel { t_s: 1.0, t_w: 0.5, t_op: 0.0 };
+        let mut m = Machine::new(2, cost);
+        let out = vec![vec![(1usize, vec![0u64; 4])], vec![]];
+        m.exchange(out);
+        // Sender: 1 msg of 4 words = 1 + 2 = 3. Receiver: waits for sender
+        // (3) then pays its receive cost (3) = 6.
+        assert_eq!(m.clock[0], 3.0);
+        assert_eq!(m.clock[1], 6.0);
+        assert!(m.comm_time() >= 3.0);
+    }
+
+    #[test]
+    fn exchange_is_locally_synchronising() {
+        // Rank 2 exchanges nothing: its clock must not move.
+        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 0.0 };
+        let mut m = Machine::new(3, cost);
+        let out = vec![vec![(1usize, vec![0u64])], vec![], vec![]];
+        m.exchange(out);
+        assert_eq!(m.clock[2], 0.0);
+        assert!(m.clock[1] > 0.0);
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let mut m = Machine::new(3, free());
+        let contrib = vec![vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
+        assert_eq!(m.allreduce_sum(&contrib), vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn allreduce_synchronises_globally() {
+        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let mut m = Machine::new(4, cost);
+        let mut states = vec![(); 4];
+        m.compute(&mut states, |r, _| if r == 0 { 10.0 } else { 0.0 });
+        m.allreduce_sum(&vec![vec![0.0]; 4]);
+        // All clocks equal: laggard (10) + 2 stages × 1s latency.
+        for r in 0..4 {
+            assert_eq!(m.clock[r], 12.0);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let mut m = Machine::new(3, free());
+        let all = m.allgather(vec![vec![0u32], vec![1, 11], vec![2]]);
+        assert_eq!(all, vec![0, 1, 11, 2]);
+    }
+
+    #[test]
+    fn allreduce_min_index_picks_global_best() {
+        let mut m = Machine::new(4, free());
+        assert_eq!(m.allreduce_min_index(&[3.0, 1.0, 2.0, 5.0]), 1);
+    }
+
+    #[test]
+    fn phase_breakdown_splits_comp_and_comm() {
+        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let mut m = Machine::new(2, cost);
+        m.phase("a");
+        let mut s = vec![(); 2];
+        m.compute(&mut s, |_, _| 5.0);
+        m.phase("b");
+        m.barrier();
+        let bd = m.phase_breakdown();
+        assert_eq!(bd["a"].comp, 5.0);
+        assert_eq!(bd["a"].comm, 0.0);
+        assert_eq!(bd["b"].comp, 0.0);
+        assert_eq!(bd["b"].comm, 1.0);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let mut m = Machine::new(2, CostModel::qdr_infiniband());
+        let mut last = 0.0;
+        let mut s = vec![(); 2];
+        for _ in 0..5 {
+            m.compute(&mut s, |_, _| 100.0);
+            m.barrier();
+            let e = m.elapsed();
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-message")]
+    fn self_message_rejected() {
+        let mut m = Machine::new(2, free());
+        let _ = m.exchange(vec![vec![(0usize, vec![0u64])], vec![]]);
+    }
+
+    #[test]
+    fn group_allgather_only_touches_active_ranks() {
+        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let mut m = Machine::new(8, cost);
+        let contrib: Vec<Vec<u32>> = (0..8)
+            .map(|r| if r < 4 { vec![r as u32] } else { Vec::new() })
+            .collect();
+        let all = m.group_allgather(4, contrib);
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        // Active ranks advanced by log2(4) = 2 stages; inactive untouched.
+        assert_eq!(m.clock[0], 2.0);
+        assert_eq!(m.clock[3], 2.0);
+        assert_eq!(m.clock[4], 0.0);
+        assert_eq!(m.clock[7], 0.0);
+    }
+
+    #[test]
+    fn group_allreduce_sums_active_only() {
+        let mut m = Machine::new(4, free());
+        let contrib = vec![vec![1.0], vec![2.0], vec![100.0], vec![1000.0]];
+        let out = m.group_allreduce_sum(2, &contrib);
+        assert_eq!(out, vec![3.0]); // ranks 2,3 excluded
+    }
+
+    #[test]
+    fn group_collective_synchronises_within_group() {
+        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let mut m = Machine::new(4, cost);
+        let mut s = vec![(); 4];
+        m.compute(&mut s, |r, _| if r == 1 { 10.0 } else { 0.0 });
+        m.group_allreduce_sum(2, &vec![vec![0.0]; 4]);
+        // Rank 0 catches up to rank 1's clock + 1 stage.
+        assert_eq!(m.clock[0], 11.0);
+        assert_eq!(m.clock[1], 11.0);
+        assert_eq!(m.clock[2], 0.0);
+    }
+
+    #[test]
+    fn group_of_one_is_free_of_latency() {
+        let cost = CostModel { t_s: 1.0, t_w: 1.0, t_op: 0.0 };
+        let mut m = Machine::new(4, cost);
+        let contrib: Vec<Vec<u64>> =
+            (0..4).map(|r| if r == 0 { vec![7u64] } else { Vec::new() }).collect();
+        let all = m.group_allgather(1, contrib);
+        assert_eq!(all, vec![7]);
+        // log2(1) = 0 stages; only the bandwidth term applies.
+        assert!(m.clock[0] <= 1.0 + 1e-12);
+    }
+}

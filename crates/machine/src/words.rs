@@ -1,0 +1,57 @@
+//! Measuring message payloads in 8-byte words for cost charging.
+
+/// Anything that can report its wire size in 8-byte words.
+pub trait Words {
+    fn words(&self) -> usize;
+}
+
+impl<T> Words for Vec<T> {
+    fn words(&self) -> usize {
+        (self.len() * std::mem::size_of::<T>()).div_ceil(8)
+    }
+}
+
+impl<T> Words for &[T] {
+    fn words(&self) -> usize {
+        (self.len() * std::mem::size_of::<T>()).div_ceil(8)
+    }
+}
+
+impl Words for f64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_words_round_up() {
+        let v: Vec<u32> = vec![0; 3]; // 12 bytes -> 2 words
+        assert_eq!(v.words(), 2);
+        let v: Vec<f64> = vec![0.0; 5];
+        assert_eq!(v.words(), 5);
+        let v: Vec<u8> = vec![0; 0];
+        assert_eq!(v.words(), 0);
+    }
+
+    #[test]
+    fn tuple_words_sum() {
+        let t = (3.0f64, vec![0u64; 4]);
+        assert_eq!(t.words(), 5);
+    }
+}

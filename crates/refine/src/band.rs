@@ -1,0 +1,67 @@
+//! Hop-based band selection (the Pt-Scotch band-graph approach the paper
+//! contrasts its strip with): movable vertices are those within `hops` BFS
+//! steps of a cut-edge endpoint.
+
+use sp_graph::{Bisection, Graph};
+use std::collections::VecDeque;
+
+/// Movable mask of vertices within `hops` hops of the current cut.
+pub fn band_by_hops(g: &Graph, bi: &Bisection, hops: u32) -> Vec<bool> {
+    let n = g.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    for v in 0..n as u32 {
+        let sv = bi.side(v);
+        if g.neighbors(v).iter().any(|&u| bi.side(u) != sv) {
+            dist[v as usize] = 0;
+            q.push_back(v);
+        }
+    }
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        if d >= hops {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    dist.into_iter().map(|d| d != u32::MAX).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::grid_2d;
+
+    #[test]
+    fn band_zero_is_exactly_the_boundary() {
+        let g = grid_2d(8, 8);
+        let bi = Bisection::from_fn(g.n(), |v| (v as usize % 8) >= 4);
+        let mask = band_by_hops(&g, &bi, 0);
+        let boundary = bi.boundary(&g);
+        let in_mask: Vec<u32> = (0..g.n() as u32).filter(|&v| mask[v as usize]).collect();
+        assert_eq!(in_mask, boundary);
+    }
+
+    #[test]
+    fn band_grows_with_hops() {
+        let g = grid_2d(10, 10);
+        let bi = Bisection::from_fn(g.n(), |v| (v as usize % 10) >= 5);
+        let c0 = band_by_hops(&g, &bi, 0).iter().filter(|&&b| b).count();
+        let c2 = band_by_hops(&g, &bi, 2).iter().filter(|&&b| b).count();
+        assert!(c2 > c0);
+        assert_eq!(c0, 20); // two columns flank the cut
+        assert_eq!(c2, 60); // six columns
+    }
+
+    #[test]
+    fn uncut_graph_has_empty_band() {
+        let g = grid_2d(4, 4);
+        let bi = Bisection::from_fn(g.n(), |_| false);
+        assert!(band_by_hops(&g, &bi, 3).iter().all(|&b| !b));
+    }
+}

@@ -1,0 +1,46 @@
+//! Compare every partitioner in the paper's evaluation on one graph:
+//! cut size, imbalance, and simulated time at a chosen rank count.
+//!
+//! Run with: `cargo run --release --example compare_methods [P]`
+
+use scalapart::{run_method, Method};
+use sp_graph::{SuiteGraph, TestScale};
+
+fn main() {
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Tiny, 7);
+    println!(
+        "graph: {} (N = {}, M = {}), P = {p}\n",
+        t.name,
+        t.graph.n(),
+        t.graph.m()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>12}",
+        "method", "cut", "imbalance", "sim time"
+    );
+    for method in [
+        Method::PtScotchLike,
+        Method::ParMetisLike,
+        Method::ScalaPart,
+        Method::SpPg7Nl,
+        Method::Rcb,
+        Method::G30,
+        Method::G7,
+        Method::G7Nl,
+    ] {
+        let r = run_method(method, &t.graph, t.coords.as_deref(), p, 99);
+        println!(
+            "{:<12} {:>8} {:>10.4} {:>10.3} ms",
+            method.name(),
+            r.cut,
+            r.imbalance,
+            r.time * 1e3
+        );
+    }
+    println!("\n(sequential G30/G7/G7-NL times are single-rank charges; the");
+    println!(" paper compares them on quality only)");
+}

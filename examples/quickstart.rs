@@ -1,0 +1,49 @@
+//! Quickstart: partition a mesh with ScalaPart on a simulated 64-rank
+//! machine and print the quality/time summary.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use scalapart::{scalapart_bisect, SpConfig};
+use sp_graph::gen::delaunay_graph;
+use sp_machine::{CostModel, Machine};
+
+fn main() {
+    // A Delaunay mesh of 50k random points (the paper's delaunay_nXX family).
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+    let (graph, _coords) = delaunay_graph(50_000, &mut rng);
+    println!(
+        "graph: N = {}, M = {}, avg degree = {:.2}",
+        graph.n(),
+        graph.m(),
+        graph.avg_degree()
+    );
+
+    // A simulated 64-rank QDR-InfiniBand machine (see DESIGN.md).
+    let mut machine = Machine::new(64, CostModel::qdr_infiniband());
+
+    let result = scalapart_bisect(&graph, &mut machine, &SpConfig::default());
+    result.bisection.validate(&graph).expect("valid bisection");
+
+    println!("\nScalaPart result on P = 64:");
+    println!("  edge separator |S|   : {}", result.cut);
+    println!("  before strip-FM      : {}", result.cut_before_refine);
+    println!("  imbalance            : {:.4}", result.imbalance);
+    println!("  strip size           : {} vertices", result.strip_size);
+    println!("\nsimulated time breakdown:");
+    println!(
+        "  coarsen   {:>10.4} ms  (comm {:.1}%)",
+        result.times.coarsen.total() * 1e3,
+        100.0 * result.times.coarsen.comm / result.times.coarsen.total().max(1e-30)
+    );
+    println!(
+        "  embed     {:>10.4} ms  (comm {:.1}%)",
+        result.times.embed.total() * 1e3,
+        100.0 * result.times.embed.comm / result.times.embed.total().max(1e-30)
+    );
+    println!(
+        "  partition {:>10.4} ms  (comm {:.1}%)",
+        result.times.partition.total() * 1e3,
+        100.0 * result.times.partition.comm / result.times.partition.total().max(1e-30)
+    );
+    println!("  total     {:>10.4} ms", result.total_time * 1e3);
+}

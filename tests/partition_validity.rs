@@ -1,0 +1,90 @@
+//! Cross-method validity: every partitioner returns a valid, balanced,
+//! non-degenerate bisection on every graph family it supports.
+
+use scalapart::{run_method, Method};
+use sp_graph::{SuiteGraph, TestScale};
+
+const ALL_METHODS: [Method; 8] = [
+    Method::ScalaPart,
+    Method::SpPg7Nl,
+    Method::ParMetisLike,
+    Method::PtScotchLike,
+    Method::Rcb,
+    Method::G30,
+    Method::G7,
+    Method::G7Nl,
+];
+
+#[test]
+fn all_methods_valid_on_mesh_graph() {
+    let t = SuiteGraph::Ecology1.instantiate(TestScale::Tiny, 1);
+    let coords = t.coords.as_deref();
+    for method in ALL_METHODS {
+        let r = run_method(method, &t.graph, coords, 4, 21);
+        r.bisection
+            .validate(&t.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+        assert!(
+            r.imbalance < 0.15,
+            "{}: imbalance {}",
+            method.name(),
+            r.imbalance
+        );
+        assert!(
+            r.cut < t.graph.m() / 3,
+            "{}: cut {} of m {}",
+            method.name(),
+            r.cut,
+            t.graph.m()
+        );
+    }
+}
+
+#[test]
+fn all_methods_valid_on_coordinate_free_graph() {
+    // kkt has no coords: coordinate methods must auto-embed.
+    let t = SuiteGraph::KktPower.instantiate(TestScale::Tiny, 2);
+    assert!(t.coords.is_none());
+    for method in ALL_METHODS {
+        let r = run_method(method, &t.graph, None, 4, 23);
+        r.bisection
+            .validate(&t.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+        assert!(
+            r.cut < t.graph.m(),
+            "{}: cut {} ≥ m",
+            method.name(),
+            r.cut
+        );
+    }
+}
+
+#[test]
+fn geometric_methods_profit_from_good_coordinates() {
+    // With true mesh coordinates the geometric cuts should be close to the
+    // multilevel ones — the paper's core comparison.
+    let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Tiny, 3);
+    let coords = t.coords.as_deref();
+    let geo = run_method(Method::G30, &t.graph, coords, 1, 5);
+    let ml = run_method(Method::PtScotchLike, &t.graph, None, 1, 5);
+    assert!(
+        (geo.cut as f64) < 3.0 * ml.cut as f64,
+        "G30 {} vs Pt-Scotch-like {}",
+        geo.cut,
+        ml.cut
+    );
+}
+
+#[test]
+fn reported_cut_matches_bisection() {
+    let t = SuiteGraph::G3Circuit.instantiate(TestScale::Tiny, 4);
+    for method in [Method::ScalaPart, Method::Rcb, Method::ParMetisLike] {
+        let r = run_method(method, &t.graph, t.coords.as_deref(), 16, 9);
+        assert_eq!(
+            r.cut,
+            r.bisection.cut_edges(&t.graph),
+            "{}",
+            method.name()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end integration: the full ScalaPart pipeline across suite graphs
+//! and rank counts.
+
+use scalapart::{scalapart_bisect, sp_pg7nl_bisect, SpConfig};
+use sp_graph::{SuiteGraph, TestScale};
+use sp_machine::{CostModel, Machine};
+
+#[test]
+fn scalapart_runs_on_every_suite_graph() {
+    for sg in SuiteGraph::all() {
+        let t = sg.instantiate(TestScale::Tiny, 11);
+        let mut m = Machine::new(16, CostModel::qdr_infiniband());
+        let r = scalapart_bisect(&t.graph, &mut m, &SpConfig::default());
+        r.bisection
+            .validate(&t.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert!(r.cut > 0, "{}: zero cut", t.name);
+        assert!(r.imbalance < 0.15, "{}: imbalance {}", t.name, r.imbalance);
+        // Cut sanity: far below a random bisection's expected m/2.
+        assert!(
+            r.cut < t.graph.m() / 3,
+            "{}: cut {} vs m {}",
+            t.name,
+            r.cut,
+            t.graph.m()
+        );
+    }
+}
+
+#[test]
+fn scalapart_works_across_rank_counts() {
+    let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Tiny, 5);
+    for p in [1usize, 2, 4, 16, 64, 256] {
+        let mut m = Machine::new(p, CostModel::qdr_infiniband());
+        let r = scalapart_bisect(&t.graph, &mut m, &SpConfig::default());
+        r.bisection
+            .validate(&t.graph)
+            .unwrap_or_else(|e| panic!("P={p}: {e}"));
+        assert!(r.cut > 0 && r.cut < t.graph.m() / 3, "P={p}: cut {}", r.cut);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_per_seed() {
+    let t = SuiteGraph::Ecology1.instantiate(TestScale::Tiny, 3);
+    let run = |seed: u64| {
+        let mut m = Machine::new(4, CostModel::qdr_infiniband());
+        let r = scalapart_bisect(&t.graph, &mut m, &SpConfig::default().with_seed(seed));
+        (r.cut, r.total_time.to_bits())
+    };
+    assert_eq!(run(7), run(7));
+    // Different seeds explore different embeddings/cuts (almost surely).
+    let a = run(7).0;
+    let b = run(8).0;
+    let c = run(9).0;
+    assert!(a != b || b != c, "three seeds gave identical cuts {a}");
+}
+
+#[test]
+fn strip_refinement_helps_or_is_neutral() {
+    let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Tiny, 13);
+    let mut with = 0usize;
+    let mut without = 0usize;
+    for seed in 0..3 {
+        let mut m1 = Machine::new(16, CostModel::qdr_infiniband());
+        let mut m2 = Machine::new(16, CostModel::qdr_infiniband());
+        let r1 = scalapart_bisect(&t.graph, &mut m1, &SpConfig::default().with_seed(seed));
+        let cfg_off = SpConfig { strip_factor: 0.0, ..SpConfig::default().with_seed(seed) };
+        let r2 = scalapart_bisect(&t.graph, &mut m2, &cfg_off);
+        with += r1.cut;
+        without += r2.cut;
+        // Per-run: refinement can never make the selected separator worse.
+        assert!(r1.cut <= r1.cut_before_refine);
+    }
+    assert!(with <= without, "strip refinement hurt: {with} > {without}");
+}
+
+#[test]
+fn sp_pg7nl_on_mesh_coordinates_beats_random_cut() {
+    let t = SuiteGraph::HugeTrace.instantiate(TestScale::Tiny, 2);
+    let coords = t.coords.expect("trace mesh has coordinates");
+    let mut m = Machine::new(64, CostModel::qdr_infiniband());
+    let r = sp_pg7nl_bisect(&t.graph, &coords, &mut m, &SpConfig::default());
+    r.bisection.validate(&t.graph).unwrap();
+    assert!(r.cut < t.graph.m() / 10, "cut {} of m {}", r.cut, t.graph.m());
+}
+
+#[test]
+fn coordinate_free_graph_partitions_fine() {
+    // kkt_power has no natural coordinates; ScalaPart must impart them.
+    let t = SuiteGraph::KktPower.instantiate(TestScale::Tiny, 17);
+    let mut m = Machine::new(16, CostModel::qdr_infiniband());
+    let r = scalapart_bisect(&t.graph, &mut m, &SpConfig::default());
+    r.bisection.validate(&t.graph).unwrap();
+    // kkt is the adversarial case: just require a valid, balanced,
+    // better-than-random cut.
+    assert!(r.cut < t.graph.m() / 2, "cut {} of m {}", r.cut, t.graph.m());
+    assert!(r.imbalance < 0.15);
+}
