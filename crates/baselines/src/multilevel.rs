@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use sp_coarsen::{contract, parallel_hem};
 use sp_graph::distr::Distribution;
 use sp_graph::{Bisection, Graph};
-use sp_machine::Machine;
+use sp_machine::{Machine, Phase};
 use sp_refine::{band_by_hops, fm_refine, FmConfig};
 
 /// Configuration for a multilevel run.
@@ -107,14 +107,19 @@ pub fn multilevel_bisect(
     let mut stats = MlStats::default();
 
     // --- Coarsening: every level with all P ranks active.
-    machine.phase("coarsen");
+    machine.phase(Phase::Coarsen);
     let mut graphs: Vec<Graph> = vec![g.clone()];
     let mut maps: Vec<Vec<u32>> = Vec::new();
     while graphs.last().unwrap().n() > cfg.coarsest && graphs.len() < 60 {
         let cur = graphs.last().unwrap();
         let dist = Distribution::block(cur.n(), p);
-        let matching =
-            parallel_hem(cur, &dist, machine, cfg.matching_rounds, rng.random::<u64>());
+        let matching = parallel_hem(
+            cur,
+            &dist,
+            machine,
+            cfg.matching_rounds,
+            rng.random::<u64>(),
+        );
         let c = contract(cur, &matching);
         if c.coarse.n() as f64 > 0.95 * cur.n() as f64 {
             break;
@@ -140,12 +145,11 @@ pub fn multilevel_bisect(
 
     // --- Initial partition: allgather the coarsest graph, then greedy
     // graph growing + FM redundantly on every rank.
-    machine.phase("initial");
+    machine.phase(Phase::Initial);
     let coarsest = graphs.last().unwrap();
     {
         let words = 2 * coarsest.m() + coarsest.n();
-        let contrib: Vec<Vec<u64>> =
-            (0..p).map(|_| vec![0u64; words / p.max(1)]).collect();
+        let contrib: Vec<Vec<u64>> = (0..p).map(|_| vec![0u64; words / p.max(1)]).collect();
         let _ = machine.allgather(contrib);
     }
     let mut bi = greedy_grow(coarsest, &mut rng);
@@ -163,13 +167,12 @@ pub fn multilevel_bisect(
     }
 
     // --- Uncoarsening with band-restricted FM.
-    machine.phase("refine");
+    machine.phase(Phase::Refine);
     for lvl in (0..maps.len()).rev() {
         let fine = &graphs[lvl];
         let map = &maps[lvl];
         // Project.
-        let mut fbi =
-            Bisection::new(map.iter().map(|&c| bi.side(c)).collect::<Vec<u8>>());
+        let mut fbi = Bisection::new(map.iter().map(|&c| bi.side(c)).collect::<Vec<u8>>());
         // Band + FM (executed once; work charged as distributed over P).
         let band = band_by_hops(fine, &fbi, cfg.band_hops);
         let band_size = band.iter().filter(|&&b| b).count();
@@ -212,7 +215,7 @@ pub fn multilevel_bisect(
         bi = fbi;
     }
     stats.final_cut = bi.cut(g);
-    machine.phase("done");
+    machine.phase(Phase::Done);
     (bi, stats)
 }
 
@@ -246,12 +249,12 @@ fn greedy_grow<R: Rng>(g: &Graph, rng: &mut R) -> Bisection {
     }
     // Disconnected remainder: claim arbitrary vertices if short of half.
     if claimed < half {
-        for v in 0..n {
+        for (v, s) in side.iter_mut().enumerate() {
             if claimed >= half {
                 break;
             }
-            if side[v] == 1 {
-                side[v] = 0;
+            if *s == 1 {
+                *s = 0;
                 claimed += g.vwgt(v as u32);
             }
         }
@@ -290,10 +293,8 @@ mod tests {
             let (g, _) = delaunay_graph(2000, &mut rng);
             let mut m1 = Machine::new(4, CostModel::qdr_infiniband());
             let mut m2 = Machine::new(4, CostModel::qdr_infiniband());
-            let (_, s_pm) =
-                multilevel_bisect(&g, &mut m1, &MultilevelConfig::parmetis_like(seed));
-            let (_, s_ps) =
-                multilevel_bisect(&g, &mut m2, &MultilevelConfig::ptscotch_like(seed));
+            let (_, s_pm) = multilevel_bisect(&g, &mut m1, &MultilevelConfig::parmetis_like(seed));
+            let (_, s_ps) = multilevel_bisect(&g, &mut m2, &MultilevelConfig::ptscotch_like(seed));
             pm_total += s_pm.final_cut;
             ps_total += s_ps.final_cut;
         }

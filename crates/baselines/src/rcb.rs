@@ -116,7 +116,12 @@ pub fn rcb_bisect(
     }
     let bisection = Bisection::new(sides);
     let cut = bisection.cut_edges(g);
-    RcbResult { bisection, cut, axis, median: mid }
+    RcbResult {
+        bisection,
+        cut,
+        axis,
+        median: mid,
+    }
 }
 
 #[cfg(test)]
@@ -147,8 +152,10 @@ mod tests {
         let g = grid_2d(4, 32); // wide in x
         let coords = grid_2d_coords(4, 32);
         // Stretch x to make it the wider axis unambiguously.
-        let coords: Vec<Point2> =
-            coords.iter().map(|p| Point2::new(p.x * 10.0, p.y)).collect();
+        let coords: Vec<Point2> = coords
+            .iter()
+            .map(|p| Point2::new(p.x * 10.0, p.y))
+            .collect();
         let dist = Distribution::block(g.n(), 2);
         let mut m = Machine::new(2, CostModel::qdr_infiniband());
         let r = rcb_bisect(&g, &coords, &dist, &mut m);

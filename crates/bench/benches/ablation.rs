@@ -31,7 +31,10 @@ fn bench_strip_factor(c: &mut Criterion) {
     for factor in [0u32, 6, 12] {
         group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
             b.iter(|| {
-                let cfg = SpConfig { strip_factor: f as f64, ..Default::default() };
+                let cfg = SpConfig {
+                    strip_factor: f as f64,
+                    ..Default::default()
+                };
                 let mut m = Machine::new(16, CostModel::qdr_infiniband());
                 scalapart_bisect(&t.graph, &mut m, &cfg).cut
             })
@@ -58,5 +61,10 @@ fn bench_shrink_rate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_block_size, bench_strip_factor, bench_shrink_rate);
+criterion_group!(
+    benches,
+    bench_block_size,
+    bench_strip_factor,
+    bench_shrink_rate
+);
 criterion_main!(benches);

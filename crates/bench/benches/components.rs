@@ -39,34 +39,29 @@ fn bench_embed(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         let coords0 = random_init(g.n(), &mut rng);
         let params = ForceParams::for_domain(0.2, g.n() as f64, g.n());
-        group.bench_with_input(
-            BenchmarkId::new("barnes_hut_10iters", g.n()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut coords = coords0.clone();
-                    force_layout(g, &mut coords, &params, 0.85, 10, 0.9, 0.95)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lattice_10iters_q4", g.n()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut coords = coords0.clone();
-                    let mut m = Machine::new(16, CostModel::qdr_infiniband());
-                    lattice_smooth(
-                        g,
-                        &mut coords,
-                        4,
-                        &mut m,
-                        &LatticeConfig { iters: 10, ..Default::default() },
-                    );
-                    coords[0]
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("barnes_hut_10iters", g.n()), &g, |b, g| {
+            b.iter(|| {
+                let mut coords = coords0.clone();
+                force_layout(g, &mut coords, &params, 0.85, 10, 0.9, 0.95)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lattice_10iters_q4", g.n()), &g, |b, g| {
+            b.iter(|| {
+                let mut coords = coords0.clone();
+                let mut m = Machine::new(16, CostModel::qdr_infiniband());
+                lattice_smooth(
+                    g,
+                    &mut coords,
+                    4,
+                    &mut m,
+                    &LatticeConfig {
+                        iters: 10,
+                        ..Default::default()
+                    },
+                );
+                coords[0]
+            })
+        });
     }
     group.finish();
 }

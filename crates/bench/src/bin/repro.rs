@@ -11,9 +11,9 @@
 //! (default `results/`). Absolute numbers come from the simulated machine
 //! (see DESIGN.md); the *shapes* are the reproduction target.
 
-use sp_bench::harness::{geomean, sweep_p, Experiments};
-use sp_bench::report::{write_csv, Table};
 use scalapart::Method;
+use sp_bench::harness::{geomean, sweep_p, Experiments};
+use sp_bench::report::{write_csv, write_json, Table};
 use sp_graph::{SuiteGraph, TestScale};
 use std::path::PathBuf;
 
@@ -45,7 +45,9 @@ fn main() {
             }
             "--out" => out = PathBuf::from(it.next().expect("--out DIR")),
             "--help" | "-h" => {
-                eprintln!("usage: repro [--scale tiny|bench|paper] [--seed N] [--out DIR] <exp>...");
+                eprintln!(
+                    "usage: repro [--scale tiny|bench|paper] [--seed N] [--out DIR] <exp>..."
+                );
                 return;
             }
             e => experiments.push(e.to_string()),
@@ -56,9 +58,24 @@ fn main() {
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
-            "fig6", "fig7", "fig8", "fig9", "ablation-block", "ablation-strip",
-            "ablation-tries", "ablation-levels", "ablation-lattice",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ablation-block",
+            "ablation-strip",
+            "ablation-tries",
+            "ablation-levels",
+            "ablation-lattice",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -95,6 +112,54 @@ fn main() {
             eprintln!("warning: could not write {e}.csv: {err}");
         }
     }
+    // Per-run metrics artifact: every memoised (method, graph, P) point
+    // behind the tables above, machine-readable, next to the CSVs.
+    let metrics = run_metrics(&ex);
+    if let Err(err) = write_json(&metrics, &out, "run_metrics") {
+        eprintln!("warning: could not write run_metrics.json: {err}");
+    } else {
+        eprintln!("wrote {}", out.join("run_metrics.json").display());
+    }
+}
+
+/// One row per memoised run: simulated time, cut, imbalance, and the
+/// ScalaPart phase split (comp/comm per phase, seconds) where available.
+fn run_metrics(ex: &Experiments) -> Table {
+    let mut t = Table::new(
+        "per-run metrics",
+        &[
+            "method",
+            "graph",
+            "P",
+            "cut",
+            "time_s",
+            "imbalance",
+            "coarsen_comp_s",
+            "coarsen_comm_s",
+            "embed_comp_s",
+            "embed_comm_s",
+            "partition_comp_s",
+            "partition_comm_s",
+        ],
+    );
+    for r in ex.run_records() {
+        let ph = r.phases.unwrap_or_default();
+        t.row(vec![
+            r.method.name().into(),
+            r.graph.name().into(),
+            r.p.to_string(),
+            r.cut.to_string(),
+            format!("{}", r.time),
+            format!("{}", r.imbalance),
+            format!("{}", ph.coarsen.comp),
+            format!("{}", ph.coarsen.comm),
+            format!("{}", ph.embed.comp),
+            format!("{}", ph.embed.comm),
+            format!("{}", ph.partition.comp),
+            format!("{}", ph.partition.comm),
+        ]);
+    }
+    t
 }
 
 fn fmt_t(t: f64) -> String {
@@ -257,7 +322,9 @@ fn fig1(ex: &mut Experiments, out: &PathBuf) -> Table {
     let mut m = Machine::new(9, CostModel::qdr_infiniband());
     let r = scalapart_bisect(&g, &mut m, &SpConfig::default());
     let q = 3;
-    let bb = sp_geometry::Aabb2::from_points(&r.coords).unwrap().inflated(1e-9);
+    let bb = sp_geometry::Aabb2::from_points(&r.coords)
+        .unwrap()
+        .inflated(1e-9);
     let mut t = Table::new(
         "Fig 1: 3x3 domain lattice with beta special vertices",
         &["cell", "vertices", "mass", "phi_x", "phi_y"],
@@ -298,7 +365,7 @@ fn fig2(ex: &mut Experiments, out: &PathBuf) -> Table {
     use scalapart::svg::render_svg;
     use scalapart::{scalapart_bisect, SpConfig};
     use sp_machine::{CostModel, Machine};
-    let n = (1usize << 16) / ex.scale.divisor().min(64).max(1);
+    let n = (1usize << 16) / ex.scale.divisor().clamp(1, 64);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(16);
     let (g, _) = sp_graph::gen::delaunay_graph(n.max(1024), &mut rng);
     let mut m = Machine::new(16, CostModel::qdr_infiniband());
@@ -308,12 +375,21 @@ fn fig2(ex: &mut Experiments, out: &PathBuf) -> Table {
         &["quantity", "value"],
     );
     t.row(vec!["graph N".into(), g.n().to_string()]);
-    t.row(vec!["separator before refine".into(), r.cut_before_refine.to_string()]);
+    t.row(vec![
+        "separator before refine".into(),
+        r.cut_before_refine.to_string(),
+    ]);
     t.row(vec!["separator after refine".into(), r.cut.to_string()]);
-    t.row(vec!["strip size (vertices)".into(), r.strip_size.to_string()]);
+    t.row(vec![
+        "strip size (vertices)".into(),
+        r.strip_size.to_string(),
+    ]);
     t.row(vec![
         "strip / separator ratio".into(),
-        format!("{:.1} (paper: 5.6)", r.strip_size as f64 / r.cut_before_refine.max(1) as f64),
+        format!(
+            "{:.1} (paper: 5.6)",
+            r.strip_size as f64 / r.cut_before_refine.max(1) as f64
+        ),
     ]);
     std::fs::create_dir_all(out).ok();
     std::fs::write(
@@ -326,10 +402,7 @@ fn fig2(ex: &mut Experiments, out: &PathBuf) -> Table {
 
 /// Figs 3: total times over all graphs vs P for the four parallel methods.
 fn fig_times_all(ex: &mut Experiments, title: &str) -> Table {
-    let mut t = Table::new(
-        title,
-        &["P", "Pt-Scotch", "ParMetis", "ScalaPart", "RCB"],
-    );
+    let mut t = Table::new(title, &["P", "Pt-Scotch", "ParMetis", "ScalaPart", "RCB"]);
     for p in sweep_p() {
         t.row(vec![
             p.to_string(),
@@ -363,7 +436,13 @@ fn fig4(ex: &mut Experiments) -> Table {
 fn fig_times_one(ex: &mut Experiments, sg: SuiteGraph, figname: &str) -> Table {
     let mut t = Table::new(
         &format!("{figname}: execution time for {}", sg.name()),
-        &["P", "Pt-Scotch(ms)", "ParMetis(ms)", "ScalaPart(ms)", "RCB(ms)"],
+        &[
+            "P",
+            "Pt-Scotch(ms)",
+            "ParMetis(ms)",
+            "ScalaPart(ms)",
+            "RCB(ms)",
+        ],
     );
     for p in sweep_p() {
         t.row(vec![
@@ -502,7 +581,10 @@ fn ablation_strip(ex: &mut Experiments) -> Table {
         &["strip factor", "cut before", "cut after", "strip size"],
     );
     for factor in [0.0, 2.0, 6.0, 12.0] {
-        let cfg = SpConfig { strip_factor: factor, ..Default::default() };
+        let cfg = SpConfig {
+            strip_factor: factor,
+            ..Default::default()
+        };
         let mut m = Machine::new(64, CostModel::qdr_infiniband());
         let r = scalapart_bisect(g, &mut m, &cfg);
         t.row(vec![
@@ -521,7 +603,11 @@ fn ablation_tries(ex: &mut Experiments) -> Table {
         "ablation: geometric try policy (sequential, per graph cut)",
         &["graph", "G30", "G7", "G7-NL"],
     );
-    for sg in [SuiteGraph::Ecology1, SuiteGraph::DelaunayN20, SuiteGraph::HugeTrace] {
+    for sg in [
+        SuiteGraph::Ecology1,
+        SuiteGraph::DelaunayN20,
+        SuiteGraph::HugeTrace,
+    ] {
         let g30 = ex.run(Method::G30, sg, 1).cut;
         let g7 = ex.run(Method::G7, sg, 1).cut;
         let g7nl = ex.run(Method::G7Nl, sg, 1).cut;
@@ -543,7 +629,12 @@ fn ablation_levels(ex: &mut Experiments) -> Table {
     let g = &t_g.graph;
     let mut t = Table::new(
         "ablation: hierarchy shrink rate (ecology1, P=64)",
-        &["retained shrink", "cut", "total time (ms)", "embed time (ms)"],
+        &[
+            "retained shrink",
+            "cut",
+            "total time (ms)",
+            "embed time (ms)",
+        ],
     );
     for every_other in [true, false] {
         let mut cfg = SpConfig::default();
@@ -563,9 +654,9 @@ fn ablation_levels(ex: &mut Experiments) -> Table {
 /// Ablation: lattice β repulsion vs exact Barnes–Hut (embedding quality and
 /// resulting cut at P=1, where both are available).
 fn ablation_lattice(ex: &mut Experiments) -> Table {
+    use scalapart::{scalapart_bisect, SpConfig};
     use sp_embed::metrics::edge_length_stats;
     use sp_embed::{embed_multilevel_seq, SeqEmbedConfig};
-    use scalapart::{scalapart_bisect, SpConfig};
     use sp_machine::{CostModel, Machine};
     let t_g = ex.graph(SuiteGraph::DelaunayN20);
     let g = t_g.graph.clone();
@@ -586,12 +677,8 @@ fn ablation_lattice(ex: &mut Experiments) -> Table {
     let coords = embed_multilevel_seq(&g, &SeqEmbedConfig::default());
     let cv_bh = edge_length_stats(&g, &coords).cv();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
-    let geo = sp_geopart::geometric_partition(
-        &g,
-        &coords,
-        &sp_geopart::GeoConfig::g7_nl(),
-        &mut rng,
-    );
+    let geo =
+        sp_geopart::geometric_partition(&g, &coords, &sp_geopart::GeoConfig::g7_nl(), &mut rng);
     t.row(vec![
         "exact Barnes-Hut (seq)".into(),
         format!("{cv_bh:.3}"),

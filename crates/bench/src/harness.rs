@@ -82,7 +82,13 @@ impl Experiments {
                 if verbose {
                     eprintln!("[embed] {} (coordinate-free, Hu-style) ...", sg.name());
                 }
-                embed_multilevel_seq(&t.graph, &SeqEmbedConfig { seed, ..Default::default() })
+                embed_multilevel_seq(
+                    &t.graph,
+                    &SeqEmbedConfig {
+                        seed,
+                        ..Default::default()
+                    },
+                )
             }
         };
         self.coords.insert(sg, c.clone());
@@ -95,7 +101,11 @@ impl Experiments {
             return r.clone();
         }
         let seed = self.seed ^ (p as u64).wrapping_mul(0x9E37_79B9);
-        let coords = if method.needs_coords() { Some(self.coords(sg)) } else { None };
+        let coords = if method.needs_coords() {
+            Some(self.coords(sg))
+        } else {
+            None
+        };
         let verbose = self.verbose;
         let t = self.graph(sg);
         if verbose {
@@ -129,7 +139,18 @@ impl Experiments {
 
     /// Total simulated time of a method across all nine graphs at P.
     pub fn total_time(&mut self, method: Method, p: usize) -> f64 {
-        SuiteGraph::all().iter().map(|&sg| self.run(method, sg, p).time).sum()
+        SuiteGraph::all()
+            .iter()
+            .map(|&sg| self.run(method, sg, p).time)
+            .sum()
+    }
+
+    /// Every memoised run, in deterministic (method, graph, P) order —
+    /// the raw data behind all tables, for the per-run metrics artifact.
+    pub fn run_records(&self) -> Vec<&RunRecord> {
+        let mut v: Vec<&RunRecord> = self.runs.values().collect();
+        v.sort_by_key(|r| (r.method.name(), r.graph.name(), r.p));
+        v
     }
 }
 

@@ -1,5 +1,7 @@
-//! Plain-text table rendering and CSV output for the repro harness.
+//! Plain-text table rendering plus CSV and JSON output for the repro
+//! harness.
 
+use sp_machine::trace::json::{escape, num};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
@@ -72,7 +74,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -83,6 +89,41 @@ impl Table {
         }
         out
     }
+
+    /// Machine-readable JSON: `{"title", "columns", "rows": [{col: cell}]}`.
+    /// Cells that parse as finite numbers are emitted as JSON numbers
+    /// (shortest round-trip form); everything else as escaped strings.
+    pub fn to_json(&self) -> String {
+        let cell_json = |c: &str| match c.parse::<f64>() {
+            Ok(x) if x.is_finite() => num(x),
+            _ => format!("\"{}\"", escape(c)),
+        };
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"title\": \"{}\",\n  \"columns\": [",
+            escape(&self.title)
+        );
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", escape(h));
+        }
+        out.push_str("],\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    {" } else { "\n    {" });
+            for (j, (h, c)) in self.header.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {}", escape(h), cell_json(c));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
 }
 
 /// Write a table's CSV under `dir/name.csv`.
@@ -90,6 +131,13 @@ pub fn write_csv(table: &Table, dir: &Path, name: &str) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
     f.write_all(table.to_csv().as_bytes())
+}
+
+/// Write a table's JSON under `dir/name.json`.
+pub fn write_json(table: &Table, dir: &Path, name: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{name}.json")))?;
+    f.write_all(table.to_json().as_bytes())
 }
 
 #[cfg(test)]
@@ -122,5 +170,33 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_numbers_round_trip_and_strings_escape() {
+        let mut t = Table::new("demo \"quoted\"", &["graph", "P", "time"]);
+        t.row(vec!["mesh\n1".into(), "64".into(), "0.125".into()]);
+        t.row(vec!["G7-NL".into(), "1024".into(), "3.5e-3".into()]);
+        let json = t.to_json();
+        // Title and cell strings are escaped.
+        assert!(json.contains("\"title\": \"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"graph\": \"mesh\\n1\""));
+        // Numeric cells become JSON numbers that parse back exactly.
+        assert!(json.contains("\"P\": 64"));
+        assert!(json.contains("\"time\": 0.125"));
+        assert!("0.0035".parse::<f64>().unwrap() == 3.5e-3);
+        assert!(json.contains("\"time\": 0.0035"));
+        // Non-numeric method names stay strings.
+        assert!(json.contains("\"graph\": \"G7-NL\""));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_empty_table_is_valid() {
+        let t = Table::new("empty", &["a"]);
+        let json = t.to_json();
+        assert!(json.contains("\"rows\": [\n  ]"));
     }
 }

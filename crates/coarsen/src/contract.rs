@@ -49,7 +49,10 @@ pub fn contract(g: &Graph, m: &Matching) -> Contraction {
             }
         }
     }
-    Contraction { coarse: b.build(), map }
+    Contraction {
+        coarse: b.build(),
+        map,
+    }
 }
 
 #[cfg(test)]
@@ -69,7 +72,9 @@ mod tests {
             b.add_edge(i, i + 1, 1.0);
         }
         let g = b.build();
-        let m = Matching { mate: vec![1, 0, 3, 2] };
+        let m = Matching {
+            mate: vec![1, 0, 3, 2],
+        };
         let c = contract(&g, &m);
         assert_eq!(c.coarse.n(), 2);
         assert_eq!(c.coarse.m(), 1);
@@ -98,7 +103,9 @@ mod tests {
         b.add_edge(2, 3, 1.0);
         b.add_edge(3, 0, 1.0);
         let g = b.build();
-        let m = Matching { mate: vec![1, 0, 3, 2] };
+        let m = Matching {
+            mate: vec![1, 0, 3, 2],
+        };
         let c = contract(&g, &m);
         assert_eq!(c.coarse.n(), 2);
         assert_eq!(c.coarse.m(), 1);

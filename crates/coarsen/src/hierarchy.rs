@@ -52,7 +52,10 @@ impl Hierarchy {
     /// Build the hierarchy for `g`.
     pub fn build(g: &Graph, cfg: &CoarsenConfig) -> Hierarchy {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut levels = vec![Level { graph: g.clone(), map_to_coarser: None }];
+        let mut levels = vec![Level {
+            graph: g.clone(),
+            map_to_coarser: None,
+        }];
         loop {
             let cur = &levels.last().unwrap().graph;
             if cur.n() <= cfg.target_coarsest || levels.len() > cfg.max_levels {
@@ -61,12 +64,10 @@ impl Hierarchy {
             // One or two contractions, composed into one retained step.
             let m1 = heavy_edge_matching(cur, &mut rng);
             let c1 = contract(cur, &m1);
-            let (coarse, map) = if cfg.keep_every_other && c1.coarse.n() > cfg.target_coarsest
-            {
+            let (coarse, map) = if cfg.keep_every_other && c1.coarse.n() > cfg.target_coarsest {
                 let m2 = heavy_edge_matching(&c1.coarse, &mut rng);
                 let c2 = contract(&c1.coarse, &m2);
-                let composed: Vec<u32> =
-                    c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
+                let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
                 (c2.coarse, composed)
             } else {
                 (c1.coarse, c1.map)
@@ -77,7 +78,10 @@ impl Hierarchy {
                 break;
             }
             levels.last_mut().unwrap().map_to_coarser = Some(map);
-            levels.push(Level { graph: coarse, map_to_coarser: None });
+            levels.push(Level {
+                graph: coarse,
+                map_to_coarser: None,
+            });
         }
         Hierarchy { levels }
     }
@@ -112,7 +116,13 @@ mod tests {
     #[test]
     fn hierarchy_reaches_target() {
         let g = grid_2d(64, 64);
-        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 300, ..Default::default() });
+        let h = Hierarchy::build(
+            &g,
+            &CoarsenConfig {
+                target_coarsest: 300,
+                ..Default::default()
+            },
+        );
         assert!(h.coarsest().n() <= 300);
         assert!(h.depth() >= 2);
         for l in &h.levels {
@@ -136,7 +146,11 @@ mod tests {
     #[test]
     fn every_level_mode_shrinks_by_about_two() {
         let g = grid_2d(60, 60);
-        let cfg = CoarsenConfig { keep_every_other: false, target_coarsest: 500, ..Default::default() };
+        let cfg = CoarsenConfig {
+            keep_every_other: false,
+            target_coarsest: 500,
+            ..Default::default()
+        };
         let h = Hierarchy::build(&g, &cfg);
         let ratio = h.levels[1].graph.n() as f64 / h.levels[0].graph.n() as f64;
         assert!((0.45..0.65).contains(&ratio), "ratio {ratio}");
@@ -145,7 +159,13 @@ mod tests {
     #[test]
     fn vertex_weight_conserved_through_hierarchy() {
         let g = grid_2d(40, 40);
-        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 100, ..Default::default() });
+        let h = Hierarchy::build(
+            &g,
+            &CoarsenConfig {
+                target_coarsest: 100,
+                ..Default::default()
+            },
+        );
         let w0 = g.total_vwgt();
         for l in &h.levels {
             assert!((l.graph.total_vwgt() - w0).abs() < 1e-6);
@@ -155,7 +175,13 @@ mod tests {
     #[test]
     fn maps_cover_all_coarse_vertices() {
         let g = grid_2d(32, 32);
-        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 64, ..Default::default() });
+        let h = Hierarchy::build(
+            &g,
+            &CoarsenConfig {
+                target_coarsest: 64,
+                ..Default::default()
+            },
+        );
         for i in 0..h.depth() - 1 {
             let map = h.levels[i].map_to_coarser.as_ref().unwrap();
             let cn = h.levels[i + 1].graph.n();
@@ -170,10 +196,15 @@ mod tests {
     #[test]
     fn project_down_inherits_values() {
         let g = grid_2d(20, 20);
-        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 50, ..Default::default() });
+        let h = Hierarchy::build(
+            &g,
+            &CoarsenConfig {
+                target_coarsest: 50,
+                ..Default::default()
+            },
+        );
         let k = h.depth() - 1;
-        let coarse_vals: Vec<f64> =
-            (0..h.levels[k].graph.n()).map(|i| i as f64).collect();
+        let coarse_vals: Vec<f64> = (0..h.levels[k].graph.n()).map(|i| i as f64).collect();
         let fine = h.project_down(k - 1, &coarse_vals);
         let map = h.levels[k - 1].map_to_coarser.as_ref().unwrap();
         for (v, &val) in fine.iter().enumerate() {
@@ -184,7 +215,13 @@ mod tests {
     #[test]
     fn tiny_graph_single_level() {
         let g = grid_2d(5, 5);
-        let h = Hierarchy::build(&g, &CoarsenConfig { target_coarsest: 100, ..Default::default() });
+        let h = Hierarchy::build(
+            &g,
+            &CoarsenConfig {
+                target_coarsest: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(h.depth(), 1);
         assert_eq!(h.coarsest().n(), 25);
     }

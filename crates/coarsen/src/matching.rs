@@ -124,7 +124,10 @@ mod tests {
         // leaves claim the centre, the heavy edge 0-2 wins; that happens in
         // half the visit orders in expectation. Seeing it rarely would mean
         // weights are being ignored.
-        assert!(heavy_chosen >= 5, "heavy edge chosen only {heavy_chosen}/20 times");
+        assert!(
+            heavy_chosen >= 5,
+            "heavy edge chosen only {heavy_chosen}/20 times"
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@ use sp_graph::distr::Distribution;
 use sp_graph::Graph;
 use sp_machine::Machine;
 
+/// Per-rank outboxes of `(dest, edge-pair payload)` messages.
+type PairOutbox = Vec<Vec<(usize, Vec<(u32, u32)>)>>;
+
 /// Deterministic per-round coin: `true` = proposer.
 #[inline]
 fn coin(v: u32, round: u32, seed: u64) -> bool {
@@ -99,8 +102,7 @@ pub fn parallel_hem(
         }
 
         // --- Route proposals to the owner of the target vertex.
-        let mut outbox: Vec<Vec<(usize, Vec<(u32, u32)>)>> =
-            (0..p).map(|_| Vec::new()).collect();
+        let mut outbox: PairOutbox = (0..p).map(|_| Vec::new()).collect();
         let mut local: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p];
         for (r, props) in proposals.into_iter().enumerate() {
             let mut by_dest: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p];
@@ -159,8 +161,7 @@ pub fn parallel_hem(
             }
         }
         // --- Commit and send grants back (cost: same routing reversed).
-        let mut grant_out: Vec<Vec<(usize, Vec<(u32, u32)>)>> =
-            (0..p).map(|_| Vec::new()).collect();
+        let mut grant_out: PairOutbox = (0..p).map(|_| Vec::new()).collect();
         for &(u, v) in &accept {
             matched[u as usize] = true;
             matched[v as usize] = true;

@@ -4,30 +4,43 @@
 //! any of the methods from the paper's evaluation, on a simulated P-rank
 //! machine; writes one part id per line (vertex order) to `--out`.
 //!
+//! The simulated machine is observable: `--trace` dumps a Chrome
+//! trace-event JSON (one lane per simulated rank; open it at
+//! <https://ui.perfetto.dev>) and `--metrics` dumps per-phase and per-rank
+//! counters as JSON. Instead of a file, `gen:grid:WxH` generates a W×H
+//! grid mesh (with coordinates) in-process.
+//!
 //! Examples:
 //!   scalapart mesh.graph --parts 8 --ranks 64 --out mesh.part
 //!   scalapart power.mtx --format mm --method ptscotch --parts 2
 //!   scalapart mesh.graph --coords mesh.xy --method rcb --parts 16
+//!   scalapart gen:grid:64x64 --ranks 16 --trace run.trace.json --metrics run.metrics.json
 
-use scalapart::{recursive_kway, Method};
+use scalapart::machine::{CostModel, Machine, Metrics, TraceRecorder};
+use scalapart::{recursive_kway_on, Method};
+use sp_geometry::Point2;
+use sp_graph::gen::{grid_2d, grid_2d_coords};
 use sp_graph::io::{read_chaco, read_coords, read_matrix_market};
+use sp_graph::Graph;
 use std::io::BufReader;
 use std::path::PathBuf;
 
 struct Args {
-    input: PathBuf,
+    input: String,
     format: String,
     method: Method,
     parts: usize,
     ranks: usize,
     coords: Option<PathBuf>,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     seed: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scalapart <graph-file> [options]\n\
+        "usage: scalapart <graph-file | gen:grid:WxH> [options]\n\
          \n\
          options:\n\
            --format chaco|mm       input format (default: by extension, .mtx = mm)\n\
@@ -36,6 +49,9 @@ fn usage() -> ! {
            --ranks P               simulated ranks (default 64)\n\
            --coords FILE           x-y coordinate file (one pair per line)\n\
            --out FILE              write part ids here (default: stdout summary only)\n\
+           --trace FILE            write Chrome trace-event JSON of the simulated run\n\
+                                   (load in chrome://tracing or ui.perfetto.dev)\n\
+           --metrics FILE          write per-phase / per-rank metrics JSON\n\
            --seed N                RNG seed (default 42)"
     );
     std::process::exit(2);
@@ -43,13 +59,15 @@ fn usage() -> ! {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        input: PathBuf::new(),
+        input: String::new(),
         format: String::new(),
         method: Method::ScalaPart,
         parts: 2,
         ranks: 64,
         coords: None,
         out: None,
+        trace: None,
+        metrics: None,
         seed: 42,
     };
     let mut it = std::env::args().skip(1);
@@ -74,19 +92,30 @@ fn parse_args() -> Args {
                 }
             }
             "--parts" => {
-                args.parts = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                args.parts = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--ranks" => {
-                args.ranks = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                args.ranks = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--coords" => args.coords = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--trace" => args.trace = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--metrics" => args.metrics = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--seed" => {
-                args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             other if !have_input => {
-                args.input = PathBuf::from(other);
+                args.input = other.to_string();
                 have_input = true;
             }
             other => {
@@ -99,7 +128,7 @@ fn parse_args() -> Args {
         usage();
     }
     if args.format.is_empty() {
-        args.format = if args.input.extension().is_some_and(|e| e == "mtx") {
+        args.format = if args.input.ends_with(".mtx") {
             "mm".into()
         } else {
             "chaco".into()
@@ -108,10 +137,34 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
+/// `gen:grid:WxH` → a W×H grid mesh with its natural coordinates.
+fn parse_generated(input: &str) -> Option<(Graph, Vec<Point2>)> {
+    let spec = input.strip_prefix("gen:grid:")?;
+    let (w, h) = spec.split_once('x')?;
+    let w: usize = w.parse().ok()?;
+    let h: usize = h.parse().ok()?;
+    if w == 0 || h == 0 {
+        eprintln!("grid dimensions must be positive");
+        std::process::exit(1);
+    }
+    Some((grid_2d(w, h), grid_2d_coords(w, h)))
+}
+
+fn load_graph(args: &Args) -> (Graph, Option<Vec<Point2>>) {
+    if args.input.starts_with("gen:") {
+        match parse_generated(&args.input) {
+            Some((g, c)) => return (g, Some(c)),
+            None => {
+                eprintln!(
+                    "bad generator spec '{}' (expected gen:grid:WxH)",
+                    args.input
+                );
+                usage()
+            }
+        }
+    }
     let file = std::fs::File::open(&args.input).unwrap_or_else(|e| {
-        eprintln!("cannot open {}: {e}", args.input.display());
+        eprintln!("cannot open {}: {e}", args.input);
         std::process::exit(1);
     });
     let reader = BufReader::new(file);
@@ -127,12 +180,6 @@ fn main() {
         eprintln!("parse error: {e}");
         std::process::exit(1);
     });
-    eprintln!(
-        "loaded {}: N = {}, M = {}",
-        args.input.display(),
-        graph.n(),
-        graph.m()
-    );
     let coords = args.coords.as_ref().map(|p| {
         let f = std::fs::File::open(p).unwrap_or_else(|e| {
             eprintln!("cannot open {}: {e}", p.display());
@@ -148,35 +195,80 @@ fn main() {
         }
         c
     });
+    (graph, coords)
+}
+
+fn write_file(path: &PathBuf, body: &str, what: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!("wrote {} ({})", path.display(), what);
+}
+
+fn main() {
+    let args = parse_args();
+    let (graph, coords) = load_graph(&args);
+    eprintln!(
+        "loaded {}: N = {}, M = {}",
+        args.input,
+        graph.n(),
+        graph.m()
+    );
+
+    let mut machine = Machine::new(args.ranks.max(1), CostModel::qdr_infiniband());
+    let observing = args.trace.is_some() || args.metrics.is_some();
+    if observing {
+        machine.set_recorder(Box::new(TraceRecorder::new(machine.p())));
+    }
 
     let t0 = std::time::Instant::now();
-    let kp = recursive_kway(
+    let kp = recursive_kway_on(
         args.method,
         &graph,
         coords.as_deref(),
         args.parts,
-        args.ranks,
         args.seed,
+        &mut machine,
     );
     let wall = t0.elapsed();
     kp.validate(&graph).unwrap_or_else(|e| {
         eprintln!("internal error: invalid partition: {e}");
         std::process::exit(1);
     });
+
+    let sim = machine.elapsed();
+    let stats = machine.stats();
+    let recorder = machine.take_recorder().and_then(TraceRecorder::downcast);
+    if args.parts > 2 && observing {
+        eprintln!(
+            "note: trace/metrics cover the root bisection (k = {} recurses on fresh machines)",
+            args.parts
+        );
+    }
+    if let Some(path) = &args.trace {
+        let rec = recorder.as_deref().expect("recorder was installed");
+        write_file(
+            path,
+            &rec.chrome_trace(),
+            "Chrome trace JSON — open in ui.perfetto.dev",
+        );
+    }
+    if let Some(path) = &args.metrics {
+        let metrics = Metrics::build(&stats, recorder.as_deref());
+        write_file(path, &metrics.to_json(), "metrics JSON");
+    }
+
     println!("method     : {}", args.method.name());
     println!("parts      : {}", args.parts);
     println!("ranks      : {}", args.ranks);
     println!("edge cut   : {}", kp.cut_edges(&graph));
     println!("comm volume: {}", kp.comm_volume(&graph));
     println!("imbalance  : {:.4}", kp.imbalance(&graph));
-    println!("wall time  : {:.2?}", wall);
+    println!("sim time   : {sim:.6}s");
+    println!("wall time  : {wall:.2?}");
     if let Some(out) = args.out {
-        let body: String =
-            kp.part.iter().map(|p| format!("{p}\n")).collect();
-        std::fs::write(&out, body).unwrap_or_else(|e| {
-            eprintln!("cannot write {}: {e}", out.display());
-            std::process::exit(1);
-        });
-        eprintln!("wrote {}", out.display());
+        let body: String = kp.part.iter().map(|p| format!("{p}\n")).collect();
+        write_file(&out, &body, "part ids");
     }
 }

@@ -31,13 +31,20 @@ pub struct SpConfig {
 impl Default for SpConfig {
     fn default() -> Self {
         SpConfig {
-            coarsen: CoarsenConfig { target_coarsest: 160, ..CoarsenConfig::default() },
+            coarsen: CoarsenConfig {
+                target_coarsest: 160,
+                ..CoarsenConfig::default()
+            },
             embed: MultilevelEmbedConfig::default(),
             geo: GeoConfig::g7_nl(),
             strip_factor: 6.0,
-            fm: FmConfig { max_passes: 4, balance_tol: 0.08, move_fraction: 1.0 },
+            fm: FmConfig {
+                max_passes: 4,
+                balance_tol: 0.08,
+                move_fraction: 1.0,
+            },
             matching_rounds: 12,
-            seed: 0x5CA1A_9A87,
+            seed: 0x5CA_1A9_A87,
         }
     }
 }

@@ -11,9 +11,10 @@
 //! over-weights its parts (k = 3 yields ≈ 25/25/50). Power-of-two k is
 //! balanced to the underlying bisector's tolerance.
 
-use crate::methods::{run_method, Method};
+use crate::methods::{run_method, run_method_on, Method};
 use sp_geometry::Point2;
 use sp_graph::Graph;
+use sp_machine::Machine;
 
 /// A k-way partition: `part[v] ∈ 0..k`.
 #[derive(Clone, Debug)]
@@ -120,11 +121,39 @@ pub fn recursive_kway(
     p: usize,
     seed: u64,
 ) -> KWayPartition {
+    recursive_kway_impl(method, g, coords, k, p, seed, None)
+}
+
+/// Like [`recursive_kway`], but the *root* bisection runs on the supplied
+/// machine, so a recorder installed there traces it (the recursion's
+/// sub-bisections run on fresh machines for their shrunken rank groups).
+/// For `k = 2` this traces the entire run.
+pub fn recursive_kway_on(
+    method: Method,
+    g: &Graph,
+    coords: Option<&[Point2]>,
+    k: usize,
+    seed: u64,
+    machine: &mut Machine,
+) -> KWayPartition {
+    let p = machine.p();
+    recursive_kway_impl(method, g, coords, k, p, seed, Some(machine))
+}
+
+fn recursive_kway_impl(
+    method: Method,
+    g: &Graph,
+    coords: Option<&[Point2]>,
+    k: usize,
+    p: usize,
+    seed: u64,
+    machine: Option<&mut Machine>,
+) -> KWayPartition {
     assert!(k >= 1);
     let mut part = vec![0u32; g.n()];
     if k > 1 && g.n() >= 2 {
         let verts: Vec<u32> = (0..g.n() as u32).collect();
-        split(method, g, coords, &verts, 0, k, p, seed, &mut part);
+        split(method, g, coords, &verts, 0, k, p, seed, &mut part, machine);
     }
     KWayPartition { part, k }
 }
@@ -140,6 +169,7 @@ fn split(
     p: usize,
     seed: u64,
     out: &mut [u32],
+    machine: Option<&mut Machine>,
 ) {
     if k <= 1 || verts.len() < 2 {
         for &v in verts {
@@ -153,7 +183,22 @@ fn split(
     let (sub, map) = g.induced_subgraph(verts);
     let sub_coords: Option<Vec<Point2>> =
         coords.map(|c| map.iter().map(|&v| c[v as usize]).collect());
-    let r = run_method(method, &sub, sub_coords.as_deref(), p.max(1), seed ^ first_part as u64);
+    let r = match machine {
+        Some(m) => run_method_on(
+            method,
+            &sub,
+            sub_coords.as_deref(),
+            m,
+            seed ^ first_part as u64,
+        ),
+        None => run_method(
+            method,
+            &sub,
+            sub_coords.as_deref(),
+            p.max(1),
+            seed ^ first_part as u64,
+        ),
+    };
     // Assign the lighter side to the smaller k when k is odd so part
     // weights track k0 : k1.
     let (w0, w1) = r.bisection.weights(&sub);
@@ -169,8 +214,21 @@ fn split(
     }
     let p0 = ((p * k0) / k).max(1);
     let p1 = (p - p0).max(1);
-    split(method, g, coords, &side0, first_part, k0, p0, seed, out);
-    split(method, g, coords, &side1, first_part + k0 as u32, k1, p1, seed, out);
+    split(
+        method, g, coords, &side0, first_part, k0, p0, seed, out, None,
+    );
+    split(
+        method,
+        g,
+        coords,
+        &side1,
+        first_part + k0 as u32,
+        k1,
+        p1,
+        seed,
+        out,
+        None,
+    );
 }
 
 #[cfg(test)]
@@ -222,6 +280,21 @@ mod tests {
     }
 
     #[test]
+    fn kway_on_machine_matches_plain_and_traces_root() {
+        use sp_machine::{CostModel, TraceRecorder};
+        let g = grid_2d(24, 24);
+        let coords = grid_2d_coords(24, 24);
+        let mut m = Machine::new(8, CostModel::qdr_infiniband());
+        m.set_recorder(Box::new(TraceRecorder::new(8)));
+        let kp = recursive_kway_on(Method::Rcb, &g, Some(&coords), 4, 1, &mut m);
+        kp.validate(&g).unwrap();
+        let plain = recursive_kway(Method::Rcb, &g, Some(&coords), 4, 8, 1);
+        assert_eq!(kp.part, plain.part);
+        let rec = TraceRecorder::downcast(m.take_recorder().unwrap()).unwrap();
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
     fn k_equals_one_is_trivial() {
         let g = grid_2d(5, 5);
         let kp = recursive_kway(Method::Rcb, &g, None, 1, 1, 4);
@@ -238,7 +311,10 @@ mod tests {
         b.add_edge(0, 1, 1.0);
         b.add_edge(1, 2, 1.0);
         let g = b.build();
-        let kp = KWayPartition { part: vec![0, 1, 2], k: 3 };
+        let kp = KWayPartition {
+            part: vec![0, 1, 2],
+            k: 3,
+        };
         assert_eq!(kp.comm_volume(&g), 4);
         assert_eq!(kp.cut_edges(&g), 2);
     }

@@ -41,8 +41,8 @@ pub mod pipeline;
 pub mod svg;
 
 pub use config::SpConfig;
-pub use kway::{recursive_kway, KWayPartition};
-pub use methods::{run_method, Method, MethodResult};
+pub use kway::{recursive_kway, recursive_kway_on, KWayPartition};
+pub use methods::{run_method, run_method_on, Method, MethodResult};
 pub use pipeline::{scalapart_bisect, sp_pg7nl_bisect, PhaseTimes, SpResult};
 
 // Re-export the substrate crates so downstream users need only one

@@ -85,15 +85,35 @@ pub fn run_method(
     seed: u64,
 ) -> MethodResult {
     let mut machine = Machine::new(p, CostModel::qdr_infiniband());
+    run_method_on(method, g, coords, &mut machine, seed)
+}
+
+/// Like [`run_method`], but on a caller-supplied machine. This is the
+/// observability entry point: install a recorder on `machine` first
+/// (see `sp_machine::Machine::set_recorder`) and the whole run is traced.
+pub fn run_method_on(
+    method: Method,
+    g: &Graph,
+    coords: Option<&[Point2]>,
+    machine: &mut Machine,
+    seed: u64,
+) -> MethodResult {
+    let p = machine.p();
     let owned_coords: Option<Vec<Point2>> = if method.needs_coords() && coords.is_none() {
-        Some(embed_multilevel_seq(g, &SeqEmbedConfig { seed, ..Default::default() }))
+        Some(embed_multilevel_seq(
+            g,
+            &SeqEmbedConfig {
+                seed,
+                ..Default::default()
+            },
+        ))
     } else {
         None
     };
     let coords = owned_coords.as_deref().or(coords);
     match method {
         Method::ScalaPart => {
-            let r = scalapart_bisect(g, &mut machine, &SpConfig::default().with_seed(seed));
+            let r = scalapart_bisect(g, machine, &SpConfig::default().with_seed(seed));
             MethodResult {
                 method,
                 cut: r.cut,
@@ -105,12 +125,7 @@ pub fn run_method(
         }
         Method::SpPg7Nl => {
             let coords = coords.expect("SP-PG7-NL needs coordinates");
-            let r = sp_pg7nl_bisect(
-                g,
-                coords,
-                &mut machine,
-                &SpConfig::default().with_seed(seed),
-            );
+            let r = sp_pg7nl_bisect(g, coords, machine, &SpConfig::default().with_seed(seed));
             MethodResult {
                 method,
                 cut: r.cut,
@@ -126,7 +141,7 @@ pub fn run_method(
             } else {
                 MultilevelConfig::ptscotch_like(seed)
             };
-            let (bi, _st) = multilevel_bisect(g, &mut machine, &cfg);
+            let (bi, _st) = multilevel_bisect(g, machine, &cfg);
             MethodResult {
                 method,
                 cut: bi.cut_edges(g),
@@ -139,7 +154,7 @@ pub fn run_method(
         Method::Rcb => {
             let coords = coords.expect("RCB needs coordinates");
             let dist = Distribution::block(g.n(), p);
-            let r = rcb_bisect(g, coords, &dist, &mut machine);
+            let r = rcb_bisect(g, coords, &dist, machine);
             MethodResult {
                 method,
                 cut: r.cut,
@@ -192,7 +207,9 @@ mod tests {
             Method::G7Nl,
         ] {
             let r = run_method(method, &g, Some(&coords), 4, 7);
-            r.bisection.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            r.bisection
+                .validate(&g)
+                .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
             assert!(r.cut > 0, "{}", method.name());
             assert_eq!(r.cut, r.bisection.cut_edges(&g), "{}", method.name());
         }
@@ -203,6 +220,22 @@ mod tests {
         let g = grid_2d(12, 12);
         let r = run_method(Method::Rcb, &g, None, 2, 3);
         r.bisection.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn run_method_on_supports_tracing_without_perturbing_results() {
+        use sp_machine::TraceRecorder;
+        let g = grid_2d(16, 16);
+        let mut m = Machine::new(4, CostModel::qdr_infiniband());
+        m.set_recorder(Box::new(TraceRecorder::new(4)));
+        let r = run_method_on(Method::ScalaPart, &g, None, &mut m, 7);
+        r.bisection.validate(&g).unwrap();
+        let rec = TraceRecorder::downcast(m.take_recorder().unwrap()).unwrap();
+        assert!(!rec.is_empty());
+        // Tracing is observation only: identical cut and simulated time.
+        let base = run_method(Method::ScalaPart, &g, None, 4, 7);
+        assert_eq!(r.cut, base.cut);
+        assert_eq!(r.time, base.time);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use sp_geometry::Point2;
 use sp_geopart::parallel_geometric_partition;
 use sp_graph::distr::Distribution;
 use sp_graph::{Bisection, Graph};
-use sp_machine::{Machine, PhaseBreakdown};
+use sp_machine::{Machine, Phase, PhaseBreakdown};
 use sp_refine::{fm_refine, strip_around_separator};
 
 /// Per-phase simulated time (computation/communication split), the data
@@ -53,14 +53,14 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
 
     // ---- Phase 1: coarsening (parallel HEM at full P, retaining every
     // other contraction so retained levels shrink ≈ 4×).
-    machine.phase("coarsen");
+    machine.phase(Phase::Coarsen);
     let t0 = machine.elapsed();
     let hierarchy = coarsen_parallel(g, machine, cfg, &mut rng);
     machine.barrier();
     let t1 = machine.elapsed();
 
     // ---- Phase 2: multilevel fixed-lattice embedding.
-    machine.phase("embed");
+    machine.phase(Phase::Embed);
     let mut embed_cfg = cfg.embed;
     embed_cfg.seed = cfg.embed.seed ^ cfg.seed;
     let coords = multilevel_lattice_embed(&hierarchy, machine, &embed_cfg);
@@ -68,10 +68,9 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
     let t2 = machine.elapsed();
 
     // ---- Phase 3: parallel geometric partitioning + strip refinement.
-    machine.phase("partition");
+    machine.phase(Phase::Partition);
     let dist = Distribution::block(g.n(), p);
-    let geo =
-        parallel_geometric_partition(g, &coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
+    let geo = parallel_geometric_partition(g, &coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
     let mut bisection = geo.bisection;
     let cut_before_refine = geo.cut;
     let mut strip_size = 0;
@@ -91,28 +90,31 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
         }
     }
     let t3 = machine.elapsed();
-    machine.phase("done");
+    machine.phase(Phase::Done);
 
     // Phase walls are barrier-delimited; the communication share of a
     // phase is wall time minus the critical-path computation within it
     // (idle waiting counts as communication, as it would in an MPI trace).
+    // Phases are typed: sub-phase labels (e.g. the embedder's per-level
+    // smoothing spans) aggregate into their parent phase by construction,
+    // so no string matching is needed here.
     let breakdown = machine.phase_breakdown();
-    let mut comp = [0.0f64; 3];
-    for (name, pb) in &breakdown {
-        if name.starts_with("coarsen") {
-            comp[0] += pb.comp;
-        } else if name.starts_with("embed") {
-            comp[1] += pb.comp;
-        } else if name.starts_with("partition") {
-            comp[2] += pb.comp;
-        }
-    }
+    let comp_of = |ph: Phase| breakdown.get(&ph).map_or(0.0, |b| b.comp);
+    let comp = [
+        comp_of(Phase::Coarsen),
+        comp_of(Phase::Embed),
+        comp_of(Phase::Partition),
+    ];
     let walls = [t1 - t0, t2 - t1, t3 - t2];
     let mk = |i: usize| PhaseBreakdown {
         comp: comp[i].min(walls[i]),
         comm: (walls[i] - comp[i]).max(0.0),
     };
-    let times = PhaseTimes { coarsen: mk(0), embed: mk(1), partition: mk(2) };
+    let times = PhaseTimes {
+        coarsen: mk(0),
+        embed: mk(1),
+        partition: mk(2),
+    };
     let cut = bisection.cut_edges(g);
     let imbalance = bisection.imbalance(g);
     SpResult {
@@ -137,10 +139,9 @@ pub fn sp_pg7nl_bisect(
     cfg: &SpConfig,
 ) -> SpResult {
     let p = machine.p();
-    machine.phase("partition");
+    machine.phase(Phase::Partition);
     let dist = Distribution::block(g.n(), p);
-    let geo =
-        parallel_geometric_partition(g, coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
+    let geo = parallel_geometric_partition(g, coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
     let mut bisection = geo.bisection;
     let cut_before_refine = geo.cut;
     let mut strip_size = 0;
@@ -156,10 +157,10 @@ pub fn sp_pg7nl_bisect(
             let _ = machine.allreduce_sum(&vec![vec![0.0; 2]; p]);
         }
     }
-    machine.phase("done");
+    machine.phase(Phase::Done);
     let mut breakdown = machine.phase_breakdown();
     let times = PhaseTimes {
-        partition: breakdown.remove("partition").unwrap_or_default(),
+        partition: breakdown.remove(&Phase::Partition).unwrap_or_default(),
         ..Default::default()
     };
     let cut = bisection.cut_edges(g);
@@ -186,7 +187,10 @@ fn coarsen_parallel(
     rng: &mut StdRng,
 ) -> Hierarchy {
     let p = machine.p();
-    let mut levels = vec![Level { graph: g.clone(), map_to_coarser: None }];
+    let mut levels = vec![Level {
+        graph: g.clone(),
+        map_to_coarser: None,
+    }];
     loop {
         let cur = &levels.last().unwrap().graph;
         if cur.n() <= cfg.coarsen.target_coarsest || levels.len() > cfg.coarsen.max_levels {
@@ -194,8 +198,13 @@ fn coarsen_parallel(
         }
         let step = |graph: &Graph, machine: &mut Machine, rng: &mut StdRng| {
             let dist = Distribution::block(graph.n(), p);
-            let matching =
-                parallel_hem(graph, &dist, machine, cfg.matching_rounds, rng.random::<u64>());
+            let matching = parallel_hem(
+                graph,
+                &dist,
+                machine,
+                cfg.matching_rounds,
+                rng.random::<u64>(),
+            );
             let c = contract(graph, &matching);
             // Contraction cost: local edges plus ghost-id exchange.
             let mut states: Vec<()> = vec![(); p];
@@ -204,8 +213,9 @@ fn coarsen_parallel(
             if p > 1 {
                 let cross = dist.cross_edges(graph);
                 let words = (2 * cross / p).max(1);
-                let outbox: Vec<Vec<(usize, Vec<u64>)>> =
-                    (0..p).map(|r| vec![((r + 1) % p, vec![0u64; words])]).collect();
+                let outbox: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
+                    .map(|r| vec![((r + 1) % p, vec![0u64; words])])
+                    .collect();
                 let _ = machine.exchange(outbox);
             }
             c
@@ -214,8 +224,7 @@ fn coarsen_parallel(
         let (coarse, map) =
             if cfg.coarsen.keep_every_other && c1.coarse.n() > cfg.coarsen.target_coarsest {
                 let c2 = step(&c1.coarse, machine, rng);
-                let composed: Vec<u32> =
-                    c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
+                let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
                 (c2.coarse, composed)
             } else {
                 (c1.coarse, c1.map)
@@ -226,7 +235,10 @@ fn coarsen_parallel(
             break;
         }
         levels.last_mut().unwrap().map_to_coarser = Some(map);
-        levels.push(Level { graph: coarse, map_to_coarser: None });
+        levels.push(Level {
+            graph: coarse,
+            map_to_coarser: None,
+        });
     }
     Hierarchy { levels }
 }
@@ -255,7 +267,12 @@ mod tests {
         let g = grid_2d(24, 24);
         let mut m = Machine::new(4, CostModel::qdr_infiniband());
         let r = scalapart_bisect(&g, &mut m, &SpConfig::default());
-        assert!(r.cut <= r.cut_before_refine, "{} > {}", r.cut, r.cut_before_refine);
+        assert!(
+            r.cut <= r.cut_before_refine,
+            "{} > {}",
+            r.cut,
+            r.cut_before_refine
+        );
         assert!(r.strip_size > 0);
     }
 
@@ -270,6 +287,28 @@ mod tests {
         assert!(r.times.partition.total() > 0.0);
         // Embedding dominates (the paper's Fig 7 observation).
         assert!(r.times.embed.total() > r.times.partition.total());
+    }
+
+    #[test]
+    fn labeled_subphases_aggregate_into_parent_phase() {
+        // The embedder switches through labeled sub-phases ("coarsest",
+        // "smooth-N") of Phase::Embed; all of them must land in the one
+        // Embed bucket, and no stray phase keys may appear.
+        let g = grid_2d(48, 48);
+        let mut m = Machine::new(16, CostModel::qdr_infiniband());
+        let r = scalapart_bisect(&g, &mut m, &SpConfig::default());
+        assert!(r.times.embed.total() > 0.0);
+        let bd = m.phase_breakdown();
+        assert!(bd[&Phase::Embed].comp > 0.0);
+        for ph in bd.keys() {
+            assert!(
+                matches!(
+                    ph,
+                    Phase::Idle | Phase::Coarsen | Phase::Embed | Phase::Partition | Phase::Done
+                ),
+                "unexpected phase {ph}"
+            );
+        }
     }
 
     #[test]

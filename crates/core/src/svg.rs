@@ -13,12 +13,13 @@ pub fn render_svg(
     bisection: Option<&Bisection>,
     width_px: f64,
 ) -> String {
-    let bb = Aabb2::from_points(coords).unwrap_or_else(Aabb2::unit).inflated(0.05 + 1e-9);
+    let bb = Aabb2::from_points(coords)
+        .unwrap_or_else(Aabb2::unit)
+        .inflated(0.05 + 1e-9);
     let scale = width_px / bb.width().max(1e-12);
     let h_px = bb.height() * scale;
-    let tx = |p: Point2| -> (f64, f64) {
-        ((p.x - bb.min.x) * scale, h_px - (p.y - bb.min.y) * scale)
-    };
+    let tx =
+        |p: Point2| -> (f64, f64) { ((p.x - bb.min.x) * scale, h_px - (p.y - bb.min.y) * scale) };
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -33,9 +34,12 @@ pub fn render_svg(
             }
             let (x1, y1) = tx(coords[v as usize]);
             let (x2, y2) = tx(coords[u as usize]);
-            let crossing =
-                bisection.is_some_and(|b| b.side(v) != b.side(u));
-            let (stroke, sw) = if crossing { ("#d62728", 1.2) } else { ("#bbbbbb", 0.5) };
+            let crossing = bisection.is_some_and(|b| b.side(v) != b.side(u));
+            let (stroke, sw) = if crossing {
+                ("#d62728", 1.2)
+            } else {
+                ("#bbbbbb", 0.5)
+            };
             let _ = writeln!(
                 s,
                 r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{sw}"/>"#
@@ -51,7 +55,10 @@ pub fn render_svg(
             Some(_) => "#ff7f0e",
             None => "#333333",
         };
-        let _ = writeln!(s, r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="{fill}"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="{fill}"/>"#
+        );
     }
     s.push_str("</svg>\n");
     s
@@ -61,7 +68,9 @@ pub fn render_svg(
 /// special vertices of Fig 1) on an embedding.
 pub fn render_lattice_svg(g: &Graph, coords: &[Point2], q: usize, width_px: f64) -> String {
     let base = render_svg(g, coords, None, width_px);
-    let bb = Aabb2::from_points(coords).unwrap_or_else(Aabb2::unit).inflated(0.05 + 1e-9);
+    let bb = Aabb2::from_points(coords)
+        .unwrap_or_else(Aabb2::unit)
+        .inflated(0.05 + 1e-9);
     let scale = width_px / bb.width().max(1e-12);
     let h_px = bb.height() * scale;
     let mut overlay = String::new();

@@ -21,7 +21,10 @@ impl ForceParams {
     /// `K` chosen so that n vertices at natural spacing tile an `area`-sized
     /// domain: `K = √(area / n)`.
     pub fn for_domain(c: f64, area: f64, n: usize) -> Self {
-        ForceParams { c, k: (area / n.max(1) as f64).sqrt() }
+        ForceParams {
+            c,
+            k: (area / n.max(1) as f64).sqrt(),
+        }
     }
 
     /// Attractive force vector on a vertex at `from` due to a neighbour at

@@ -39,7 +39,13 @@ pub struct LatticeConfig {
 
 impl Default for LatticeConfig {
     fn default() -> Self {
-        LatticeConfig { c: 0.2, iters: 60, block: 4, step0: 0.5, cooling: 0.9 }
+        LatticeConfig {
+            c: 0.2,
+            iters: 60,
+            block: 4,
+            step0: 0.5,
+            cooling: 0.9,
+        }
     }
 }
 
@@ -88,8 +94,9 @@ pub struct QuantileLattice {
 impl QuantileLattice {
     /// Build from the current coordinates.
     pub fn build(coords: &[Point2], q: usize) -> Self {
-        let bbox =
-            Aabb2::from_points(coords).unwrap_or_else(Aabb2::unit).inflated(0.02 + 1e-9);
+        let bbox = Aabb2::from_points(coords)
+            .unwrap_or_else(Aabb2::unit)
+            .inflated(0.02 + 1e-9);
         let n = coords.len().max(1);
         let mut xs: Vec<f64> = coords.iter().map(|c| c.x).collect();
         if xs.is_empty() {
@@ -115,7 +122,12 @@ impl QuantileLattice {
                 (1..q).map(|k| ys[(k * m / q).min(m - 1)]).collect()
             })
             .collect();
-        QuantileLattice { q, xcuts, ycuts, bbox }
+        QuantileLattice {
+            q,
+            xcuts,
+            ycuts,
+            bbox,
+        }
     }
 
     pub fn q(&self) -> usize {
@@ -136,10 +148,26 @@ impl QuantileLattice {
 
     /// Bounding box of cell `(i, j)`.
     pub fn cell_box(&self, i: usize, j: usize) -> Aabb2 {
-        let x0 = if i == 0 { self.bbox.min.x } else { self.xcuts[i - 1] };
-        let x1 = if i + 1 == self.q { self.bbox.max.x } else { self.xcuts[i] };
-        let y0 = if j == 0 { self.bbox.min.y } else { self.ycuts[i][j - 1] };
-        let y1 = if j + 1 == self.q { self.bbox.max.y } else { self.ycuts[i][j] };
+        let x0 = if i == 0 {
+            self.bbox.min.x
+        } else {
+            self.xcuts[i - 1]
+        };
+        let x1 = if i + 1 == self.q {
+            self.bbox.max.x
+        } else {
+            self.xcuts[i]
+        };
+        let y0 = if j == 0 {
+            self.bbox.min.y
+        } else {
+            self.ycuts[i][j - 1]
+        };
+        let y1 = if j + 1 == self.q {
+            self.bbox.max.y
+        } else {
+            self.ycuts[i][j]
+        };
         Aabb2::new(
             Point2::new(x0.min(x1), y0.min(y1)),
             Point2::new(x0.max(x1), y0.max(y1)),
@@ -159,12 +187,7 @@ impl QuantileLattice {
 
 /// Clamp a far ghost's (stale) position into the cell adjacent to `my_cell`
 /// in the direction of the ghost's cell — the paper's shortest-L1 rule.
-fn clamp_far(
-    lattice: &QuantileLattice,
-    my_cell: usize,
-    ghost_cell: usize,
-    pos: Point2,
-) -> Point2 {
+fn clamp_far(lattice: &QuantileLattice, my_cell: usize, ghost_cell: usize, pos: Point2) -> Point2 {
     let q = lattice.q();
     let (mi, mj) = (my_cell % q, my_cell / q);
     let (gi, gj) = (ghost_cell % q, ghost_cell / q);
@@ -194,7 +217,11 @@ pub fn lattice_smooth(
     cfg: &LatticeConfig,
 ) -> LatticeStats {
     assert_eq!(coords.len(), g.n());
-    assert!(q * q <= machine.p(), "lattice {q}×{q} needs ≥ {} ranks", q * q);
+    assert!(
+        q * q <= machine.p(),
+        "lattice {q}×{q} needs ≥ {} ranks",
+        q * q
+    );
     let n = g.n();
     if n == 0 || cfg.iters == 0 {
         return LatticeStats::default();
@@ -321,7 +348,13 @@ pub fn lattice_smooth(
                 }
             }
             let beta_payload: Vec<Vec<u64>> = (0..p)
-                .map(|r| if r < ncells { vec![0u64; 3 + 2 * far_counts[r]] } else { Vec::new() })
+                .map(|r| {
+                    if r < ncells {
+                        vec![0u64; 3 + 2 * far_counts[r]]
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect();
             let _ = machine.group_allgather(ncells, beta_payload);
             let _ = machine.group_allreduce_sum(ncells, &vec![vec![0.0f64]; p]);
@@ -338,8 +371,7 @@ pub fn lattice_smooth(
             let betas_ref = &betas;
             let beta_snap_ref = &beta_snapshot;
             let lattice_ref = &lattice;
-            let mut states: Vec<(Vec<(u32, Point2)>, f64)> =
-                vec![(Vec::new(), 0.0); p];
+            let mut states: Vec<(Vec<(u32, Point2)>, f64)> = vec![(Vec::new(), 0.0); p];
             machine.compute(&mut states, |r, state| {
                 let (out, local_energy) = state;
                 if r >= ncells {
@@ -444,7 +476,11 @@ pub fn lattice_smooth(
                 moved += 1;
             }
         }
-        stats.final_move = if moved > 0 { total_move / moved as f64 / params.k } else { 0.0 };
+        stats.final_move = if moved > 0 {
+            total_move / moved as f64 / params.k
+        } else {
+            0.0
+        };
 
         // --- Migration: vertices whose box changed move to the new owner.
         // Adjacent-cell migrations ride the next halo exchange (their data
@@ -458,7 +494,9 @@ pub fn lattice_smooth(
             let nc = cell_of(coords[v], &lattice);
             if nc != owner[v] {
                 if !cell_adjacent(q, owner[v] as usize, nc as usize) {
-                    *mig_counts.entry((owner[v] as usize, nc as usize)).or_default() += 1;
+                    *mig_counts
+                        .entry((owner[v] as usize, nc as usize))
+                        .or_default() += 1;
                 }
                 owner[v] = nc;
                 stats.migrations += 1;
@@ -516,10 +554,20 @@ mod tests {
             &mut coords,
             2,
             &mut m,
-            &LatticeConfig { iters: 60, step0: 0.8, cooling: 0.97, ..Default::default() },
+            &LatticeConfig {
+                iters: 60,
+                step0: 0.8,
+                cooling: 0.97,
+                ..Default::default()
+            },
         );
         let after = edge_length_stats(&g, &coords);
-        assert!(after.mean < before.mean, "mean {} -> {}", before.mean, after.mean);
+        assert!(
+            after.mean < before.mean,
+            "mean {} -> {}",
+            before.mean,
+            after.mean
+        );
         assert!(coords.iter().all(|c| c.is_finite()));
     }
 
@@ -543,7 +591,11 @@ mod tests {
                 &mut coords,
                 3,
                 &mut m,
-                &LatticeConfig { iters: 16, block, ..Default::default() },
+                &LatticeConfig {
+                    iters: 16,
+                    block,
+                    ..Default::default()
+                },
             );
             comm.push(m.comm_time());
         }

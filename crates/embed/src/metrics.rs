@@ -33,12 +33,20 @@ pub fn edge_length_stats(g: &Graph, coords: &[Point2]) -> EdgeLengthStats {
         }
     }
     if lens.is_empty() {
-        return EdgeLengthStats { mean: 0.0, std: 0.0, max: 0.0 };
+        return EdgeLengthStats {
+            mean: 0.0,
+            std: 0.0,
+            max: 0.0,
+        };
     }
     let mean = lens.iter().sum::<f64>() / lens.len() as f64;
     let var = lens.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / lens.len() as f64;
     let max = lens.iter().copied().fold(0.0, f64::max);
-    EdgeLengthStats { mean, std: var.sqrt(), max }
+    EdgeLengthStats {
+        mean,
+        std: var.sqrt(),
+        max,
+    }
 }
 
 /// Bounding-box diagonal over mean edge length: how far the embedding
@@ -96,7 +104,9 @@ mod tests {
     #[test]
     fn spread_detects_degenerate_clouds() {
         let spread_line: f64 = embedding_spread(
-            &(0..100).map(|i| Point2::new(i as f64, 0.0)).collect::<Vec<_>>(),
+            &(0..100)
+                .map(|i| Point2::new(i as f64, 0.0))
+                .collect::<Vec<_>>(),
         );
         assert!(spread_line > 1.0);
         assert_eq!(embedding_spread(&[]), 0.0);

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sp_coarsen::Hierarchy;
 use sp_geometry::Point2;
-use sp_machine::Machine;
+use sp_machine::{Machine, Phase};
 
 /// Configuration for the multilevel lattice embedding.
 #[derive(Clone, Copy, Debug)]
@@ -61,13 +61,13 @@ pub fn lattice_dim(p: usize) -> usize {
     (p as f64).sqrt().floor() as usize
 }
 
-
 /// Smooth a small level with replicated coordinates: every active rank
 /// computes forces for its share of vertices against the full point set
 /// (Barnes–Hut), and one group allgather per iteration refreshes the
 /// replica. For levels of a few thousand vertices this costs one small
 /// collective per iteration instead of halo + migration traffic, which is
 /// what any implementation does below the distribution-pays-off threshold.
+#[allow(clippy::too_many_arguments)]
 fn replicated_smooth(
     g: &sp_graph::Graph,
     coords: &mut [Point2],
@@ -81,8 +81,7 @@ fn replicated_smooth(
 ) {
     let params = ForceParams::for_domain(c, g.n() as f64, g.n());
     let ops = force_layout(g, coords, &params, theta, max_iters, step0, cooling);
-    let iters_est =
-        max_iters.min((ops / (g.n().max(1) as f64 * 20.0)).ceil() as usize + 1);
+    let iters_est = max_iters.min((ops / (g.n().max(1) as f64 * 20.0)).ceil() as usize + 1);
     let share = ops / active.max(1) as f64;
     let mut states: Vec<()> = vec![(); machine.p()];
     machine.compute(&mut states, |r, _| if r < active { share } else { 0.0 });
@@ -90,7 +89,13 @@ fn replicated_smooth(
         let words = 2 * g.n() / active;
         for _ in 0..iters_est {
             let contrib: Vec<Vec<u64>> = (0..machine.p())
-                .map(|r| if r < active { vec![0u64; words] } else { Vec::new() })
+                .map(|r| {
+                    if r < active {
+                        vec![0u64; words]
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect();
             let _ = machine.group_allgather(active, contrib);
         }
@@ -119,7 +124,7 @@ pub fn multilevel_lattice_embed(
     let coarsest = h.coarsest();
     let mut coords = random_init(coarsest.n(), &mut rng);
     let pk = ranks_at_level(p, k);
-    machine.phase("embed-coarsest");
+    machine.phase_labeled(Phase::Embed, "coarsest");
     {
         let params = ForceParams::for_domain(cfg.lattice.c, coarsest.n() as f64, coarsest.n());
         let ops = force_layout(
@@ -131,9 +136,9 @@ pub fn multilevel_lattice_embed(
             cfg.lattice.step0.max(0.8),
             cfg.lattice.cooling,
         );
-        let iters_est = cfg.iters_coarsest.min(
-            (ops / (coarsest.n().max(1) as f64 * 20.0)).ceil() as usize + 1,
-        );
+        let iters_est = cfg
+            .iters_coarsest
+            .min((ops / (coarsest.n().max(1) as f64 * 20.0)).ceil() as usize + 1);
         let share = ops / pk as f64;
         let mut states: Vec<()> = vec![(); machine.p()];
         machine.compute(&mut states, |r, _| if r < pk { share } else { 0.0 });
@@ -141,7 +146,13 @@ pub fn multilevel_lattice_embed(
             let words = 2 * coarsest.n() / pk.max(1);
             for _ in 0..iters_est {
                 let contrib: Vec<Vec<u64>> = (0..machine.p())
-                    .map(|r| if r < pk { vec![0u64; words] } else { Vec::new() })
+                    .map(|r| {
+                        if r < pk {
+                            vec![0u64; words]
+                        } else {
+                            Vec::new()
+                        }
+                    })
                     .collect();
                 let _ = machine.group_allgather(pk, contrib);
             }
@@ -154,7 +165,7 @@ pub fn multilevel_lattice_embed(
     // the paper's "relatively fewer iterations are required ... for
     // smoothing" at scale.
     for lvl in (0..k).rev() {
-        machine.phase(&format!("embed-smooth-{lvl}"));
+        machine.phase_labeled(Phase::Embed, &format!("smooth-{lvl}"));
         let n_level = h.levels[lvl].graph.n();
         let level_iters = if n_level <= REPLICATION_THRESHOLD {
             cfg.iters_smooth * 2 // tiny replicated levels: thorough is free
@@ -197,8 +208,7 @@ pub fn multilevel_lattice_embed(
                         (1..4usize)
                             .filter_map(|s| {
                                 let dest = r + s * parents;
-                                (dest < q_lvl * q_lvl)
-                                    .then(|| (dest, vec![0u64; 2 * chunk]))
+                                (dest < q_lvl * q_lvl).then(|| (dest, vec![0u64; 2 * chunk]))
                             })
                             .collect()
                     } else {
@@ -253,7 +263,10 @@ mod tests {
         let g = grid_2d(side, side);
         let h = Hierarchy::build(
             &g,
-            &CoarsenConfig { target_coarsest: 120, ..Default::default() },
+            &CoarsenConfig {
+                target_coarsest: 120,
+                ..Default::default()
+            },
         );
         (g, h)
     }

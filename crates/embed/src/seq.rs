@@ -103,7 +103,11 @@ pub fn force_layout(
                     f += params.repulsive(cv, mv, p, m);
                 }) as f64;
                 let norm = f.norm();
-                let d = if norm > 1e-12 { f * (step / norm) } else { Point2::ZERO };
+                let d = if norm > 1e-12 {
+                    f * (step / norm)
+                } else {
+                    Point2::ZERO
+                };
                 (d, norm * norm, ops + 2.0)
             })
             .collect();
@@ -138,7 +142,11 @@ pub fn force_layout(
 pub fn embed_multilevel_seq(g: &Graph, cfg: &SeqEmbedConfig) -> Vec<Point2> {
     let h = Hierarchy::build(
         g,
-        &CoarsenConfig { target_coarsest: cfg.coarsest_size, seed: cfg.seed, ..Default::default() },
+        &CoarsenConfig {
+            target_coarsest: cfg.coarsest_size,
+            seed: cfg.seed,
+            ..Default::default()
+        },
     );
     embed_hierarchy_seq(&h, cfg)
         .into_iter()
@@ -247,7 +255,11 @@ mod tests {
         let g = grid_2d(20, 20);
         let coords = embed_multilevel_seq(
             &g,
-            &SeqEmbedConfig { iters_coarsest: 100, iters_smooth: 25, ..Default::default() },
+            &SeqEmbedConfig {
+                iters_coarsest: 100,
+                iters_smooth: 25,
+                ..Default::default()
+            },
         );
         assert_eq!(coords.len(), g.n());
         let mut xs: Vec<f64> = coords.iter().map(|p| p.x).collect();
@@ -285,7 +297,10 @@ mod tests {
         // Regression: with a deep hierarchy the returned coordinates must
         // cover the *input* graph, not the coarsest level.
         let g = grid_2d(50, 50); // 2500 > default coarsest_size, so depth ≥ 2
-        let cfg = SeqEmbedConfig { coarsest_size: 300, ..Default::default() };
+        let cfg = SeqEmbedConfig {
+            coarsest_size: 300,
+            ..Default::default()
+        };
         let coords = embed_multilevel_seq(&g, &cfg);
         assert_eq!(coords.len(), g.n());
     }

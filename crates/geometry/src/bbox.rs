@@ -24,7 +24,10 @@ impl Aabb2 {
     /// Smallest box containing all `pts`; `None` for an empty slice.
     pub fn from_points(pts: &[Point2]) -> Option<Self> {
         let first = *pts.first()?;
-        let mut bb = Aabb2 { min: first, max: first };
+        let mut bb = Aabb2 {
+            min: first,
+            max: first,
+        };
         for &p in &pts[1..] {
             bb.expand(p);
         }
@@ -68,7 +71,10 @@ impl Aabb2 {
     /// Scale the box about the origin by `s` (the multilevel projection step
     /// scales the bounding box by 2 in each dimension per level).
     pub fn scaled(&self, s: f64) -> Aabb2 {
-        Aabb2 { min: self.min * s, max: self.max * s }
+        Aabb2 {
+            min: self.min * s,
+            max: self.max * s,
+        }
     }
 
     /// Grow symmetrically by a fraction `f` of each side (used to give the
@@ -84,7 +90,10 @@ impl Aabb2 {
 
     /// Clamp a point into the box.
     pub fn clamp(&self, p: Point2) -> Point2 {
-        Point2::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// The sub-box (i, j) of a `q × q` lattice subdivision of this box, with
@@ -99,8 +108,16 @@ impl Aabb2 {
     /// Which cell of a `q × q` lattice the point falls into (clamped to the
     /// lattice so points on/outside the boundary still get a home cell).
     pub fn cell_of(&self, q: usize, p: Point2) -> (usize, usize) {
-        let fx = if self.width() > 0.0 { (p.x - self.min.x) / self.width() } else { 0.0 };
-        let fy = if self.height() > 0.0 { (p.y - self.min.y) / self.height() } else { 0.0 };
+        let fx = if self.width() > 0.0 {
+            (p.x - self.min.x) / self.width()
+        } else {
+            0.0
+        };
+        let fy = if self.height() > 0.0 {
+            (p.y - self.min.y) / self.height()
+        } else {
+            0.0
+        };
         let i = ((fx * q as f64) as isize).clamp(0, q as isize - 1) as usize;
         let j = ((fy * q as f64) as isize).clamp(0, q as isize - 1) as usize;
         (i, j)
@@ -113,7 +130,11 @@ mod tests {
 
     #[test]
     fn from_points_covers_all() {
-        let pts = [Point2::new(1.0, 2.0), Point2::new(-3.0, 0.5), Point2::new(2.0, -1.0)];
+        let pts = [
+            Point2::new(1.0, 2.0),
+            Point2::new(-3.0, 0.5),
+            Point2::new(2.0, -1.0),
+        ];
         let bb = Aabb2::from_points(&pts).unwrap();
         for p in pts {
             assert!(bb.contains(p));

@@ -29,7 +29,10 @@ pub struct CenterpointConfig {
 
 impl Default for CenterpointConfig {
     fn default() -> Self {
-        CenterpointConfig { sample_size: 1000, iterations: 600 }
+        CenterpointConfig {
+            sample_size: 1000,
+            iterations: 600,
+        }
     }
 }
 
@@ -71,8 +74,9 @@ pub fn centerpoint<R: Rng>(pts: &[Point3], cfg: &CenterpointConfig, rng: &mut R)
         return centroid(pts);
     }
     let m = cfg.sample_size.min(pts.len());
-    let mut work: Vec<Point3> =
-        (0..m).map(|_| pts[rng.random_range(0..pts.len())]).collect();
+    let mut work: Vec<Point3> = (0..m)
+        .map(|_| pts[rng.random_range(0..pts.len())])
+        .collect();
     let mut last_good = centroid(&work);
     for _ in 0..cfg.iterations {
         let mut group = [Point3::ZERO; 5];

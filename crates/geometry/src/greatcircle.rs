@@ -16,11 +16,17 @@ pub struct GreatCircle {
 
 impl GreatCircle {
     pub fn new(normal: Point3) -> Self {
-        GreatCircle { normal: normal.normalized(), offset: 0.0 }
+        GreatCircle {
+            normal: normal.normalized(),
+            offset: 0.0,
+        }
     }
 
     pub fn with_offset(normal: Point3, offset: f64) -> Self {
-        GreatCircle { normal: normal.normalized(), offset }
+        GreatCircle {
+            normal: normal.normalized(),
+            offset,
+        }
     }
 
     /// Signed distance of a sphere point from the cutting plane.

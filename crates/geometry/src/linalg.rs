@@ -131,8 +131,12 @@ mod tests {
     #[test]
     fn radon_coefficients_sum_to_zero() {
         // 4 points in 2-D (d + 2 = 4).
-        let pts: Vec<Vec<f64>> =
-            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]];
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.6, 0.6],
+        ];
         let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
         let lam = radon_coefficients(&refs, 2).unwrap();
         let s: f64 = lam.iter().sum();

@@ -73,7 +73,11 @@ impl Point2 {
 }
 
 impl Point3 {
-    pub const ZERO: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline]
     pub fn new(x: f64, y: f64, z: f64) -> Self {

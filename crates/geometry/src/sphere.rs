@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn lift_project_roundtrip() {
-        for p in [Point2::new(0.3, -0.7), Point2::new(5.0, 2.0), Point2::new(-0.001, 0.002)] {
+        for p in [
+            Point2::new(0.3, -0.7),
+            Point2::new(5.0, 2.0),
+            Point2::new(-0.001, 0.002),
+        ] {
             let q = stereo_project(stereo_lift(p));
             assert!(p.dist(q) < 1e-9, "{p:?} vs {q:?}");
         }

@@ -12,11 +12,10 @@ fn arb_p2() -> impl Strategy<Value = Point2> {
 }
 
 fn arb_unit3() -> impl Strategy<Value = Point3> {
-    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)
-        .prop_filter_map("degenerate", |(x, y, z)| {
-            let p = Point3::new(x, y, z);
-            (p.norm() > 1e-3).then(|| p.normalized())
-        })
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_filter_map("degenerate", |(x, y, z)| {
+        let p = Point3::new(x, y, z);
+        (p.norm() > 1e-3).then(|| p.normalized())
+    })
 }
 
 proptest! {

@@ -44,7 +44,10 @@ impl GeoConfig {
     /// parallelises (lines would need an eigenvector computation the paper
     /// avoids for scalability).
     pub fn g7_nl() -> Self {
-        GeoConfig { n_lines: 0, ..Self::g7() }
+        GeoConfig {
+            n_lines: 0,
+            ..Self::g7()
+        }
     }
 
     /// Total separator tries.

@@ -37,12 +37,17 @@ pub fn geometric_partition<R: Rng>(
     assert_eq!(coords.len(), g.n());
     assert!(g.n() >= 2, "nothing to partition");
     let (center, scale) = normalize_for_lift(coords);
-    let lifted: Vec<Point3> =
-        coords.iter().map(|&p| lift_normalized(p, center, scale)).collect();
+    let lifted: Vec<Point3> = coords
+        .iter()
+        .map(|&p| lift_normalized(p, center, scale))
+        .collect();
 
     let mut best: Option<(usize, Separator, Bisection)> = None;
     let mut try_cuts = Vec::with_capacity(cfg.total_tries());
-    let cp_cfg = CenterpointConfig { sample_size: cfg.sample_size, iterations: 400 };
+    let cp_cfg = CenterpointConfig {
+        sample_size: cfg.sample_size,
+        iterations: 400,
+    };
 
     for _ in 0..cfg.n_centerpoints {
         let cp = centerpoint(&lifted, &cp_cfg, rng);
@@ -55,7 +60,10 @@ pub fn geometric_partition<R: Rng>(
             let signed: Vec<f64> = vals.iter().map(|&v| v - offset).collect();
             consider(
                 g,
-                Separator { kind: SeparatorKind::Circle { normal, offset }, signed },
+                Separator {
+                    kind: SeparatorKind::Circle { normal, offset },
+                    signed,
+                },
                 cfg.balance_tol,
                 &mut best,
                 &mut try_cuts,
@@ -77,7 +85,10 @@ pub fn geometric_partition<R: Rng>(
         let signed: Vec<f64> = vals.iter().map(|&v| v - threshold).collect();
         consider(
             g,
-            Separator { kind: SeparatorKind::Line { dir, threshold }, signed },
+            Separator {
+                kind: SeparatorKind::Line { dir, threshold },
+                signed,
+            },
             cfg.balance_tol,
             &mut best,
             &mut try_cuts,
@@ -87,17 +98,26 @@ pub fn geometric_partition<R: Rng>(
     // put the median on a huge tie plateau), use an index split.
     let (cut, separator, bisection) = best.unwrap_or_else(|| {
         let half = g.n() / 2;
-        let signed: Vec<f64> =
-            (0..g.n()).map(|v| if v >= half { 1.0 } else { -1.0 }).collect();
+        let signed: Vec<f64> = (0..g.n())
+            .map(|v| if v >= half { 1.0 } else { -1.0 })
+            .collect();
         let sep = Separator {
-            kind: SeparatorKind::Line { dir: Point2::new(1.0, 0.0), threshold: 0.0 },
+            kind: SeparatorKind::Line {
+                dir: Point2::new(1.0, 0.0),
+                threshold: 0.0,
+            },
             signed,
         };
         let bi = Bisection::new(sep.sides());
         let cut = bi.cut_edges(g);
         (cut, sep, bi)
     });
-    GeoPartResult { bisection, cut, separator, try_cuts }
+    GeoPartResult {
+        bisection,
+        cut,
+        separator,
+        try_cuts,
+    }
 }
 
 fn consider(
@@ -157,10 +177,8 @@ mod tests {
         for seed in 0..6 {
             let mut rng = StdRng::seed_from_u64(100 + seed);
             let (g, coords) = delaunay_graph(800, &mut rng);
-            let c30 =
-                geometric_partition(&g, &coords, &GeoConfig::g30(), &mut rng).cut;
-            let c7 =
-                geometric_partition(&g, &coords, &GeoConfig::g7_nl(), &mut rng).cut;
+            let c30 = geometric_partition(&g, &coords, &GeoConfig::g30(), &mut rng).cut;
+            let c7 = geometric_partition(&g, &coords, &GeoConfig::g7_nl(), &mut rng).cut;
             if c30 <= c7 {
                 wins += 1;
             }

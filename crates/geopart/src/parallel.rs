@@ -52,15 +52,21 @@ pub fn parallel_geometric_partition(
     // --- Sampling across ranks + allgather.
     let total_sample = cfg.sample_size.min(n);
     let stride = (n / total_sample.max(1)).max(1);
-    let sample: Vec<Point2> = (0..n).step_by(stride).take(total_sample).map(|v| coords[v]).collect();
+    let sample: Vec<Point2> = (0..n)
+        .step_by(stride)
+        .take(total_sample)
+        .map(|v| coords[v])
+        .collect();
     {
         let contrib: Vec<Vec<u64>> = (0..p)
             .map(|_| vec![0u64; 2 * sample.len() / p.max(1)])
             .collect();
         let _ = machine.allgather(contrib);
     }
-    let lifted_sample: Vec<Point3> =
-        sample.iter().map(|&s| lift_normalized(s, center, scale)).collect();
+    let lifted_sample: Vec<Point3> = sample
+        .iter()
+        .map(|&s| lift_normalized(s, center, scale))
+        .collect();
 
     // --- Redundant separator generation on every rank (identical stream).
     struct Try {
@@ -68,18 +74,24 @@ pub fn parallel_geometric_partition(
         normal: Point3,
         offset: f64,
     }
-    let cp_cfg = CenterpointConfig { sample_size: cfg.sample_size, iterations: 400 };
+    let cp_cfg = CenterpointConfig {
+        sample_size: cfg.sample_size,
+        iterations: 400,
+    };
     let mut tries: Vec<Try> = Vec::with_capacity(cfg.total_tries());
     for _ in 0..cfg.n_centerpoints {
         let cp = centerpoint(&lifted_sample, &cp_cfg, &mut rng);
         let map = ConformalMap::centering(cp);
-        let mapped_sample: Vec<Point3> =
-            lifted_sample.iter().map(|&s| map.apply(s)).collect();
+        let mapped_sample: Vec<Point3> = lifted_sample.iter().map(|&s| map.apply(s)).collect();
         for _ in 0..cfg.circles_per_centerpoint {
             let normal = random_unit_vector(&mut rng);
             let vals: Vec<f64> = mapped_sample.iter().map(|&s| normal.dot(s)).collect();
             let offset = median(&vals);
-            tries.push(Try { map: map.clone(), normal, offset });
+            tries.push(Try {
+                map: map.clone(),
+                normal,
+                offset,
+            });
         }
     }
     // (No line separators in the parallel formulation — the paper's NL.)
@@ -149,15 +161,27 @@ pub fn parallel_geometric_partition(
         let tr = &tries[best_try];
         let signed: Vec<f64> = coords
             .iter()
-            .map(|&c| tr.normal.dot(tr.map.apply(lift_normalized(c, center, scale))) - tr.offset)
+            .map(|&c| {
+                tr.normal
+                    .dot(tr.map.apply(lift_normalized(c, center, scale)))
+                    - tr.offset
+            })
             .collect();
         let sep = Separator {
-            kind: SeparatorKind::Circle { normal: tr.normal, offset: tr.offset },
+            kind: SeparatorKind::Circle {
+                normal: tr.normal,
+                offset: tr.offset,
+            },
             signed,
         };
         let bisection = Bisection::new(sep.sides());
         let cut = bisection.cut_edges(g);
-        GeoPartResult { bisection, cut, separator: sep, try_cuts: vec![cut] }
+        GeoPartResult {
+            bisection,
+            cut,
+            separator: sep,
+            try_cuts: vec![cut],
+        }
     } else {
         let vals: Vec<f64> = coords.iter().map(|c| c.x).collect();
         let th = median(&vals);
@@ -170,12 +194,20 @@ pub fn parallel_geometric_partition(
             }
         }
         let sep = Separator {
-            kind: SeparatorKind::Line { dir: Point2::new(1.0, 0.0), threshold: th },
+            kind: SeparatorKind::Line {
+                dir: Point2::new(1.0, 0.0),
+                threshold: th,
+            },
             signed,
         };
         let bisection = Bisection::new(sep.sides());
         let cut = bisection.cut_edges(g);
-        GeoPartResult { bisection, cut, separator: sep, try_cuts: vec![cut] }
+        GeoPartResult {
+            bisection,
+            cut,
+            separator: sep,
+            try_cuts: vec![cut],
+        }
     }
 }
 
@@ -193,14 +225,8 @@ mod tests {
         for p in [1usize, 4, 16] {
             let dist = Distribution::block(g.n(), p);
             let mut m = Machine::new(p, CostModel::qdr_infiniband());
-            let r = parallel_geometric_partition(
-                &g,
-                &coords,
-                &dist,
-                &mut m,
-                &GeoConfig::g7_nl(),
-                42,
-            );
+            let r =
+                parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 42);
             r.bisection.validate(&g).unwrap();
             cuts.push(r.cut);
         }
@@ -214,8 +240,7 @@ mod tests {
         let (g, coords) = delaunay_graph(2500, &mut rng);
         let dist = Distribution::block(g.n(), 8);
         let mut m = Machine::new(8, CostModel::qdr_infiniband());
-        let r =
-            parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 3);
+        let r = parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 3);
         r.bisection.validate(&g).unwrap();
         assert!(r.cut < 400, "cut {}", r.cut);
         assert!(r.bisection.imbalance(&g) < 0.12);
@@ -229,14 +254,8 @@ mod tests {
         for p in [1usize, 16] {
             let dist = Distribution::block(g.n(), p);
             let mut m = Machine::new(p, CostModel::qdr_infiniband());
-            let _ = parallel_geometric_partition(
-                &g,
-                &coords,
-                &dist,
-                &mut m,
-                &GeoConfig::g7_nl(),
-                5,
-            );
+            let _ =
+                parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 5);
             times.push(m.elapsed());
         }
         assert!(times[1] < times[0] / 2.0, "times {times:?}");
@@ -248,8 +267,7 @@ mod tests {
         let coords = grid_2d_coords(12, 12);
         let dist = Distribution::block(g.n(), 4);
         let mut m = Machine::new(4, CostModel::qdr_infiniband());
-        let _ =
-            parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 7);
+        let _ = parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 7);
         assert!(m.comm_time() > 0.0);
         // Communication is "low": a handful of small collectives, so well
         // under a millisecond at QDR parameters.
@@ -262,8 +280,7 @@ mod tests {
         let coords = vec![Point2::ZERO; 64];
         let dist = Distribution::block(64, 2);
         let mut m = Machine::new(2, CostModel::qdr_infiniband());
-        let r =
-            parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 1);
+        let r = parallel_geometric_partition(&g, &coords, &dist, &mut m, &GeoConfig::g7_nl(), 1);
         r.bisection.validate(&g).unwrap();
     }
 }

@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn sides_follow_sign() {
         let s = Separator {
-            kind: SeparatorKind::Line { dir: Point2::new(1.0, 0.0), threshold: 0.0 },
+            kind: SeparatorKind::Line {
+                dir: Point2::new(1.0, 0.0),
+                threshold: 0.0,
+            },
             signed: vec![-1.0, 0.5, 0.0, 2.0],
         };
         assert_eq!(s.sides(), vec![0, 1, 0, 1]);

@@ -22,7 +22,12 @@ impl Graph {
         debug_assert_eq!(xadj.len(), vwgt.len() + 1);
         debug_assert_eq!(adjncy.len(), ewgt.len());
         debug_assert_eq!(*xadj.last().unwrap_or(&0), adjncy.len());
-        Graph { xadj, adjncy, ewgt, vwgt }
+        Graph {
+            xadj,
+            adjncy,
+            ewgt,
+            vwgt,
+        }
     }
 
     /// Number of vertices.
@@ -53,7 +58,10 @@ impl Graph {
     #[inline]
     pub fn neighbors_w(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
         let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
-        self.adjncy[r.clone()].iter().copied().zip(self.ewgt[r].iter().copied())
+        self.adjncy[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.ewgt[r].iter().copied())
     }
 
     /// Vertex weight (mass) of `v`.
@@ -107,7 +115,10 @@ impl Graph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Structural validation: monotone offsets, in-range targets, no
@@ -188,17 +199,28 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), vwgt: vec![1.0; n] }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            vwgt: vec![1.0; n],
+        }
     }
 
     /// Pre-size the edge buffer.
     pub fn with_edge_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m), vwgt: vec![1.0; n] }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            vwgt: vec![1.0; n],
+        }
     }
 
     /// Add an undirected edge (either endpoint order). Self-loops ignored.
     pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range"
+        );
         if u == v {
             return;
         }
@@ -217,7 +239,7 @@ impl GraphBuilder {
 
     /// Finish: sort, merge duplicates, emit symmetric CSR.
     pub fn build(mut self) -> Graph {
-        self.edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.edges.sort_unstable_by_key(|e| (e.0, e.1));
         // Merge duplicates.
         let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
         for e in self.edges {
@@ -249,7 +271,12 @@ impl GraphBuilder {
             ewgt[cursor[v as usize]] = w;
             cursor[v as usize] += 1;
         }
-        Graph { xadj, adjncy, ewgt, vwgt: self.vwgt }
+        Graph {
+            xadj,
+            adjncy,
+            ewgt,
+            vwgt: self.vwgt,
+        }
     }
 }
 

@@ -23,7 +23,9 @@ impl Distribution {
     pub fn block(n: usize, p: usize) -> Self {
         assert!(p >= 1);
         let chunk = n.div_ceil(p.max(1)).max(1);
-        let owner = (0..n).map(|v| ((v / chunk) as u32).min(p as u32 - 1)).collect();
+        let owner = (0..n)
+            .map(|v| ((v / chunk) as u32).min(p as u32 - 1))
+            .collect();
         Distribution { owner, p }
     }
 
@@ -75,7 +77,10 @@ impl Distribution {
             if self.owner[v as usize] != rank {
                 continue;
             }
-            if g.neighbors(v).iter().any(|&u| self.owner[u as usize] != rank) {
+            if g.neighbors(v)
+                .iter()
+                .any(|&u| self.owner[u as usize] != rank)
+            {
                 out.push(v);
             }
         }
@@ -148,7 +153,7 @@ mod tests {
         assert_eq!(d.owner[63], 3);
         // Roughly a quarter each.
         let sizes = d.rank_sizes();
-        assert!(sizes.iter().all(|&s| s >= 9 && s <= 25), "{sizes:?}");
+        assert!(sizes.iter().all(|&s| (9..=25).contains(&s)), "{sizes:?}");
     }
 
     #[test]

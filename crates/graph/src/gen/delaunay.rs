@@ -37,8 +37,7 @@ fn in_circle(a: Point2, b: Point2, c: Point2, p: Point2) -> bool {
     let by = b.y - p.y;
     let cx = c.x - p.x;
     let cy = c.y - p.y;
-    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
-        - (bx * bx + by * by) * (ax * cy - cx * ay)
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
         + (cx * cx + cy * cy) * (ax * by - bx * ay);
     det > 0.0
 }
@@ -60,7 +59,11 @@ impl Triangulator {
             Point2::new(c.x + 1.8 * r, c.y - r),
             Point2::new(c.x, c.y + 1.8 * r),
         ];
-        let tris = vec![Tri { v: [0, 1, 2], nbr: [NONE, NONE, NONE], alive: true }];
+        let tris = vec![Tri {
+            v: [0, 1, 2],
+            nbr: [NONE, NONE, NONE],
+            alive: true,
+        }];
         let mut t = Triangulator { pts, tris, last: 0 };
         t.pts.reserve(capacity);
         t
@@ -183,7 +186,11 @@ impl Triangulator {
         for &(a, b, outside) in &boundary {
             let nt = self.tris.len() as u32;
             // CCW: boundary edge a→b is CCW from inside, so (p, a, b) is CCW.
-            self.tris.push(Tri { v: [pi, a, b], nbr: [outside, NONE, NONE], alive: true });
+            self.tris.push(Tri {
+                v: [pi, a, b],
+                nbr: [outside, NONE, NONE],
+                alive: true,
+            });
             if outside != NONE {
                 let o = &mut self.tris[outside as usize];
                 for i in 0..3 {
@@ -283,8 +290,11 @@ mod tests {
 
     #[test]
     fn triangle_of_three_points() {
-        let pts =
-            vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)];
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
         let g = delaunay_of_points(&pts);
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 3);
@@ -341,8 +351,7 @@ mod tests {
                         continue;
                     }
                     // Triangle (v, u, w); orient CCW.
-                    let (mut a, mut b, c) =
-                        (pts[v as usize], pts[u as usize], pts[w as usize]);
+                    let (mut a, mut b, c) = (pts[v as usize], pts[u as usize], pts[w as usize]);
                     if orient2d(a, b, c) < 0.0 {
                         std::mem::swap(&mut a, &mut b);
                     }

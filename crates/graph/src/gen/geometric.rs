@@ -11,11 +11,7 @@ use sp_geometry::Point2;
 /// `n` uniform points in the unit square, edges between pairs at distance
 /// `< radius`. Isolated vertices are possible at small radii; callers that
 /// need connectivity should take the largest component.
-pub fn random_geometric_graph<R: Rng>(
-    n: usize,
-    radius: f64,
-    rng: &mut R,
-) -> (Graph, Vec<Point2>) {
+pub fn random_geometric_graph<R: Rng>(n: usize, radius: f64, rng: &mut R) -> (Graph, Vec<Point2>) {
     let pts: Vec<Point2> = (0..n)
         .map(|_| Point2::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
         .collect();
@@ -78,10 +74,7 @@ mod tests {
         for i in 0..200u32 {
             for j in i + 1..200u32 {
                 if pts[i as usize].dist(pts[j as usize]) < 0.1 {
-                    assert!(
-                        g.neighbors(i).contains(&j),
-                        "missing edge ({i},{j})"
-                    );
+                    assert!(g.neighbors(i).contains(&j), "missing edge ({i},{j})");
                 }
             }
         }

@@ -28,8 +28,16 @@ pub fn grid_2d(rows: usize, cols: usize) -> Graph {
 /// Natural coordinates of the grid vertices in the unit square.
 pub fn grid_2d_coords(rows: usize, cols: usize) -> Vec<Point2> {
     let mut pts = Vec::with_capacity(rows * cols);
-    let dr = if rows > 1 { 1.0 / (rows - 1) as f64 } else { 0.0 };
-    let dc = if cols > 1 { 1.0 / (cols - 1) as f64 } else { 0.0 };
+    let dr = if rows > 1 {
+        1.0 / (rows - 1) as f64
+    } else {
+        0.0
+    };
+    let dc = if cols > 1 {
+        1.0 / (cols - 1) as f64
+    } else {
+        0.0
+    };
     for r in 0..rows {
         for c in 0..cols {
             pts.push(Point2::new(c as f64 * dc, r as f64 * dr));

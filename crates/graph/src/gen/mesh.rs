@@ -46,14 +46,14 @@ pub fn bubbles_mesh<R: Rng>(n: usize, n_bubbles: usize, rng: &mut R) -> (Graph, 
     let (a, b) = (2.0f64, 0.75f64);
     let mut bubbles: Vec<(Point2, f64)> = Vec::with_capacity(n_bubbles);
     for i in 0..n_bubbles {
-        let cx = -a * 0.85 + 2.0 * a * 0.85 * (i as f64 + 0.5) / n_bubbles as f64
+        let cx = -a * 0.85
+            + 2.0 * a * 0.85 * (i as f64 + 0.5) / n_bubbles as f64
             + rng.random_range(-0.1..0.1);
         let cy = rng.random_range(-b * 0.5..b * 0.5);
         bubbles.push((Point2::new(cx, cy), rng.random_range(0.08..0.16)));
     }
     let inside = move |p: Point2| {
-        (p.x / a).powi(2) + (p.y / b).powi(2) <= 1.0
-            && bubbles.iter().all(|&(c, r)| p.dist(c) > r)
+        (p.x / a).powi(2) + (p.y / b).powi(2) <= 1.0 && bubbles.iter().all(|&(c, r)| p.dist(c) > r)
     };
     let mut pts = Vec::with_capacity(n);
     while pts.len() < n {
@@ -67,10 +67,7 @@ pub fn bubbles_mesh<R: Rng>(n: usize, n_bubbles: usize, rng: &mut R) -> (Graph, 
 
 /// Triangulate `pts` and drop edges whose midpoint leaves the region, then
 /// keep the largest component (filtering can strand slivers).
-fn filtered_mesh(
-    pts: Vec<Point2>,
-    inside: impl Fn(Point2) -> bool,
-) -> (Graph, Vec<Point2>) {
+fn filtered_mesh(pts: Vec<Point2>, inside: impl Fn(Point2) -> bool) -> (Graph, Vec<Point2>) {
     let g = delaunay_of_points(&pts);
     let mut b = crate::csr::GraphBuilder::new(g.n());
     for v in 0..g.n() as u32 {

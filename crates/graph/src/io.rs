@@ -119,7 +119,10 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Graph, String> {
         .next()
         .ok_or("empty file")?
         .map_err(|e| e.to_string())?;
-    let h: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if h.len() < 4 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err("not a MatrixMarket matrix file".into());
     }
@@ -129,15 +132,30 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Graph, String> {
     let pattern = h[3] == "pattern";
     // Dimensions (skipping comments).
     let (n, nnz) = loop {
-        let line = lines.next().ok_or("missing dimensions")?.map_err(|e| e.to_string())?;
+        let line = lines
+            .next()
+            .ok_or("missing dimensions")?
+            .map_err(|e| e.to_string())?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('%') {
             continue;
         }
         let mut it = line.split_whitespace();
-        let rows: usize = it.next().ok_or("missing rows")?.parse().map_err(|_| "bad rows")?;
-        let cols: usize = it.next().ok_or("missing cols")?.parse().map_err(|_| "bad cols")?;
-        let nnz: usize = it.next().ok_or("missing nnz")?.parse().map_err(|_| "bad nnz")?;
+        let rows: usize = it
+            .next()
+            .ok_or("missing rows")?
+            .parse()
+            .map_err(|_| "bad rows")?;
+        let cols: usize = it
+            .next()
+            .ok_or("missing cols")?
+            .parse()
+            .map_err(|_| "bad cols")?;
+        let nnz: usize = it
+            .next()
+            .ok_or("missing nnz")?
+            .parse()
+            .map_err(|_| "bad nnz")?;
         if rows != cols {
             return Err(format!("matrix must be square, got {rows}×{cols}"));
         }
@@ -152,8 +170,16 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Graph, String> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let i: usize = it.next().ok_or("missing row index")?.parse().map_err(|_| "bad row")?;
-        let j: usize = it.next().ok_or("missing col index")?.parse().map_err(|_| "bad col")?;
+        let i: usize = it
+            .next()
+            .ok_or("missing row index")?
+            .parse()
+            .map_err(|_| "bad row")?;
+        let j: usize = it
+            .next()
+            .ok_or("missing col index")?
+            .parse()
+            .map_err(|_| "bad col")?;
         if i == 0 || j == 0 || i > n || j > n {
             return Err(format!("entry ({i},{j}) out of range"));
         }
@@ -279,8 +305,9 @@ mod tests {
 
     #[test]
     fn matrix_market_rejects_bad_input() {
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes())
-            .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1\n".as_bytes()
         )

@@ -20,7 +20,9 @@ impl Bisection {
 
     /// All vertices on side 0.
     pub fn from_fn(n: usize, f: impl Fn(u32) -> bool) -> Self {
-        Bisection { side: (0..n as u32).map(|v| u8::from(f(v))).collect() }
+        Bisection {
+            side: (0..n as u32).map(|v| u8::from(f(v))).collect(),
+        }
     }
 
     #[inline]
@@ -132,7 +134,11 @@ impl Bisection {
     /// (for non-trivial graphs).
     pub fn validate(&self, g: &Graph) -> Result<(), String> {
         if self.side.len() != g.n() {
-            return Err(format!("bisection covers {} of {} vertices", self.side.len(), g.n()));
+            return Err(format!(
+                "bisection covers {} of {} vertices",
+                self.side.len(),
+                g.n()
+            ));
         }
         if g.n() >= 2 {
             let (a, b) = self.counts();

@@ -169,7 +169,12 @@ impl SuiteGraph {
         // paper's block distribution reasonable. Our generators emit
         // random orders, so we restore locality explicitly.
         let (graph, coords) = bfs_relabel(graph, coords);
-        TestGraph { name: self.name(), graph, coords, which: self }
+        TestGraph {
+            name: self.name(),
+            graph,
+            coords,
+            which: self,
+        }
     }
 }
 
@@ -197,8 +202,7 @@ fn bfs_relabel(g: Graph, coords: Option<Vec<Point2>>) -> (Graph, Option<Vec<Poin
             }
         }
     }
-    let new_coords =
-        coords.map(|c| order.iter().map(|&old| c[old as usize]).collect());
+    let new_coords = coords.map(|c| order.iter().map(|&old| c[old as usize]).collect());
     (b.build(), new_coords)
 }
 
@@ -211,7 +215,9 @@ mod tests {
     fn all_tiny_graphs_are_valid_and_connected() {
         for sg in SuiteGraph::all() {
             let t = sg.instantiate(TestScale::Tiny, 1);
-            t.graph.validate().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            t.graph
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name));
             assert!(is_connected(&t.graph), "{} disconnected", t.name);
             if let Some(c) = &t.coords {
                 assert_eq!(c.len(), t.graph.n(), "{} coords mismatch", t.name);
@@ -248,7 +254,12 @@ mod tests {
         let names: Vec<_> = SuiteGraph::largest4().iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["hugetrace-00000", "delaunay_n23", "delaunay_n24", "hugebubbles-00020"]
+            vec![
+                "hugetrace-00000",
+                "delaunay_n23",
+                "delaunay_n24",
+                "hugebubbles-00020"
+            ]
         );
     }
 }

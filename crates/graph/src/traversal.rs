@@ -70,8 +70,9 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<u32>) {
         .max_by_key(|&(_, s)| *s)
         .map(|(i, _)| i as u32)
         .unwrap();
-    let verts: Vec<u32> =
-        (0..g.n() as u32).filter(|&v| comp[v as usize] == big).collect();
+    let verts: Vec<u32> = (0..g.n() as u32)
+        .filter(|&v| comp[v as usize] == big)
+        .collect();
     g.induced_subgraph(&verts)
 }
 

@@ -19,18 +19,30 @@ impl CostModel {
     /// 10⁸–10⁹ irregular graph ops/s; we charge 5 ns per edge-op, which
     /// reproduces the paper's compute/communication balance.
     pub fn qdr_infiniband() -> Self {
-        CostModel { t_s: 1.3e-6, t_w: 2.5e-9, t_op: 5.0e-9 }
+        CostModel {
+            t_s: 1.3e-6,
+            t_w: 2.5e-9,
+            t_op: 5.0e-9,
+        }
     }
 
     /// A latency-heavy interconnect (commodity Ethernet-class); useful in
     /// ablations to show how the crossover points move.
     pub fn ethernet() -> Self {
-        CostModel { t_s: 3.0e-5, t_w: 1.0e-8, t_op: 5.0e-9 }
+        CostModel {
+            t_s: 3.0e-5,
+            t_w: 1.0e-8,
+            t_op: 5.0e-9,
+        }
     }
 
     /// Zero-cost communication; isolates pure compute scaling in tests.
     pub fn free_comm() -> Self {
-        CostModel { t_s: 0.0, t_w: 0.0, t_op: 5.0e-9 }
+        CostModel {
+            t_s: 0.0,
+            t_w: 0.0,
+            t_op: 5.0e-9,
+        }
     }
 
     /// Time to send one message of `words` 8-byte words.
@@ -60,14 +72,22 @@ mod tests {
 
     #[test]
     fn message_cost_is_affine() {
-        let c = CostModel { t_s: 1.0, t_w: 0.5, t_op: 0.0 };
+        let c = CostModel {
+            t_s: 1.0,
+            t_w: 0.5,
+            t_op: 0.0,
+        };
         assert_eq!(c.msg(0), 1.0);
         assert_eq!(c.msg(4), 3.0);
     }
 
     #[test]
     fn collective_scales_logarithmically() {
-        let c = CostModel { t_s: 1.0, t_w: 0.0, t_op: 0.0 };
+        let c = CostModel {
+            t_s: 1.0,
+            t_w: 0.0,
+            t_op: 0.0,
+        };
         assert_eq!(c.collective(1, 0), 0.0);
         assert_eq!(c.collective(2, 0), 1.0);
         assert_eq!(c.collective(1024, 0), 10.0);

@@ -14,9 +14,15 @@
 //! * collectives (allgather, allreduce, reduce): global synchronisation with
 //!   `t_s log P` latency plus the appropriate bandwidth term.
 //!
-//! Every charge is attributed to the current *phase* and split into
-//! computation vs communication so Figures 7 and 8 (component and
-//! communication fractions) can be regenerated.
+//! Every charge is attributed to the current *phase* (typed, see
+//! [`Phase`]) and split into computation vs communication so Figures 7
+//! and 8 (component and communication fractions) can be regenerated.
+//!
+//! Observability lives in the `sp-trace` crate (re-exported here as
+//! [`trace`]): install a [`TraceRecorder`] with
+//! [`Machine::set_recorder`] to capture rank-level compute spans,
+//! per-message occupancy and collective participation on the simulated
+//! clock, then export Chrome trace JSON or aggregate metrics from it.
 
 pub mod cost;
 pub mod machine;
@@ -25,3 +31,8 @@ pub mod words;
 pub use cost::CostModel;
 pub use machine::{Machine, PhaseBreakdown};
 pub use words::Words;
+
+pub use sp_trace as trace;
+pub use sp_trace::{
+    CollectiveKind, MachineStats, Metrics, NoopRecorder, Phase, Recorder, TraceRecorder,
+};

@@ -4,6 +4,7 @@
 use crate::cost::CostModel;
 use crate::words::Words;
 use rayon::prelude::*;
+use sp_trace::{CollectiveKind, MachineStats, Phase, Recorder};
 use std::collections::HashMap;
 
 /// Per-phase time breakdown (simulated seconds, max over ranks).
@@ -20,6 +21,13 @@ impl PhaseBreakdown {
 }
 
 /// A P-rank simulated message-passing machine.
+///
+/// Observability: an optional [`Recorder`] (see `sp-trace`) receives
+/// structured events — per-rank compute spans, per-message send/receive
+/// occupancy, collective participation, phase spans — on the simulated
+/// clock. With no recorder installed (the default) every emission site is
+/// a single branch on `Option::is_some`, so instrumentation is free when
+/// disabled.
 pub struct Machine {
     p: usize,
     cost: CostModel,
@@ -29,13 +37,20 @@ pub struct Machine {
     comp: Vec<f64>,
     /// Per-rank accumulated communication time.
     comm: Vec<f64>,
-    /// Current phase label.
-    phase: String,
+    /// Current phase.
+    phase: Phase,
+    /// Optional free-form sub-phase detail, for trace display only —
+    /// accounting is keyed by `phase`.
+    phase_label: Option<String>,
     /// Accumulated (comp, comm) per phase, tracked as the max-rank share at
     /// phase switch boundaries.
-    phases: HashMap<String, PhaseBreakdown>,
+    phases: HashMap<Phase, PhaseBreakdown>,
     /// comp/comm snapshot at the start of the current phase (per rank).
     phase_start: (Vec<f64>, Vec<f64>),
+    /// Elapsed time when the current phase span began.
+    phase_t0: f64,
+    /// Event sink; `None` (the default) records nothing and costs nothing.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Machine {
@@ -47,9 +62,12 @@ impl Machine {
             clock: vec![0.0; p],
             comp: vec![0.0; p],
             comm: vec![0.0; p],
-            phase: "default".into(),
+            phase: Phase::Idle,
+            phase_label: None,
             phases: HashMap::new(),
             phase_start: (vec![0.0; p], vec![0.0; p]),
+            phase_t0: 0.0,
+            recorder: None,
         }
     }
 
@@ -62,15 +80,44 @@ impl Machine {
         &self.cost
     }
 
+    /// Install an event recorder. Subsequent machine operations emit
+    /// structured events into it (see `sp-trace::TraceRecorder`).
+    pub fn set_recorder(&mut self, rec: Box<dyn Recorder>) {
+        self.recorder = Some(rec);
+    }
+
+    /// Detach and return the recorder, first closing the current phase so
+    /// the final phase span is flushed into it.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.close_phase();
+        self.recorder.take()
+    }
+
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
     /// Simulated elapsed time: the maximum rank clock.
     pub fn elapsed(&self) -> f64 {
         self.clock.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Begin a named phase; closes the previous phase's accounting.
-    pub fn phase(&mut self, name: &str) {
+    /// Begin a phase; closes the previous phase's accounting. Re-entering
+    /// a phase accumulates into its existing bucket.
+    pub fn phase(&mut self, ph: Phase) {
         self.close_phase();
-        self.phase = name.to_string();
+        self.phase = ph;
+        self.phase_label = None;
+    }
+
+    /// Begin a phase with a free-form sub-phase label (e.g. `"smooth-3"`
+    /// within [`Phase::Embed`]). The label shows up in traces; accounting
+    /// aggregates by `ph` alone, so differently-labelled spans of the same
+    /// phase always land in the same bucket.
+    pub fn phase_labeled(&mut self, ph: Phase, label: &str) {
+        self.close_phase();
+        self.phase = ph;
+        self.phase_label = Some(label.to_string());
     }
 
     fn close_phase(&mut self) {
@@ -86,16 +133,42 @@ impl Machine {
             .zip(&self.phase_start.1)
             .map(|(a, b)| a - b)
             .fold(0.0, f64::max);
-        let e = self.phases.entry(self.phase.clone()).or_default();
+        let e = self.phases.entry(self.phase).or_default();
         e.comp += dcomp;
         e.comm += dcomm;
         self.phase_start = (self.comp.clone(), self.comm.clone());
+        let t = self.elapsed();
+        if t > self.phase_t0 {
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.on_phase(self.phase, self.phase_label.as_deref(), self.phase_t0, t);
+            }
+        }
+        self.phase_t0 = t;
     }
 
-    /// Per-phase breakdown (max-rank comp and comm per phase).
-    pub fn phase_breakdown(&mut self) -> HashMap<String, PhaseBreakdown> {
+    /// Per-phase breakdown (max-rank comp and comm per phase). Idempotent:
+    /// calling it twice without intervening work returns the same map.
+    pub fn phase_breakdown(&mut self) -> HashMap<Phase, PhaseBreakdown> {
         self.close_phase();
         self.phases.clone()
+    }
+
+    /// Accounting snapshot for the metrics layer (`sp-trace::Metrics`):
+    /// per-phase breakdown in canonical order plus per-rank totals.
+    pub fn stats(&mut self) -> MachineStats {
+        self.close_phase();
+        let phases = Phase::ALL
+            .iter()
+            .filter_map(|&ph| self.phases.get(&ph).map(|b| (ph, b.comp, b.comm)))
+            .collect();
+        MachineStats {
+            p: self.p,
+            elapsed: self.elapsed(),
+            phases,
+            rank_comp: self.comp.clone(),
+            rank_comm: self.comm.clone(),
+            rank_clock: self.clock.clone(),
+        }
     }
 
     /// Total communication time (max over ranks).
@@ -121,10 +194,17 @@ impl Machine {
             .enumerate()
             .map(|(r, s)| f(r, s))
             .collect();
+        let phase = self.phase;
         for (r, o) in ops.into_iter().enumerate() {
             let dt = o * self.cost.t_op;
+            let start = self.clock[r];
             self.clock[r] += dt;
             self.comp[r] += dt;
+            if o != 0.0 {
+                if let Some(rec) = self.recorder.as_deref_mut() {
+                    rec.on_compute(r, phase, start, dt, o);
+                }
+            }
         }
     }
 
@@ -132,8 +212,15 @@ impl Machine {
     /// cost-only modelling of work already done on the data).
     pub fn charge_ops(&mut self, rank: usize, ops: f64) {
         let dt = ops * self.cost.t_op;
+        let start = self.clock[rank];
         self.clock[rank] += dt;
         self.comp[rank] += dt;
+        if ops != 0.0 {
+            let phase = self.phase;
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.on_compute(rank, phase, start, dt, ops);
+            }
+        }
     }
 
     /// Point-to-point exchange with local synchronisation. `out[r]` holds
@@ -144,18 +231,23 @@ impl Machine {
     /// Cost: each rank pays `t_s + t_w·words` per message sent and per
     /// message received, and cannot finish before any partner's send
     /// completes (receivers wait for senders; senders do not wait).
-    pub fn exchange<M: Words + Send>(
-        &mut self,
-        out: Vec<Vec<(usize, M)>>,
-    ) -> Vec<Vec<(usize, M)>> {
+    pub fn exchange<M: Words + Send>(&mut self, out: Vec<Vec<(usize, M)>>) -> Vec<Vec<(usize, M)>> {
         assert_eq!(out.len(), self.p);
-        // Send-completion time per rank.
+        let phase = self.phase;
+        // Send-completion time per rank; sends occupy the rank back to
+        // back, so each message's span starts where the previous ended.
         let mut send_done = self.clock.clone();
         for (r, msgs) in out.iter().enumerate() {
             for (d, m) in msgs {
                 assert!(*d < self.p, "bad destination {d}");
                 assert!(*d != r, "self-message from rank {r}");
-                send_done[r] += self.cost.msg(m.words());
+                let w = m.words();
+                let c = self.cost.msg(w);
+                let start = send_done[r];
+                send_done[r] += c;
+                if let Some(rec) = self.recorder.as_deref_mut() {
+                    rec.on_send(phase, r, *d, w, start, c);
+                }
             }
         }
         // Deliver.
@@ -177,17 +269,47 @@ impl Machine {
             let new_clock = start + recv_cost[r];
             self.comm[r] += new_clock - self.clock[r];
             self.clock[r] = new_clock;
+            // Receive occupancy: messages drain back to back from `start`
+            // in source order (the order the inbox presents them).
+            if self.recorder.is_some() && !inbox[r].is_empty() {
+                let mut t = start;
+                for (s, m) in &inbox[r] {
+                    let w = m.words();
+                    let c = self.cost.msg(w);
+                    if let Some(rec) = self.recorder.as_deref_mut() {
+                        rec.on_recv(phase, *s, r, w, t, c);
+                    }
+                    t += c;
+                }
+            }
         }
         inbox
+    }
+
+    /// Synchronise ranks `0..active` at time `t`, charging the wait to
+    /// communication and emitting one collective event.
+    fn sync_collective(&mut self, active: usize, t: f64, kind: CollectiveKind, words: usize) {
+        let starts = if self.recorder.is_some() {
+            Some(self.clock[..active].to_vec())
+        } else {
+            None
+        };
+        for r in 0..active {
+            self.comm[r] += t - self.clock[r];
+            self.clock[r] = t;
+        }
+        if let Some(starts) = starts {
+            let phase = self.phase;
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.on_collective(phase, kind, words, &starts, t);
+            }
+        }
     }
 
     /// Globally synchronising barrier (cost: one zero-byte collective).
     pub fn barrier(&mut self) {
         let t = self.elapsed() + self.cost.collective(self.p, 0);
-        for r in 0..self.p {
-            self.comm[r] += t - self.clock[r];
-            self.clock[r] = t;
-        }
+        self.sync_collective(self.p, t, CollectiveKind::Barrier, 0);
     }
 
     /// Element-wise sum allreduce of per-rank `f64` vectors; every rank
@@ -202,16 +324,25 @@ impl Machine {
                 *a += x;
             }
         }
-        self.charge_collective(len);
+        let t = self.elapsed() + self.cost.collective(self.p, len);
+        self.sync_collective(self.p, t, CollectiveKind::AllreduceSum, len);
         acc
     }
 
     /// Allgather: concatenates every rank's contribution (in rank order)
     /// and hands the full vector to all ranks.
-    pub fn allgather<T: Clone>(&mut self, contrib: Vec<Vec<T>>) -> Vec<T> {
+    ///
+    /// Payload volume is sized per element through [`Words`], so
+    /// heap-carrying elements (e.g. `Vec<u64>`) charge their true payload
+    /// rather than `size_of` on the element header.
+    pub fn allgather<T: Clone + Words>(&mut self, contrib: Vec<Vec<T>>) -> Vec<T> {
         assert_eq!(contrib.len(), self.p);
         let total: usize = contrib.iter().map(|v| v.len()).sum();
-        let words = (total * std::mem::size_of::<T>()).div_ceil(8);
+        let words: usize = contrib
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|x| x.words())
+            .sum();
         let mut all = Vec::with_capacity(total);
         for v in contrib {
             all.extend(v);
@@ -221,10 +352,7 @@ impl Machine {
         let t0 = self.elapsed();
         let stages = (self.p.max(1) as f64).log2().ceil().max(0.0);
         let t = t0 + stages * self.cost.t_s + self.cost.t_w * words as f64;
-        for r in 0..self.p {
-            self.comm[r] += t - self.clock[r];
-            self.clock[r] = t;
-        }
+        self.sync_collective(self.p, t, CollectiveKind::Allgather, words);
         all
     }
 
@@ -238,28 +366,30 @@ impl Machine {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .map(|(i, _)| i)
             .unwrap_or(0);
-        self.charge_collective(1);
+        let t = self.elapsed() + self.cost.collective(self.p, 1);
+        self.sync_collective(self.p, t, CollectiveKind::AllreduceMinIndex, 1);
         best
-    }
-
-    fn charge_collective(&mut self, words: usize) {
-        let t = self.elapsed() + self.cost.collective(self.p, words);
-        for r in 0..self.p {
-            self.comm[r] += t - self.clock[r];
-            self.clock[r] = t;
-        }
     }
 
     /// Allgather over the sub-communicator of ranks `0..active` only (the
     /// paper's shrinking rank groups `Pⁱ`): synchronises and charges just
     /// those ranks. `contrib` must still have one entry per machine rank;
-    /// entries of inactive ranks must be empty.
-    pub fn group_allgather<T: Clone>(&mut self, active: usize, contrib: Vec<Vec<T>>) -> Vec<T> {
+    /// entries of inactive ranks must be empty. Payload volume is sized
+    /// per element through [`Words`] (see [`Machine::allgather`]).
+    pub fn group_allgather<T: Clone + Words>(
+        &mut self,
+        active: usize,
+        contrib: Vec<Vec<T>>,
+    ) -> Vec<T> {
         assert_eq!(contrib.len(), self.p);
         let active = active.clamp(1, self.p);
         debug_assert!(contrib[active..].iter().all(|v| v.is_empty()));
         let total: usize = contrib.iter().map(|v| v.len()).sum();
-        let words = (total * std::mem::size_of::<T>()).div_ceil(8);
+        let words: usize = contrib
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|x| x.words())
+            .sum();
         let mut all = Vec::with_capacity(total);
         for v in contrib {
             all.extend(v);
@@ -267,10 +397,7 @@ impl Machine {
         let t0 = self.clock[..active].iter().copied().fold(0.0, f64::max);
         let stages = (active as f64).log2().ceil().max(0.0);
         let t = t0 + stages * self.cost.t_s + self.cost.t_w * words as f64;
-        for r in 0..active {
-            self.comm[r] += t - self.clock[r];
-            self.clock[r] = t;
-        }
+        self.sync_collective(active, t, CollectiveKind::GroupAllgather, words);
         all
     }
 
@@ -292,10 +419,7 @@ impl Machine {
             let stages = (active as f64).log2().ceil().max(0.0);
             stages * self.cost.msg(len)
         };
-        for r in 0..active {
-            self.comm[r] += t - self.clock[r];
-            self.clock[r] = t;
-        }
+        self.sync_collective(active, t, CollectiveKind::GroupAllreduceSum, len);
         acc
     }
 }
@@ -303,9 +427,14 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sp_trace::{Event, Metrics, TraceRecorder};
 
     fn free() -> CostModel {
-        CostModel { t_s: 0.0, t_w: 0.0, t_op: 1.0 }
+        CostModel {
+            t_s: 0.0,
+            t_w: 0.0,
+            t_op: 1.0,
+        }
     }
 
     #[test]
@@ -336,7 +465,11 @@ mod tests {
 
     #[test]
     fn exchange_charges_latency_and_bandwidth() {
-        let cost = CostModel { t_s: 1.0, t_w: 0.5, t_op: 0.0 };
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.5,
+            t_op: 0.0,
+        };
         let mut m = Machine::new(2, cost);
         let out = vec![vec![(1usize, vec![0u64; 4])], vec![]];
         m.exchange(out);
@@ -350,7 +483,11 @@ mod tests {
     #[test]
     fn exchange_is_locally_synchronising() {
         // Rank 2 exchanges nothing: its clock must not move.
-        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 0.0 };
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.0,
+            t_op: 0.0,
+        };
         let mut m = Machine::new(3, cost);
         let out = vec![vec![(1usize, vec![0u64])], vec![], vec![]];
         m.exchange(out);
@@ -367,7 +504,11 @@ mod tests {
 
     #[test]
     fn allreduce_synchronises_globally() {
-        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.0,
+            t_op: 1.0,
+        };
         let mut m = Machine::new(4, cost);
         let mut states = vec![(); 4];
         m.compute(&mut states, |r, _| if r == 0 { 10.0 } else { 0.0 });
@@ -393,18 +534,102 @@ mod tests {
 
     #[test]
     fn phase_breakdown_splits_comp_and_comm() {
-        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.0,
+            t_op: 1.0,
+        };
         let mut m = Machine::new(2, cost);
-        m.phase("a");
+        m.phase(Phase::Coarsen);
         let mut s = vec![(); 2];
         m.compute(&mut s, |_, _| 5.0);
-        m.phase("b");
+        m.phase(Phase::Embed);
         m.barrier();
         let bd = m.phase_breakdown();
-        assert_eq!(bd["a"].comp, 5.0);
-        assert_eq!(bd["a"].comm, 0.0);
-        assert_eq!(bd["b"].comp, 0.0);
-        assert_eq!(bd["b"].comm, 1.0);
+        assert_eq!(bd[&Phase::Coarsen].comp, 5.0);
+        assert_eq!(bd[&Phase::Coarsen].comm, 0.0);
+        assert_eq!(bd[&Phase::Embed].comp, 0.0);
+        assert_eq!(bd[&Phase::Embed].comm, 1.0);
+    }
+
+    #[test]
+    fn reentered_phase_accumulates() {
+        let mut m = Machine::new(2, free());
+        let mut s = vec![(); 2];
+        m.phase(Phase::Coarsen);
+        m.compute(&mut s, |_, _| 5.0);
+        m.phase(Phase::Embed);
+        m.compute(&mut s, |_, _| 1.0);
+        m.phase(Phase::Coarsen); // re-enter: must accumulate, not overwrite
+        m.compute(&mut s, |_, _| 7.0);
+        let bd = m.phase_breakdown();
+        assert_eq!(bd[&Phase::Coarsen].comp, 12.0);
+        assert_eq!(bd[&Phase::Embed].comp, 1.0);
+    }
+
+    #[test]
+    fn empty_phase_reports_zeros() {
+        let mut m = Machine::new(2, free());
+        m.phase(Phase::Refine);
+        m.phase(Phase::Done);
+        let bd = m.phase_breakdown();
+        assert_eq!(
+            bd[&Phase::Refine],
+            PhaseBreakdown {
+                comp: 0.0,
+                comm: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn phase_breakdown_is_idempotent() {
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.5,
+            t_op: 1.0,
+        };
+        let mut m = Machine::new(3, cost);
+        let mut s = vec![(); 3];
+        m.phase(Phase::Coarsen);
+        m.compute(&mut s, |r, _| (r + 1) as f64);
+        m.barrier();
+        let a = m.phase_breakdown();
+        let b = m.phase_breakdown();
+        assert_eq!(a, b);
+        // And stats() agrees with the breakdown.
+        let st = m.stats();
+        for (ph, comp, comm) in &st.phases {
+            assert_eq!(a[ph].comp, *comp);
+            assert_eq!(a[ph].comm, *comm);
+        }
+    }
+
+    #[test]
+    fn breakdown_is_bounded_by_elapsed_times_p() {
+        let cost = CostModel::qdr_infiniband();
+        let mut m = Machine::new(4, cost);
+        let mut s = vec![(); 4];
+        m.phase(Phase::Coarsen);
+        m.compute(&mut s, |r, _| 1000.0 * (r + 1) as f64);
+        let _ = m.exchange(vec![
+            vec![(1usize, vec![0u64; 64])],
+            vec![(2usize, vec![0u64; 8])],
+            vec![],
+            vec![],
+        ]);
+        m.phase(Phase::Partition);
+        m.barrier();
+        let _ = m.allgather(vec![vec![0u64; 4]; 4]);
+        let e = m.elapsed();
+        let bd = m.phase_breakdown();
+        let total: f64 = bd.values().map(|b| b.comp + b.comm).sum();
+        assert!(total <= e * m.p() as f64 + 1e-12, "{total} > {e} * p");
+        for b in bd.values() {
+            assert!(b.comp <= e + 1e-12 && b.comm <= e + 1e-12);
+        }
+        // comp + comm of any single rank can never exceed its clock.
+        assert!(m.comp_time() + m.comm_time() <= e * 2.0 + 1e-12);
     }
 
     #[test]
@@ -430,7 +655,11 @@ mod tests {
 
     #[test]
     fn group_allgather_only_touches_active_ranks() {
-        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.0,
+            t_op: 1.0,
+        };
         let mut m = Machine::new(8, cost);
         let contrib: Vec<Vec<u32>> = (0..8)
             .map(|r| if r < 4 { vec![r as u32] } else { Vec::new() })
@@ -454,7 +683,11 @@ mod tests {
 
     #[test]
     fn group_collective_synchronises_within_group() {
-        let cost = CostModel { t_s: 1.0, t_w: 0.0, t_op: 1.0 };
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.0,
+            t_op: 1.0,
+        };
         let mut m = Machine::new(4, cost);
         let mut s = vec![(); 4];
         m.compute(&mut s, |r, _| if r == 1 { 10.0 } else { 0.0 });
@@ -467,13 +700,149 @@ mod tests {
 
     #[test]
     fn group_of_one_is_free_of_latency() {
-        let cost = CostModel { t_s: 1.0, t_w: 1.0, t_op: 0.0 };
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 1.0,
+            t_op: 0.0,
+        };
         let mut m = Machine::new(4, cost);
-        let contrib: Vec<Vec<u64>> =
-            (0..4).map(|r| if r == 0 { vec![7u64] } else { Vec::new() }).collect();
+        let contrib: Vec<Vec<u64>> = (0..4)
+            .map(|r| if r == 0 { vec![7u64] } else { Vec::new() })
+            .collect();
         let all = m.group_allgather(1, contrib);
         assert_eq!(all, vec![7]);
         // log2(1) = 0 stages; only the bandwidth term applies.
         assert!(m.clock[0] <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn allgather_charges_heap_payloads_through_words() {
+        // Regression: size_of::<Vec<u64>>() is 24 bytes of header — the
+        // old accounting charged 3 words per element here instead of 100.
+        let cost = CostModel {
+            t_s: 0.0,
+            t_w: 1.0,
+            t_op: 0.0,
+        };
+        let mut m = Machine::new(2, cost);
+        let contrib: Vec<Vec<Vec<u64>>> = vec![vec![vec![0u64; 100]], vec![vec![0u64; 100]]];
+        let _ = m.allgather(contrib);
+        // 200 words at t_w = 1 → at least 200 simulated seconds.
+        assert!(m.elapsed() >= 200.0, "undercharged: {}", m.elapsed());
+
+        let mut m = Machine::new(2, cost);
+        let contrib: Vec<Vec<Vec<u64>>> = vec![vec![vec![0u64; 50]], Vec::new()];
+        let _ = m.group_allgather(1, contrib);
+        assert!(m.elapsed() >= 50.0, "group undercharged: {}", m.elapsed());
+    }
+
+    #[test]
+    fn trace_recorder_captures_machine_events() {
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.5,
+            t_op: 1.0,
+        };
+        let mut m = Machine::new(2, cost);
+        m.set_recorder(Box::new(TraceRecorder::new(2)));
+        m.phase(Phase::Coarsen);
+        let mut s = vec![(); 2];
+        m.compute(&mut s, |r, _| (r + 1) as f64);
+        let _ = m.exchange(vec![vec![(1usize, vec![0u64; 4])], vec![]]);
+        m.phase(Phase::Partition);
+        let _ = m.allgather(vec![vec![1u64, 2], vec![3u64]]);
+        let elapsed = m.elapsed();
+        let stats = m.stats();
+        let rec = TraceRecorder::downcast(m.take_recorder().unwrap()).unwrap();
+
+        // Every event kind shows up.
+        let has = |f: &dyn Fn(&Event) -> bool| rec.events().iter().any(f);
+        assert!(has(&|e| matches!(e, Event::Compute { .. })));
+        assert!(has(&|e| matches!(
+            e,
+            Event::Send {
+                src: 0,
+                dst: 1,
+                words: 4,
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            Event::Recv {
+                src: 0,
+                dst: 1,
+                words: 4,
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            Event::Collective {
+                kind: CollectiveKind::Allgather,
+                words: 3,
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            Event::Phase {
+                phase: Phase::Coarsen,
+                ..
+            }
+        )));
+
+        // The trace's horizon equals the machine's elapsed time.
+        let horizon = rec
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Compute { start, dur, .. } => start + dur,
+                Event::Send { start, dur, .. } => start + dur,
+                Event::Recv { start, dur, .. } => start + dur,
+                Event::Collective { end, .. } => *end,
+                Event::Phase { end, .. } => *end,
+            })
+            .fold(0.0, f64::max);
+        assert!((horizon - elapsed).abs() < 1e-9, "{horizon} vs {elapsed}");
+
+        // Metrics agree with the machine's own accounting exactly.
+        let metrics = Metrics::build(&stats, Some(&rec));
+        let bd = m.phase_breakdown();
+        for ph in &metrics.phases {
+            assert_eq!(ph.comp, bd[&ph.phase].comp, "{}", ph.phase);
+            assert_eq!(ph.comm, bd[&ph.phase].comm, "{}", ph.phase);
+        }
+        assert_eq!(metrics.elapsed, elapsed);
+        // Chrome export spans the same horizon (µs), with per-rank tids.
+        let json = rec.chrome_trace();
+        assert!(json.contains("\"tid\": 0") && json.contains("\"tid\": 1"));
+        assert!(json.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn no_recorder_means_no_events_and_same_costs() {
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.5,
+            t_op: 1.0,
+        };
+        let run = |rec: bool| {
+            let mut m = Machine::new(2, cost);
+            if rec {
+                m.set_recorder(Box::new(TraceRecorder::new(2)));
+            }
+            m.phase(Phase::Coarsen);
+            let mut s = vec![(); 2];
+            m.compute(&mut s, |r, _| (r + 1) as f64);
+            let _ = m.exchange(vec![vec![(1usize, vec![0u64; 4])], vec![]]);
+            m.barrier();
+            m.elapsed()
+        };
+        // Tracing must not perturb the simulated clock.
+        assert_eq!(run(false), run(true));
+        let mut m = Machine::new(2, cost);
+        assert!(!m.has_recorder());
+        assert!(m.take_recorder().is_none());
     }
 }

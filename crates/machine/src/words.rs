@@ -1,10 +1,24 @@
 //! Measuring message payloads in 8-byte words for cost charging.
 
 /// Anything that can report its wire size in 8-byte words.
+///
+/// Two families of implementations exist:
+/// * **Scalars** report their own (rounded-up) size; sub-word scalars
+///   round up to one word, matching how an MPI implementation pads tiny
+///   elements into word-aligned buffers.
+/// * **Containers** (`Vec<T>`, `&[T]`) report the *packed byte size* of
+///   their element type — correct for plain-old-data elements, which is
+///   what point-to-point payloads are. Heap-carrying element types (e.g.
+///   `Vec<Vec<u64>>`) must NOT be sized this way: `size_of::<Vec<u64>>()`
+///   is the 24-byte header, not the payload. The machine's collectives
+///   therefore size their payloads per element through this trait (a
+///   `Vec<u64>` element reports its true length), never through
+///   `size_of` on the element type.
 pub trait Words {
     fn words(&self) -> usize;
 }
 
+/// Packed byte-size container sizing: valid for plain-old-data `T`.
 impl<T> Words for Vec<T> {
     fn words(&self) -> usize {
         (self.len() * std::mem::size_of::<T>()).div_ceil(8)
@@ -13,19 +27,25 @@ impl<T> Words for Vec<T> {
 
 impl<T> Words for &[T] {
     fn words(&self) -> usize {
-        (self.len() * std::mem::size_of::<T>()).div_ceil(8)
+        std::mem::size_of_val(*self).div_ceil(8)
     }
 }
 
-impl Words for f64 {
-    fn words(&self) -> usize {
-        1
-    }
+macro_rules! scalar_words {
+    ($($t:ty),*) => {$(
+        impl Words for $t {
+            fn words(&self) -> usize {
+                std::mem::size_of::<$t>().div_ceil(8)
+            }
+        }
+    )*};
 }
 
-impl Words for u64 {
+scalar_words!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl Words for () {
     fn words(&self) -> usize {
-        1
+        0
     }
 }
 
@@ -53,5 +73,26 @@ mod tests {
     fn tuple_words_sum() {
         let t = (3.0f64, vec![0u64; 4]);
         assert_eq!(t.words(), 5);
+    }
+
+    #[test]
+    fn scalars_round_up_to_one_word() {
+        assert_eq!(1u8.words(), 1);
+        assert_eq!(1u32.words(), 1);
+        assert_eq!(1u64.words(), 1);
+        assert_eq!(1.0f32.words(), 1);
+        assert_eq!(true.words(), 1);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn nested_vec_reports_payload_not_header() {
+        // The element-wise path: a Vec<u64> element reports its true
+        // length, not size_of::<Vec<u64>>() = 3 words of header.
+        let inner: Vec<u64> = vec![0; 100];
+        assert_eq!(inner.words(), 100);
+        let nested: Vec<Vec<u64>> = vec![vec![0; 100], vec![0; 50]];
+        let element_wise: usize = nested.iter().map(|v| v.words()).sum();
+        assert_eq!(element_wise, 150);
     }
 }

@@ -5,8 +5,11 @@ use proptest::prelude::*;
 use sp_machine::{CostModel, Machine};
 
 fn arb_cost() -> impl Strategy<Value = CostModel> {
-    (0.0f64..1e-4, 0.0f64..1e-6, 1e-10f64..1e-7)
-        .prop_map(|(t_s, t_w, t_op)| CostModel { t_s, t_w, t_op })
+    (0.0f64..1e-4, 0.0f64..1e-6, 1e-10f64..1e-7).prop_map(|(t_s, t_w, t_op)| CostModel {
+        t_s,
+        t_w,
+        t_op,
+    })
 }
 
 proptest! {

@@ -30,7 +30,11 @@ pub struct FmConfig {
 
 impl Default for FmConfig {
     fn default() -> Self {
-        FmConfig { max_passes: 4, balance_tol: 0.05, move_fraction: 1.0 }
+        FmConfig {
+            max_passes: 4,
+            balance_tol: 0.05,
+            move_fraction: 1.0,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ pub fn fm_refine(
     cfg: &FmConfig,
 ) -> FmStats {
     let n = g.n();
-    let mut stats = FmStats { cut_before: bi.cut(g), cut_after: 0.0, ..Default::default() };
+    let mut stats = FmStats {
+        cut_before: bi.cut(g),
+        cut_after: 0.0,
+        ..Default::default()
+    };
     if n < 2 {
         stats.cut_after = stats.cut_before;
         return stats;
@@ -120,7 +128,11 @@ pub fn fm_refine(
                 stats.ops += 1.0;
             }
             gain[v as usize] = gv;
-            heap.push(HeapEntry { gain: gv, v, stamp: 0 });
+            heap.push(HeapEntry {
+                gain: gv,
+                v,
+                stamp: 0,
+            });
         }
         let mut locked = vec![false; n];
         // Move log for rollback: (vertex, cut after the move, imbalance ok).
@@ -171,7 +183,11 @@ pub fn fm_refine(
                     continue;
                 }
                 // v changed sides: edges to u flip their contribution.
-                let delta = if bi.side(u) == new_side { -2.0 * w } else { 2.0 * w };
+                let delta = if bi.side(u) == new_side {
+                    -2.0 * w
+                } else {
+                    2.0 * w
+                };
                 gain[u as usize] += delta;
                 stamp[u as usize] += 1;
                 heap.push(HeapEntry {
@@ -279,7 +295,10 @@ mod tests {
             let before = bi.cut(&g);
             let s = fm_refine(&g, &mut bi, None, &FmConfig::default());
             assert!(s.cut_after <= before + 1e-9);
-            assert!((bi.cut(&g) - s.cut_after).abs() < 1e-9, "stats vs actual cut");
+            assert!(
+                (bi.cut(&g) - s.cut_after).abs() < 1e-9,
+                "stats vs actual cut"
+            );
         }
     }
 
@@ -288,7 +307,15 @@ mod tests {
         let g = grid_2d(20, 20);
         let mut bi = noisy_split(&g, 0.10, 3);
         let before = bi.cut(&g);
-        let s = fm_refine(&g, &mut bi, None, &FmConfig { max_passes: 8, ..Default::default() });
+        let s = fm_refine(
+            &g,
+            &mut bi,
+            None,
+            &FmConfig {
+                max_passes: 8,
+                ..Default::default()
+            },
+        );
         assert!(
             s.cut_after < before * 0.5,
             "cut {} -> {} (expected big repair)",
@@ -301,9 +328,16 @@ mod tests {
     fn fm_respects_balance_tolerance() {
         let g = grid_2d(14, 14);
         let mut bi = noisy_split(&g, 0.2, 7);
-        let cfg = FmConfig { balance_tol: 0.05, ..Default::default() };
+        let cfg = FmConfig {
+            balance_tol: 0.05,
+            ..Default::default()
+        };
         fm_refine(&g, &mut bi, None, &cfg);
-        assert!(bi.imbalance(&g) <= 0.05 + 1e-9, "imbalance {}", bi.imbalance(&g));
+        assert!(
+            bi.imbalance(&g) <= 0.05 + 1e-9,
+            "imbalance {}",
+            bi.imbalance(&g)
+        );
     }
 
     #[test]
@@ -315,7 +349,11 @@ mod tests {
         let movable: Vec<bool> = (0..g.n()).map(|v| v < g.n() / 4).collect();
         fm_refine(&g, &mut bi, Some(&movable), &FmConfig::default());
         for v in g.n() / 4..g.n() {
-            assert_eq!(bi.side(v as u32), frozen.side(v as u32), "immovable {v} moved");
+            assert_eq!(
+                bi.side(v as u32),
+                frozen.side(v as u32),
+                "immovable {v} moved"
+            );
         }
     }
 

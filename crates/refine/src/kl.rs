@@ -93,7 +93,11 @@ mod tests {
             &g,
             &mut bi_fm,
             None,
-            &crate::fm::FmConfig { max_passes: 8, balance_tol: 0.01, ..Default::default() },
+            &crate::fm::FmConfig {
+                max_passes: 8,
+                balance_tol: 0.01,
+                ..Default::default()
+            },
         )
         .cut_after;
         // KL's pairwise swaps repair the checkerboard to near-optimal; FM's

@@ -55,11 +55,7 @@ fn strip_and_band_select_similar_regions_near_the_cut() {
     let cut = bi.cut_edges(&g);
     let strip = strip_around_separator(&signed, 4 * cut);
     let band = band_by_hops(&g, &bi, 1);
-    let overlap = strip
-        .iter()
-        .zip(&band)
-        .filter(|&(&s, &b)| s && b)
-        .count();
+    let overlap = strip.iter().zip(&band).filter(|&(&s, &b)| s && b).count();
     let band_size = band.iter().filter(|&&b| b).count();
     assert!(
         overlap * 10 >= band_size * 7,
@@ -72,11 +68,23 @@ fn larger_strips_refine_at_least_as_well() {
     let (g, signed, _) = wobbly_setup(28);
     let mut cuts = Vec::new();
     for factor in [2usize, 8] {
-        let mut bi =
-            Bisection::new(signed.iter().map(|&s| u8::from(s > 0.0)).collect::<Vec<_>>());
+        let mut bi = Bisection::new(
+            signed
+                .iter()
+                .map(|&s| u8::from(s > 0.0))
+                .collect::<Vec<_>>(),
+        );
         let before = bi.cut_edges(&g);
         let strip = strip_around_separator(&signed, factor * before);
-        fm_refine(&g, &mut bi, Some(&strip), &FmConfig { max_passes: 6, ..Default::default() });
+        fm_refine(
+            &g,
+            &mut bi,
+            Some(&strip),
+            &FmConfig {
+                max_passes: 6,
+                ..Default::default()
+            },
+        );
         cuts.push(bi.cut_edges(&g));
     }
     assert!(cuts[1] <= cuts[0], "wider strip worse: {:?}", cuts);

@@ -1,0 +1,58 @@
+//! Minimal JSON emission helpers (this workspace deliberately avoids
+//! serde; see DESIGN.md "Dependencies actually used").
+
+/// Escape a string for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number. Rust's shortest round-trip `Display`
+/// is already valid JSON for finite values; non-finite values (which the
+/// machine never produces) degrade to `null` rather than emitting invalid
+/// JSON.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        for x in [0.0, 1.5, 1e-9, 123456.789, -2.5e17, f64::MIN_POSITIVE] {
+            let s = num(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "{s}");
+        }
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

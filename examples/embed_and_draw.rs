@@ -23,7 +23,10 @@ fn main() -> std::io::Result<()> {
     println!("cut = {}, imbalance = {:.4}", result.cut, result.imbalance);
 
     std::fs::create_dir_all("target")?;
-    std::fs::write("target/embedding.svg", render_svg(&graph, &result.coords, None, 800.0))?;
+    std::fs::write(
+        "target/embedding.svg",
+        render_svg(&graph, &result.coords, None, 800.0),
+    )?;
     std::fs::write(
         "target/lattice.svg",
         render_lattice_svg(&graph, &result.coords, 3, 800.0),

@@ -1,0 +1,69 @@
+//! Offline sequential stand-in for `rayon`: the parallel-iterator entry
+//! points return plain std iterators, so `.enumerate().map().collect()`
+//! chains compile unchanged and run sequentially.
+
+pub mod iter {
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}

@@ -50,12 +50,7 @@ fn all_methods_valid_on_coordinate_free_graph() {
         r.bisection
             .validate(&t.graph)
             .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
-        assert!(
-            r.cut < t.graph.m(),
-            "{}: cut {} ≥ m",
-            method.name(),
-            r.cut
-        );
+        assert!(r.cut < t.graph.m(), "{}: cut {} ≥ m", method.name(), r.cut);
     }
 }
 
@@ -80,11 +75,6 @@ fn reported_cut_matches_bisection() {
     let t = SuiteGraph::G3Circuit.instantiate(TestScale::Tiny, 4);
     for method in [Method::ScalaPart, Method::Rcb, Method::ParMetisLike] {
         let r = run_method(method, &t.graph, t.coords.as_deref(), 16, 9);
-        assert_eq!(
-            r.cut,
-            r.bisection.cut_edges(&t.graph),
-            "{}",
-            method.name()
-        );
+        assert_eq!(r.cut, r.bisection.cut_edges(&t.graph), "{}", method.name());
     }
 }

@@ -65,7 +65,10 @@ fn strip_refinement_helps_or_is_neutral() {
         let mut m1 = Machine::new(16, CostModel::qdr_infiniband());
         let mut m2 = Machine::new(16, CostModel::qdr_infiniband());
         let r1 = scalapart_bisect(&t.graph, &mut m1, &SpConfig::default().with_seed(seed));
-        let cfg_off = SpConfig { strip_factor: 0.0, ..SpConfig::default().with_seed(seed) };
+        let cfg_off = SpConfig {
+            strip_factor: 0.0,
+            ..SpConfig::default().with_seed(seed)
+        };
         let r2 = scalapart_bisect(&t.graph, &mut m2, &cfg_off);
         with += r1.cut;
         without += r2.cut;
@@ -82,7 +85,12 @@ fn sp_pg7nl_on_mesh_coordinates_beats_random_cut() {
     let mut m = Machine::new(64, CostModel::qdr_infiniband());
     let r = sp_pg7nl_bisect(&t.graph, &coords, &mut m, &SpConfig::default());
     r.bisection.validate(&t.graph).unwrap();
-    assert!(r.cut < t.graph.m() / 10, "cut {} of m {}", r.cut, t.graph.m());
+    assert!(
+        r.cut < t.graph.m() / 10,
+        "cut {} of m {}",
+        r.cut,
+        t.graph.m()
+    );
 }
 
 #[test]
@@ -94,6 +102,11 @@ fn coordinate_free_graph_partitions_fine() {
     r.bisection.validate(&t.graph).unwrap();
     // kkt is the adversarial case: just require a valid, balanced,
     // better-than-random cut.
-    assert!(r.cut < t.graph.m() / 2, "cut {} of m {}", r.cut, t.graph.m());
+    assert!(
+        r.cut < t.graph.m() / 2,
+        "cut {} of m {}",
+        r.cut,
+        t.graph.m()
+    );
     assert!(r.imbalance < 0.15);
 }

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use scalapart::geometry::{
-    hilbert_d2xy, hilbert_xy2d, stereo_lift, stereo_project, Point2,
-};
+use scalapart::geometry::{hilbert_d2xy, hilbert_xy2d, stereo_lift, stereo_project, Point2};
 use scalapart::graph::gen::{delaunay_of_points, random_geometric_graph};
 use scalapart::graph::{Bisection, GraphBuilder};
 use scalapart::refine::{fm_refine, FmConfig};

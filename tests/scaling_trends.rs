@@ -23,8 +23,12 @@ fn every_parallel_method_speeds_up_from_1_to_256() {
     // (on small graphs the multilevel partitioners hit their latency floor
     // immediately — the paper's own small-graph degradation effect).
     let t = SuiteGraph::HugeTrace.instantiate(TestScale::Bench, 31);
-    for method in [Method::ScalaPart, Method::ParMetisLike, Method::PtScotchLike, Method::Rcb]
-    {
+    for method in [
+        Method::ScalaPart,
+        Method::ParMetisLike,
+        Method::PtScotchLike,
+        Method::Rcb,
+    ] {
         let t1 = time_of(method, &t, 1, 7);
         let t256 = time_of(method, &t, 256, 7);
         assert!(
@@ -45,7 +49,10 @@ fn scalapart_is_slower_at_p1_and_has_the_steepest_speedup() {
     let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Bench, 37);
     let sp1 = time_of(Method::ScalaPart, &t, 1, 3);
     let ps1 = time_of(Method::PtScotchLike, &t, 1, 3);
-    assert!(sp1 > 3.0 * ps1, "SP should be much slower at P=1: {sp1} vs {ps1}");
+    assert!(
+        sp1 > 3.0 * ps1,
+        "SP should be much slower at P=1: {sp1} vs {ps1}"
+    );
 
     let sp1024 = time_of(Method::ScalaPart, &t, 1024, 3);
     let ps1024 = time_of(Method::PtScotchLike, &t, 1024, 3);
@@ -65,7 +72,10 @@ fn parmetis_like_beats_ptscotch_like_at_scale() {
     let t = SuiteGraph::DelaunayN20.instantiate(TestScale::Bench, 41);
     let pm = time_of(Method::ParMetisLike, &t, 1024, 11);
     let ps = time_of(Method::PtScotchLike, &t, 1024, 11);
-    assert!(pm < ps, "ParMetis-like {pm} should beat Pt-Scotch-like {ps}");
+    assert!(
+        pm < ps,
+        "ParMetis-like {pm} should beat Pt-Scotch-like {ps}"
+    );
 }
 
 #[test]
@@ -89,7 +99,10 @@ fn rcb_and_sp_pg7nl_are_the_scalability_winners() {
     let rcb = time_of(Method::Rcb, &t, 1024, 17);
     let sp = time_of(Method::SpPg7Nl, &t, 1024, 17);
     let ps = time_of(Method::PtScotchLike, &t, 1024, 17);
-    assert!(rcb < ps && sp < ps, "rcb {rcb}, sp-pg7nl {sp}, pt-scotch {ps}");
+    assert!(
+        rcb < ps && sp < ps,
+        "rcb {rcb}, sp-pg7nl {sp}, pt-scotch {ps}"
+    );
 }
 
 #[test]
