@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use sp_coarsen::{contract, parallel_hem};
 use sp_graph::distr::Distribution;
 use sp_graph::{Bisection, Graph};
-use sp_machine::{Machine, Phase};
+use sp_machine::{CostOnly, Machine, Phase};
 use sp_refine::{band_by_hops, fm_refine, FmConfig};
 
 /// Configuration for a multilevel run.
@@ -132,10 +132,10 @@ pub fn multilevel_bisect(
         machine.compute(&mut states, |_, _| edges_per_rank);
         let per_rank_words = (2 * cross / p.max(1)).max(1);
         if p > 1 {
-            let outbox: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
-                .map(|r| vec![((r + 1) % p, vec![0u64; per_rank_words])])
+            let outbox: Vec<Vec<(usize, CostOnly)>> = (0..p)
+                .map(|r| vec![((r + 1) % p, CostOnly::new(per_rank_words))])
                 .collect();
-            let _ = machine.exchange(outbox);
+            machine.exchange_costed(&outbox);
         }
         maps.push(c.map);
         graphs.push(c.coarse);
@@ -149,8 +149,7 @@ pub fn multilevel_bisect(
     let coarsest = graphs.last().unwrap();
     {
         let words = 2 * coarsest.m() + coarsest.n();
-        let contrib: Vec<Vec<u64>> = (0..p).map(|_| vec![0u64; words / p.max(1)]).collect();
-        let _ = machine.allgather(contrib);
+        machine.allgather_costed(p * (words / p.max(1)));
     }
     let mut bi = greedy_grow(coarsest, &mut rng);
     let fm_cfg = FmConfig {
@@ -190,8 +189,7 @@ pub fn multilevel_bisect(
         let mut states: Vec<()> = vec![(); p];
         if cfg.centralize_band {
             let words = (3 * band_size / p.max(1)).max(1);
-            let contrib: Vec<Vec<u64>> = (0..p).map(|_| vec![0u64; words]).collect();
-            let _ = machine.allgather(contrib);
+            machine.allgather_costed(p * words);
             let ops = st.ops + band_size as f64 / p as f64;
             machine.compute(&mut states, |_, _| ops);
         } else {
@@ -203,13 +201,13 @@ pub fn multilevel_bisect(
         for _pass in 0..st.passes {
             if p > 1 {
                 let words = (2 * cross / p.max(1)).max(1);
-                let outbox: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
-                    .map(|r| vec![((r + 1) % p, vec![0u64; words])])
+                let outbox: Vec<Vec<(usize, CostOnly)>> = (0..p)
+                    .map(|r| vec![((r + 1) % p, CostOnly::new(words))])
                     .collect();
-                let _ = machine.exchange(outbox);
+                machine.exchange_costed(&outbox);
             }
             for _ in 0..cfg.collectives_per_pass {
-                let _ = machine.allreduce_sum(&vec![vec![0.0; 2]; p]);
+                machine.allreduce_sum_costed(2);
             }
         }
         bi = fbi;

@@ -40,7 +40,7 @@ pub fn rcb_bisect(
     {
         let mut states: Vec<()> = vec![(); p];
         machine.compute(&mut states, |r, _| rank_verts[r].len() as f64);
-        let _ = machine.allreduce_sum(&vec![vec![0.0; 4]; p]);
+        machine.allreduce_sum_costed(4);
     }
     let axis: u8 = u8::from(bbox.height() > bbox.width());
     let coord = |v: u32| -> f64 {

@@ -1,0 +1,258 @@
+//! Host wall-clock benchmark for the simulated pipeline.
+//!
+//! Simulated time measures the *modelled* machine; this harness measures
+//! the *host* — how long the simulation itself takes to run — and tracks
+//! it in `BENCH_2.json` at the repo root so wall-clock regressions are
+//! visible in review. Two sections:
+//!
+//! * `embed_fastpath` — the headline comparison: the optimized
+//!   `lattice_smooth` versus the pre-optimization reference
+//!   (`sp_bench::reference`) on generated grids. The two must agree on
+//!   simulated time to the last bit (the process panics on drift — CI
+//!   runs this as a smoke test); the speedup column is the wall-clock win.
+//! * `pipeline` — per-phase wall times (coarsen / embed / partition /
+//!   refine) of the full ScalaPart pipeline at several processor counts,
+//!   with the simulated phase times alongside for scale.
+//!
+//! Run with `cargo run --release -p sp-bench --bin wallclock`; build with
+//! `RUSTFLAGS="-C target-cpu=native"` for honest host numbers (the fast
+//! path's long per-rank loops are written to vectorize, and a baseline
+//! x86-64 build leaves the packed sqrt/div units idle). `--quick` trims
+//! the scenario list to the small grids — the CI smoke configuration,
+//! where the invariance assertions are the point and the wall numbers
+//! from shared runners are informational.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scalapart::coarsen::{contract, parallel_hem, Hierarchy, Level};
+use scalapart::embed::multilevel_lattice_embed;
+use scalapart::geopart::parallel_geometric_partition;
+use scalapart::graph::distr::Distribution;
+use scalapart::graph::Graph;
+use scalapart::machine::{CostModel, CostOnly, Machine};
+use scalapart::refine::{fm_refine, strip_around_separator};
+use scalapart::SpConfig;
+use sp_bench::reference::{demo_grid, reference_lattice_smooth, seed_lattice_smooth};
+use sp_embed::lattice::LatticeConfig;
+use sp_embed::{lattice_smooth_with, SmoothScratch};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut json = String::from("{\n  \"bench\": \"wallclock\",\n");
+
+    // ---- Section 1: optimized vs reference lattice smoothing.
+    json.push_str("  \"embed_fastpath\": [\n");
+    let mut scenarios = vec![(64usize, 64usize, 4usize), (128, 128, 4)];
+    if !quick {
+        scenarios.push((256, 256, 4));
+    }
+    let mut scratch = SmoothScratch::new();
+    let repeats = if quick { 1 } else { 5 };
+    for (i, &(rows, cols, q)) in scenarios.iter().enumerate() {
+        let cfg = LatticeConfig::default();
+        let (g, coords0) = demo_grid(rows, cols, 0xC0FFEE);
+
+        // Best-of-N wall times: the minimum over interleaved repeats is
+        // the standard noise-robust estimator (anything above the minimum
+        // is interference, not the code under test). Invariance is
+        // asserted on every repeat.
+        let mut wall_ref = f64::INFINITY;
+        let mut wall_new = f64::INFINITY;
+        let mut sim_new = 0.0f64;
+        for _ in 0..repeats {
+            // Wall-clock baseline: the seed commit's smoother, fully
+            // faithful (full-sort lattice builds, per-iteration rebuilds
+            // and maps, dummy payload allocations, sqrt-based repulsion).
+            let mut coords_seed = coords0.clone();
+            let mut m_seed = Machine::new(q * q, CostModel::qdr_infiniband());
+            let t = Instant::now();
+            seed_lattice_smooth(&g, &mut coords_seed, q, &mut m_seed, &cfg);
+            wall_ref = wall_ref.min(t.elapsed().as_secs_f64() * 1e3);
+
+            let mut coords_new = coords0.clone();
+            let mut m_new = Machine::new(q * q, CostModel::qdr_infiniband());
+            let t = Instant::now();
+            lattice_smooth_with(&g, &mut coords_new, q, &mut m_new, &cfg, &mut scratch);
+            wall_new = wall_new.min(t.elapsed().as_secs_f64() * 1e3);
+            sim_new = m_new.elapsed();
+
+            // Invariance oracle: the same pre-optimization structure with
+            // the current (bit-equivalent) force formula.
+            let mut coords_ref = coords0.clone();
+            let mut m_ref = Machine::new(q * q, CostModel::qdr_infiniband());
+            reference_lattice_smooth(&g, &mut coords_ref, q, &mut m_ref, &cfg);
+
+            // Bit-exact invariance: the fast path must not change the
+            // simulation. CI runs this binary, so drift fails the build.
+            assert_eq!(
+                m_new.elapsed().to_bits(),
+                m_ref.elapsed().to_bits(),
+                "simulated-time drift on {rows}x{cols} q={q}: \
+                 optimized={:.17e} reference={:.17e}",
+                m_new.elapsed(),
+                m_ref.elapsed()
+            );
+            for (v, (a, b)) in coords_new.iter().zip(&coords_ref).enumerate() {
+                assert!(
+                    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                    "coordinate drift at v{v} on {rows}x{cols} q={q}"
+                );
+            }
+        }
+
+        let speedup = wall_ref / wall_new.max(1e-9);
+        eprintln!(
+            "embed {rows}x{cols} q={q}: reference {wall_ref:.1} ms, \
+             optimized {wall_new:.1} ms, speedup {speedup:.2}x, \
+             simulated {sim_new:.6e} s (exact match)"
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"rows\": {rows}, \"cols\": {cols}, \"q\": {q}, \
+             \"wall_ms_reference\": {wall_ref:.3}, \"wall_ms_optimized\": {wall_new:.3}, \
+             \"speedup\": {speedup:.3}, \"simulated_time\": {sim_new:.17e}, \
+             \"simulated_time_matches\": true}}{}",
+            if i + 1 < scenarios.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // ---- Section 2: per-phase wall clock of the full pipeline.
+    json.push_str("  \"pipeline\": [\n");
+    let grids: &[(usize, usize)] = if quick {
+        &[(96, 96)]
+    } else {
+        &[(96, 96), (192, 192)]
+    };
+    let ps: &[usize] = if quick { &[4, 16] } else { &[4, 16, 64] };
+    let mut rows_out = Vec::new();
+    for &(rows, cols) in grids {
+        let g = scalapart::graph::gen::grid_2d(rows, cols);
+        for &p in ps {
+            rows_out.push(run_pipeline_phased(&g, rows, cols, p));
+        }
+    }
+    json.push_str(&rows_out.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
+    std::fs::write(out, &json).expect("write BENCH_2.json");
+    eprintln!("wrote {out}");
+}
+
+/// One full pipeline run with host wall-clock timing per phase. This
+/// mirrors `scalapart_bisect` (same public building blocks, same charge
+/// structure) but keeps an `Instant` around each phase — the library entry
+/// point deliberately has no host-timing hooks.
+fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String {
+    let cfg = SpConfig::default();
+    let mut machine = Machine::new(p, CostModel::qdr_infiniband());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Coarsen (parallel HEM, retain every other level).
+    let t = Instant::now();
+    let mut levels = vec![Level {
+        graph: g.clone(),
+        map_to_coarser: None,
+    }];
+    loop {
+        let cur = &levels.last().unwrap().graph;
+        if cur.n() <= cfg.coarsen.target_coarsest || levels.len() > cfg.coarsen.max_levels {
+            break;
+        }
+        let step = |graph: &Graph, machine: &mut Machine, rng: &mut StdRng| {
+            let dist = Distribution::block(graph.n(), p);
+            let matching = parallel_hem(
+                graph,
+                &dist,
+                machine,
+                cfg.matching_rounds,
+                rng.random::<u64>(),
+            );
+            let c = contract(graph, &matching);
+            let mut states: Vec<()> = vec![(); p];
+            let edges_per_rank = (graph.m() / p).max(1) as f64;
+            machine.compute(&mut states, |_, _| edges_per_rank);
+            if p > 1 {
+                let cross = dist.cross_edges(graph);
+                let words = (2 * cross / p).max(1);
+                let outbox: Vec<Vec<(usize, CostOnly)>> = (0..p)
+                    .map(|r| vec![((r + 1) % p, CostOnly::new(words))])
+                    .collect();
+                machine.exchange_costed(&outbox);
+            }
+            c
+        };
+        let c1 = step(cur, &mut machine, &mut rng);
+        let (coarse, map) =
+            if cfg.coarsen.keep_every_other && c1.coarse.n() > cfg.coarsen.target_coarsest {
+                let c2 = step(&c1.coarse, &mut machine, &mut rng);
+                let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
+                (c2.coarse, composed)
+            } else {
+                (c1.coarse, c1.map)
+            };
+        if coarse.n() as f64 > 0.7 * levels.last().unwrap().graph.n() as f64 {
+            break;
+        }
+        levels.last_mut().unwrap().map_to_coarser = Some(map);
+        levels.push(Level {
+            graph: coarse,
+            map_to_coarser: None,
+        });
+    }
+    let hierarchy = Hierarchy { levels };
+    let wall_coarsen = t.elapsed().as_secs_f64() * 1e3;
+    let sim_coarsen = machine.elapsed();
+
+    // Embed (multilevel fixed-lattice smoothing).
+    let t = Instant::now();
+    let mut embed_cfg = cfg.embed;
+    embed_cfg.seed = cfg.embed.seed ^ cfg.seed;
+    let coords = multilevel_lattice_embed(&hierarchy, &mut machine, &embed_cfg);
+    let wall_embed = t.elapsed().as_secs_f64() * 1e3;
+    let sim_embed = machine.elapsed() - sim_coarsen;
+
+    // Partition (geometric tries).
+    let t = Instant::now();
+    let dist = Distribution::block(g.n(), p);
+    let geo = parallel_geometric_partition(g, &coords, &dist, &mut machine, &cfg.geo, cfg.seed);
+    let mut bisection = geo.bisection;
+    let wall_partition = t.elapsed().as_secs_f64() * 1e3;
+    let sim_partition = machine.elapsed() - sim_coarsen - sim_embed;
+
+    // Refine (strip FM around the separator).
+    let t = Instant::now();
+    if cfg.strip_factor > 0.0 && geo.cut > 0 {
+        let target = ((geo.cut as f64 * cfg.strip_factor) as usize).clamp(4, g.n());
+        let movable = strip_around_separator(&geo.separator.signed, target);
+        let st = fm_refine(g, &mut bisection, Some(&movable), &cfg.fm);
+        let mut states: Vec<()> = vec![(); p];
+        let ops = st.ops / p as f64;
+        machine.compute(&mut states, |_, _| ops);
+        for _ in 0..st.passes {
+            machine.allreduce_sum_costed(2);
+        }
+    }
+    let wall_refine = t.elapsed().as_secs_f64() * 1e3;
+    let sim_refine = machine.elapsed() - sim_coarsen - sim_embed - sim_partition;
+
+    let cut = bisection.cut_edges(g);
+    eprintln!(
+        "pipeline grid{rows}x{cols} p={p}: wall ms coarsen {wall_coarsen:.1} / \
+         embed {wall_embed:.1} / partition {wall_partition:.1} / refine {wall_refine:.1}, \
+         simulated total {:.3e} s, cut {cut}",
+        machine.elapsed()
+    );
+    format!(
+        "    {{\"graph\": \"grid{rows}x{cols}\", \"p\": {p}, \
+         \"wall_ms\": {{\"coarsen\": {wall_coarsen:.3}, \"embed\": {wall_embed:.3}, \
+         \"partition\": {wall_partition:.3}, \"refine\": {wall_refine:.3}}}, \
+         \"simulated\": {{\"coarsen\": {sim_coarsen:.6e}, \"embed\": {sim_embed:.6e}, \
+         \"partition\": {sim_partition:.6e}, \"refine\": {sim_refine:.6e}, \
+         \"total\": {:.6e}}}, \"cut\": {cut}}}",
+        machine.elapsed()
+    )
+}

@@ -3,6 +3,7 @@
 //! drives these; the Criterion benches cover component wall-clock costs.
 
 pub mod harness;
+pub mod reference;
 pub mod report;
 
 pub use harness::{sweep_p, Experiments, RunRecord};

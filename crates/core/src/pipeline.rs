@@ -9,7 +9,7 @@ use sp_geometry::Point2;
 use sp_geopart::parallel_geometric_partition;
 use sp_graph::distr::Distribution;
 use sp_graph::{Bisection, Graph};
-use sp_machine::{Machine, Phase, PhaseBreakdown};
+use sp_machine::{CostOnly, Machine, Phase, PhaseBreakdown};
 use sp_refine::{fm_refine, strip_around_separator};
 
 /// Per-phase simulated time (computation/communication split), the data
@@ -86,7 +86,7 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
         let ops = st.ops / p as f64;
         machine.compute(&mut states, |_, _| ops);
         for _ in 0..st.passes {
-            let _ = machine.allreduce_sum(&vec![vec![0.0; 2]; p]);
+            machine.allreduce_sum_costed(2);
         }
     }
     let t3 = machine.elapsed();
@@ -154,7 +154,7 @@ pub fn sp_pg7nl_bisect(
         let ops = st.ops / p as f64;
         machine.compute(&mut states, |_, _| ops);
         for _ in 0..st.passes {
-            let _ = machine.allreduce_sum(&vec![vec![0.0; 2]; p]);
+            machine.allreduce_sum_costed(2);
         }
     }
     machine.phase(Phase::Done);
@@ -213,10 +213,10 @@ fn coarsen_parallel(
             if p > 1 {
                 let cross = dist.cross_edges(graph);
                 let words = (2 * cross / p).max(1);
-                let outbox: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
-                    .map(|r| vec![((r + 1) % p, vec![0u64; words])])
+                let outbox: Vec<Vec<(usize, CostOnly)>> = (0..p)
+                    .map(|r| vec![((r + 1) % p, CostOnly::new(words))])
                     .collect();
-                let _ = machine.exchange(outbox);
+                machine.exchange_costed(&outbox);
             }
             c
         };

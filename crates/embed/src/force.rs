@@ -45,9 +45,14 @@ impl ForceParams {
     #[inline]
     pub fn repulsive(&self, from: Point2, m_from: f64, to: Point2, m_to: f64) -> Point2 {
         let d = from - to;
-        let dist = d.norm().max(1e-9);
-        // magnitude C·K²·m₁·m₂ / dist in direction away from `to`.
-        d * (self.c * self.k * self.k * m_from * m_to / (dist * dist))
+        // magnitude C·K²·m₁·m₂ / dist in direction away from `to` — i.e.
+        // d · C·K²·m₁·m₂ / dist². The divisor is `norm_sq()` directly: no
+        // sqrt needed, and this is the innermost call of every embedding
+        // superstep. The floor is the old `max(1e-9)` distance floor,
+        // squared as the literal `1e-9 * 1e-9` so near-coincident points
+        // keep the exact same f64 result as the sqrt formulation.
+        let dist_sq = d.norm_sq().max(1e-9 * 1e-9);
+        d * (self.c * self.k * self.k * m_from * m_to / dist_sq)
     }
 }
 
@@ -99,6 +104,35 @@ mod tests {
         assert_eq!(p.attractive(Point2::ZERO, Point2::ZERO), Point2::ZERO);
         let f = p.repulsive(Point2::ZERO, 1.0, Point2::ZERO, 1.0);
         assert!(f.is_finite());
+    }
+
+    #[test]
+    fn sqrt_free_repulsion_bit_matches_old_formula() {
+        // The old formulation computed dist = ‖d‖.max(1e-9) and divided by
+        // dist·dist. On inputs whose norm is exactly representable
+        // (Pythagorean displacements, where sqrt introduces no rounding),
+        // sqrt(x)² == x bit-for-bit and the two formulas must agree
+        // exactly — including at the floor, which is why the new code
+        // floors at the literal 1e-9 · 1e-9.
+        let old = |p: &ForceParams, from: Point2, m1: f64, to: Point2, m2: f64| -> Point2 {
+            let d = from - to;
+            let dist = d.norm().max(1e-9);
+            d * (p.c * p.k * p.k * m1 * m2 / (dist * dist))
+        };
+        let p = ForceParams { c: 0.2, k: 1.7 };
+        let cases = [
+            (Point2::new(3.0, 4.0), Point2::ZERO),           // ‖d‖ = 5
+            (Point2::new(-6.0, 8.0), Point2::ZERO),          // ‖d‖ = 10
+            (Point2::new(5.0, 12.0), Point2::new(0.0, 0.0)), // ‖d‖ = 13
+            (Point2::new(1.5, 2.0), Point2::ZERO),           // ‖d‖ = 2.5
+            (Point2::ZERO, Point2::ZERO),                    // floor engaged
+        ];
+        for (from, to) in cases {
+            let new = p.repulsive(from, 1.3, to, 2.5);
+            let reference = old(&p, from, 1.3, to, 2.5);
+            assert_eq!(new.x.to_bits(), reference.x.to_bits(), "{from:?}->{to:?}");
+            assert_eq!(new.y.to_bits(), reference.y.to_bits(), "{from:?}->{to:?}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::force::ForceParams;
 use sp_geometry::{Aabb2, Point2};
 use sp_graph::Graph;
-use sp_machine::Machine;
+use sp_machine::{CostOnly, Machine};
 
 /// Controls for lattice smoothing.
 #[derive(Clone, Copy, Debug)]
@@ -102,8 +102,7 @@ impl QuantileLattice {
         if xs.is_empty() {
             xs.push(0.0);
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let xcuts: Vec<f64> = (1..q).map(|k| xs[(k * n / q).min(xs.len() - 1)]).collect();
+        let xcuts = quantile_cuts(&mut xs, n, q);
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); q];
         for c in coords {
             let i = xcuts.partition_point(|&cut| c.x >= cut);
@@ -117,9 +116,8 @@ impl QuantileLattice {
                     let h = bbox.height() / q as f64;
                     return (1..q).map(|k| bbox.min.y + h * k as f64).collect();
                 }
-                ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 let m = ys.len();
-                (1..q).map(|k| ys[(k * m / q).min(m - 1)]).collect()
+                quantile_cuts(&mut ys, m, q)
             })
             .collect();
         QuantileLattice {
@@ -144,6 +142,39 @@ impl QuantileLattice {
         let i = self.xcuts.partition_point(|&cut| p.x >= cut);
         let j = self.ycuts[i].partition_point(|&cut| p.y >= cut);
         (i, j)
+    }
+
+    /// `cell_of` by branchless cut counting. The cut arrays are ascending,
+    /// so `p.x >= cut` is monotone over them and the count of satisfied
+    /// cuts equals the binary search's partition point — same result,
+    /// no data-dependent branches. This is the per-vertex hot call of the
+    /// owner-refresh and migration scans.
+    #[inline]
+    fn cell_of_fast(&self, p: Point2) -> (usize, usize) {
+        let mut i = 0usize;
+        for &cut in &self.xcuts {
+            i += (p.x >= cut) as usize;
+        }
+        let mut j = 0usize;
+        for &cut in &self.ycuts[i] {
+            j += (p.y >= cut) as usize;
+        }
+        (i, j)
+    }
+
+    /// Exact membership test for cell `(i, j)`: cuts are ascending, so
+    /// `cell_of` returns column `i` iff `p.x` clears cut `i-1` (when
+    /// present) and not cut `i` — the same comparisons `cell_of` counts,
+    /// so this agrees with it on every input bit pattern. Lets the
+    /// migration scan skip the full cut count for the common case of a
+    /// move that stays inside its cell.
+    #[inline]
+    fn in_cell(&self, i: usize, j: usize, p: Point2) -> bool {
+        if (i > 0 && p.x < self.xcuts[i - 1]) || (i + 1 < self.q && p.x >= self.xcuts[i]) {
+            return false;
+        }
+        let yc = &self.ycuts[i];
+        (j == 0 || p.y >= yc[j - 1]) && (j + 1 >= self.q || p.y < yc[j])
     }
 
     /// Bounding box of cell `(i, j)`.
@@ -185,6 +216,36 @@ impl QuantileLattice {
     }
 }
 
+/// Cut values at the order-statistic indices `k·count/q` (k = 1..q),
+/// found with successive `select_nth_unstable_by` on tail slices instead
+/// of a full sort — expected O(n) for the first cut and O(n/q) per
+/// further cut, versus O(n log n) for sorting — and bit-identical to
+/// indexing the fully sorted array (the value at a sorted position does
+/// not depend on how the rest of the array is ordered).
+fn quantile_cuts(vals: &mut [f64], count: usize, q: usize) -> Vec<f64> {
+    let last = vals.len() - 1;
+    let mut cuts = Vec::with_capacity(q.saturating_sub(1));
+    let mut base = 0usize;
+    let mut prev: Option<(usize, f64)> = None;
+    for k in 1..q {
+        let idx = (k * count / q).min(last);
+        if let Some((pi, pv)) = prev {
+            // Cut indices are nondecreasing; a repeat reuses the value.
+            if idx == pi {
+                cuts.push(pv);
+                continue;
+            }
+        }
+        let (_, v, _) =
+            vals[base..].select_nth_unstable_by(idx - base, |a, b| a.partial_cmp(b).unwrap());
+        let v = *v;
+        cuts.push(v);
+        base = idx + 1;
+        prev = Some((idx, v));
+    }
+    cuts
+}
+
 /// Clamp a far ghost's (stale) position into the cell adjacent to `my_cell`
 /// in the direction of the ghost's cell — the paper's shortest-L1 rule.
 fn clamp_far(lattice: &QuantileLattice, my_cell: usize, ghost_cell: usize, pos: Point2) -> Point2 {
@@ -205,6 +266,344 @@ fn clamp_far(lattice: &QuantileLattice, my_cell: usize, ghost_cell: usize, pos: 
     )
 }
 
+/// Near field: the own cell's repulsion is resolved one lattice level
+/// deeper — a fixed `SUB × SUB` sub-lattice of β vertices over the cell's
+/// own (fresh) points. Eq. (2)'s single own-β term is the 1×1 limit and
+/// collapses local structure; a sub-lattice keeps the per-vertex cost an
+/// exact `NSUB` ops regardless of how the layout clumps.
+const SUB: usize = 4;
+const NSUB: usize = SUB * SUB;
+
+/// Vertices per cache block of the transposed near-field kernel: all seven
+/// per-vertex streams of a block (coordinates, mass, sub index, force
+/// accumulators) stay L1-resident across the 16 lane passes.
+const NF_BLOCK: usize = 512;
+
+/// The near-field repulsion kernel, transposed: the outer loop walks the
+/// `NSUB` sub-lattice lanes and the inner loop streams a block of
+/// vertices, so every inner iteration is the same straight-line arithmetic
+/// with lane constants broadcast — the form the compiler turns into packed
+/// vector subtract/multiply/divide/select. The scalar original iterated
+/// lanes *inside* each vertex, which left the 16 dependent accumulator
+/// additions as a serial latency chain and the division throughput unused.
+///
+/// Bit-exactness relies on three facts. First, each lane term reproduces
+/// `ForceParams::repulsive`'s expression tree (left-associated products,
+/// the squared 1e-9 distance floor), with the own-lane mass `μ − m_v`
+/// selected per vertex exactly where the original overwrote its own-lane
+/// term. Second, a vertex's accumulator takes lane additions in pass order
+/// 0..NSUB — the same order as the original's per-vertex lane loop (f64
+/// addition is order-sensitive; this order is load-bearing). Third,
+/// nearly-empty lanes that the original *skipped* instead add `-0.0`,
+/// the IEEE-754 round-to-nearest additive identity (`x + -0.0 == x` for
+/// every `x`, including both zeros), so the skip becomes a branchless
+/// operand select without changing a single bit.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn near_field_passes(
+    cvx: &[f64],
+    cvy: &[f64],
+    cm: &[f64],
+    subidx: &[u8],
+    sx: &[f64; NSUB],
+    sy: &[f64; NSUB],
+    sm: &[f64; NSUB],
+    ckk: f64,
+    fx: &mut [f64],
+    fy: &mut [f64],
+) {
+    let len = cvx.len();
+    let mut start = 0;
+    while start < len {
+        let end = (start + NF_BLOCK).min(len);
+        for si in 0..NSUB {
+            let sxs = sx[si];
+            let sys = sy[si];
+            let sms = sm[si];
+            let siu = si as u8;
+            let cx = &cvx[start..end];
+            let cy = &cvy[start..end][..cx.len()];
+            let m = &cm[start..end][..cx.len()];
+            let sb = &subidx[start..end][..cx.len()];
+            let gx = &mut fx[start..end][..cx.len()];
+            let gy = &mut fy[start..end][..cx.len()];
+            for i in 0..cx.len() {
+                let dx = cx[i] - sxs;
+                let dy = cy[i] - sys;
+                let ds = (dx * dx + dy * dy).max(1e-9 * 1e-9);
+                let mv = m[i];
+                let mass = if sb[i] == siu { sms - mv } else { sms };
+                let fac = (ckk * mv) * mass / ds;
+                let keep = mass > 1e-12;
+                gx[i] += if keep { dx * fac } else { -0.0 };
+                gy[i] += if keep { dy * fac } else { -0.0 };
+            }
+        }
+        start = end;
+    }
+}
+
+/// Per-rank state of the fused β/cross-edge superstep: the cell's special
+/// vertex plus counts of edges leaving the cell, bucketed adjacent vs far.
+#[derive(Clone, Copy, Debug, Default)]
+struct BetaScan {
+    beta: Beta,
+    /// Cross-edge counts into each (≤4) adjacent cell, slot-aligned with
+    /// `SmoothScratch::nbrs`.
+    halo: [usize; 4],
+    /// Cross-edge count into non-adjacent cells.
+    far: usize,
+}
+
+/// Per-rank state of the force superstep: the displacement buffer, the
+/// rank's energy contribution, and the cached sub-lattice index of each
+/// owned vertex (computed once in the β-build pass and reused in the
+/// near-field pass, saving one `cell_of` per vertex).
+#[derive(Clone, Debug, Default)]
+struct DispState {
+    moves: Vec<(u32, Point2)>,
+    energy: f64,
+    subidx: Vec<u8>,
+    /// Owned-vertex coordinates and masses, gathered contiguous (struct of
+    /// arrays) so the near-field passes stream them with vector loads.
+    cvx: Vec<f64>,
+    cvy: Vec<f64>,
+    cm: Vec<f64>,
+    /// Per-owned-vertex force accumulators (x and y lanes).
+    fx: Vec<f64>,
+    fy: Vec<f64>,
+    /// Displacement-tail scratch: per-vertex force norms and step scales.
+    nrm: Vec<f64>,
+    scl: Vec<f64>,
+}
+
+/// Reusable working state for [`lattice_smooth_with`]: per-cell owned
+/// vertex lists (maintained incrementally from owner-change deltas rather
+/// than rebuilt each iteration), the cell-adjacency lookup table, per-rank
+/// β/cross-edge scan states, displacement buffers, and cost-only outboxes.
+/// One scratch serves any number of smoothing runs (the multilevel driver
+/// reuses one across levels); buffers are sized on entry and reused, so
+/// the steady-state smoothing loop performs no per-iteration allocation.
+#[derive(Default)]
+pub struct SmoothScratch {
+    /// Current owner cell of each vertex.
+    owner: Vec<u32>,
+    /// Per-cell owned vertices, ascending. Invariant at the top of every
+    /// iteration: `owned[c]` holds exactly the `v` with `owner[v] == c`,
+    /// sorted — indistinguishable from a group-by rebuild (β accumulates
+    /// vertex masses in list order, so the order is load-bearing for
+    /// f64-exact reproducibility).
+    owned: Vec<Vec<u32>>,
+    /// ncells × ncells adjacency lookup (row-major), replacing div/mod
+    /// coordinate arithmetic in the per-edge hot paths.
+    adj: Vec<bool>,
+    /// Per-cell adjacent cells, ascending, with the live slot count.
+    nbrs: Vec<([usize; 4], usize)>,
+    /// ncells × ncells directed cross-count matrix (row-major):
+    /// `cross[a·ncells + b]` is the number of directed edges `(v, u)` with
+    /// `owner[v] == a` and `owner[u] == b` (the diagonal holds intra-cell
+    /// counts and is simply never read). Maintained incrementally from
+    /// owner flips — counts are integers, so any correct maintenance is
+    /// bit-identical to a recount — and consulted by the β scan (halo
+    /// batch sizes) and the block refresh (far totals) in O(ncells) per
+    /// rank instead of an O(m) edge walk per iteration.
+    cross: Vec<u32>,
+    /// Per-rank β + cross-edge scan states.
+    scan: Vec<BetaScan>,
+    /// Fresh β per cell (copied out of `scan` after the β superstep).
+    betas: Vec<Beta>,
+    /// Block-stale β table (the paper's per-block global refresh).
+    beta_snapshot: Vec<Beta>,
+    /// Block-stale coordinates for far ghosts.
+    snapshot: Vec<Point2>,
+    /// Per-rank far-edge recounts for block-boundary refreshes.
+    far: Vec<usize>,
+    /// Per-rank force-superstep states (displacements, energy, cached
+    /// sub-lattice indices), reused across iterations.
+    disp: Vec<DispState>,
+    /// Cost-only outbox, shared by the halo and migration exchanges.
+    outbox: Vec<Vec<(usize, CostOnly)>>,
+    /// Owner-change log `(v, from, to)` applied to `owned` at iteration
+    /// end (mid-iteration the lists must stay stale, exactly like the
+    /// per-iteration rebuild they replace).
+    deltas: Vec<(u32, u32, u32)>,
+    /// Far-migration `(from, to)` pairs of the current iteration.
+    mig_pairs: Vec<(u32, u32)>,
+}
+
+impl SmoothScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for an `(n, q, p)` run and build the adjacency
+    /// table. Cheap when dimensions are unchanged.
+    fn reset(&mut self, n: usize, q: usize, p: usize) {
+        let ncells = q * q;
+        self.owner.clear();
+        self.owner.reserve(n);
+        self.owned.resize_with(ncells, Vec::new);
+        for l in &mut self.owned {
+            l.clear();
+        }
+        self.adj.clear();
+        self.adj.resize(ncells * ncells, false);
+        self.nbrs.clear();
+        self.nbrs.resize(ncells, ([0; 4], 0));
+        self.cross.clear();
+        self.cross.resize(ncells * ncells, 0);
+        for a in 0..ncells {
+            for b in 0..ncells {
+                if cell_adjacent(q, a, b) {
+                    self.adj[a * ncells + b] = true;
+                    if a != b {
+                        let (cells, cnt) = &mut self.nbrs[a];
+                        cells[*cnt] = b; // b ascends → slots ascend
+                        *cnt += 1;
+                    }
+                }
+            }
+        }
+        self.scan.clear();
+        self.scan.resize(p, BetaScan::default());
+        self.betas.clear();
+        self.betas.resize(ncells, Beta::default());
+        self.beta_snapshot.clear();
+        self.beta_snapshot.resize(ncells, Beta::default());
+        self.snapshot.clear();
+        self.snapshot.reserve(n);
+        self.far.clear();
+        self.far.resize(p, 0);
+        self.disp.resize_with(p, Default::default);
+        for d in &mut self.disp {
+            d.moves.clear();
+            d.energy = 0.0;
+            d.subidx.clear();
+        }
+        self.outbox.resize_with(p, Vec::new);
+        for o in &mut self.outbox {
+            o.clear();
+        }
+        self.deltas.clear();
+        self.mig_pairs.clear();
+    }
+
+    /// Recount `cross` from scratch: one pass over every directed edge.
+    fn rebuild_cross(&mut self, g: &Graph) {
+        let ncells = self.betas.len();
+        self.cross.clear();
+        self.cross.resize(ncells * ncells, 0);
+        for (v, &c) in self.owner.iter().enumerate() {
+            let row = c as usize * ncells;
+            for &u in g.neighbors(v as u32) {
+                self.cross[row + self.owner[u as usize] as usize] += 1;
+            }
+        }
+    }
+
+    /// Rebuild `owned` as a group-by of `owner` (ascending within cells).
+    fn rebuild_owned(&mut self) {
+        for l in &mut self.owned {
+            l.clear();
+        }
+        for (v, &c) in self.owner.iter().enumerate() {
+            self.owned[c as usize].push(v as u32);
+        }
+    }
+
+    /// Apply the iteration's owner-change log to `owned`, keeping each
+    /// list sorted. Changes are grouped per cell — one compaction sweep
+    /// per source cell and one backward merge per destination cell — so
+    /// the cost is O(affected lists + k·log k) rather than one O(list)
+    /// splice per delta. Falls back to a full rebuild when the log is
+    /// large (post-refresh churn), which is O(n) — the same as one
+    /// rebuild of the old per-iteration kind.
+    fn apply_deltas(&mut self) {
+        if self.deltas.is_empty() {
+            return;
+        }
+        if self.deltas.len() * 8 > self.owner.len() {
+            self.deltas.clear();
+            self.rebuild_owned();
+            return;
+        }
+        let mut deltas = std::mem::take(&mut self.deltas);
+        // A vertex can move twice in one iteration (block refresh, then
+        // migration); collapse each chain to its net move. The stable
+        // sort keeps a vertex's events in log order.
+        deltas.sort_by_key(|d| d.0);
+        let mut w = 0;
+        let mut i = 0;
+        while i < deltas.len() {
+            let (v, from, mut to) = deltas[i];
+            i += 1;
+            while i < deltas.len() && deltas[i].0 == v {
+                to = deltas[i].2;
+                i += 1;
+            }
+            if from != to {
+                deltas[w] = (v, from, to);
+                w += 1;
+            }
+        }
+        deltas.truncate(w);
+        // Removals: one compaction sweep per source cell.
+        deltas.sort_unstable_by_key(|d| (d.1, d.0));
+        let mut i = 0;
+        while i < deltas.len() {
+            let from = deltas[i].1;
+            let start = i;
+            while i < deltas.len() && deltas[i].1 == from {
+                i += 1;
+            }
+            let rem = &deltas[start..i]; // ascending v
+            let list = &mut self.owned[from as usize];
+            let mut k = 0;
+            let mut w = 0;
+            for r in 0..list.len() {
+                let v = list[r];
+                if k < rem.len() && rem[k].0 == v {
+                    k += 1;
+                } else {
+                    list[w] = v;
+                    w += 1;
+                }
+            }
+            debug_assert_eq!(k, rem.len(), "vertex missing from owner list");
+            list.truncate(w);
+        }
+        // Insertions: one backward in-place merge per destination cell.
+        deltas.sort_unstable_by_key(|d| (d.2, d.0));
+        let mut i = 0;
+        while i < deltas.len() {
+            let to = deltas[i].2;
+            let start = i;
+            while i < deltas.len() && deltas[i].2 == to {
+                i += 1;
+            }
+            let ins = &deltas[start..i]; // ascending v, distinct
+            let list = &mut self.owned[to as usize];
+            let old_len = list.len();
+            list.resize(old_len + ins.len(), 0);
+            let mut a = old_len as isize - 1;
+            let mut b = ins.len() as isize - 1;
+            let mut w = list.len() as isize - 1;
+            while b >= 0 {
+                if a >= 0 && list[a as usize] > ins[b as usize].0 {
+                    list[w as usize] = list[a as usize];
+                    a -= 1;
+                } else {
+                    list[w as usize] = ins[b as usize].0;
+                    b -= 1;
+                }
+                w -= 1;
+            }
+        }
+        self.deltas = deltas;
+        self.deltas.clear();
+    }
+}
+
 /// Run fixed-lattice smoothing over `coords` in place on a `q × q` lattice
 /// using ranks `0..q²` of `machine` (extra ranks idle, matching the paper's
 /// shrinking active set `Pⁱ ≈ P/4ⁱ`). Charges computation, halo exchange,
@@ -215,6 +614,19 @@ pub fn lattice_smooth(
     q: usize,
     machine: &mut Machine,
     cfg: &LatticeConfig,
+) -> LatticeStats {
+    lattice_smooth_with(g, coords, q, machine, cfg, &mut SmoothScratch::new())
+}
+
+/// [`lattice_smooth`] with caller-provided scratch, so repeated runs (the
+/// multilevel driver smooths every level) reuse one set of buffers.
+pub fn lattice_smooth_with(
+    g: &Graph,
+    coords: &mut [Point2],
+    q: usize,
+    machine: &mut Machine,
+    cfg: &LatticeConfig,
+    scratch: &mut SmoothScratch,
 ) -> LatticeStats {
     assert_eq!(coords.len(), g.n());
     assert!(
@@ -246,134 +658,179 @@ pub fn lattice_smooth(
         let share = (n / ncells.max(1)) as f64;
         let mut states: Vec<()> = vec![(); p];
         machine.compute(&mut states, |r, _| if r < ncells { share } else { 0.0 });
-        let _ = machine.group_allreduce_sum(ncells, &vec![vec![0.0; q]; p]);
+        machine.group_allreduce_sum_costed(ncells, q);
     }
     let cell_of = |p: Point2, lattice: &QuantileLattice| -> u32 {
-        let (i, j) = lattice.cell_of(p);
+        let (i, j) = lattice.cell_of_fast(p);
         (j * q + i) as u32
     };
-    let mut owner: Vec<u32> = coords.iter().map(|&c| cell_of(c, &lattice)).collect();
-    let mut snapshot: Vec<Point2> = coords.to_vec();
-    let mut beta_snapshot: Vec<Beta> = vec![Beta::default(); ncells];
+    scratch.reset(n, q, p);
+    {
+        let lat = &lattice;
+        scratch
+            .owner
+            .extend(coords.iter().map(|&c| cell_of(c, lat)));
+    }
+    scratch.rebuild_owned();
+    scratch.rebuild_cross(g);
+    scratch.snapshot.extend_from_slice(coords);
     let mut stats = LatticeStats::default();
 
     for it in 0..cfg.iters {
-        // --- Owned vertex lists per cell.
-        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); ncells];
-        for (v, &c) in owner.iter().enumerate() {
-            owned[c as usize].push(v as u32);
-        }
-
-        // --- β computation (each active rank scans its owned vertices).
-        let mut betas: Vec<Beta> = vec![Beta::default(); ncells];
+        // --- β computation with cross-edge counting: each active rank
+        // scans its owned vertices once, accumulating the special vertex
+        // (mass + centre of mass); the outgoing-edge counts — halo batch
+        // sizes per adjacent cell, far total — are read out of the
+        // incrementally-maintained `cross` matrix in O(ncells) instead of
+        // walking every edge. The counts are integers, so the matrix read
+        // is bit-identical to the recount it replaces; the charged ops are
+        // unchanged (one per owned vertex).
         {
-            let owned_ref = &owned;
+            let owned = &scratch.owned;
+            let adj = &scratch.adj;
+            let nbrs = &scratch.nbrs;
+            let cross = &scratch.cross;
             let coords_ref = &*coords;
-            let mut states: Vec<Beta> = vec![Beta::default(); p];
-            machine.compute(&mut states, |r, b| {
+            machine.compute(&mut scratch.scan, |r, s| {
+                *s = BetaScan::default();
                 if r >= ncells {
                     return 0.0;
                 }
                 let mut mu = 0.0;
                 let mut wsum = Point2::ZERO;
-                for &v in &owned_ref[r] {
+                for &v in &owned[r] {
                     let m = g.vwgt(v);
                     mu += m;
                     wsum += coords_ref[v as usize] * m;
                 }
-                if mu > 0.0 {
-                    *b = Beta { mu, phi: wsum / mu };
+                let row = r * ncells;
+                let (cells, ncnt) = nbrs[r];
+                for k in 0..ncnt {
+                    s.halo[k] = cross[row + cells[k]] as usize;
                 }
-                owned_ref[r].len() as f64
+                for c in 0..ncells {
+                    if c != r && !adj[row + c] {
+                        s.far += cross[row + c] as usize;
+                    }
+                }
+                if mu > 0.0 {
+                    s.beta = Beta { mu, phi: wsum / mu };
+                }
+                owned[r].len() as f64
             });
-            betas[..ncells].copy_from_slice(&states[..ncells]);
+            for r in 0..ncells {
+                scratch.betas[r] = scratch.scan[r].beta;
+            }
         }
 
         // --- Communication. The nearest-neighbour halo — β of adjacent
         // cells plus fresh coordinates of boundary vertices with edges into
         // each adjacent cell — runs every iteration; the global allgather
         // (far β table + far-cross-edge coordinates, the paper's ñ) and
-        // the reduction run only once per block.
-        {
-            let mut nbr_words: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ncells];
-            let mut pairs: std::collections::HashMap<(usize, usize), usize> =
-                std::collections::HashMap::new();
-            for v in 0..n as u32 {
-                let cv = owner[v as usize] as usize;
-                for &u in g.neighbors(v) {
-                    let cu = owner[u as usize] as usize;
-                    if cu != cv && cell_adjacent(q, cv, cu) {
-                        *pairs.entry((cv, cu)).or_default() += 1;
+        // the reduction run only once per block. All of it is cost-only:
+        // the data already lives in shared memory, so only word counts are
+        // charged. Halo batches go out in ascending destination order
+        // (slots ascend), keeping traces byte-reproducible.
+        for r in 0..p {
+            scratch.outbox[r].clear();
+            if r < ncells {
+                let (cells, ncnt) = scratch.nbrs[r];
+                for (k, &cell) in cells[..ncnt].iter().enumerate() {
+                    let cnt = scratch.scan[r].halo[k];
+                    if cnt > 0 {
+                        scratch.outbox[r].push((cell, CostOnly::new(3 + 2 * cnt)));
                     }
                 }
             }
-            for ((from, to), cnt) in pairs {
-                nbr_words[from].push((to, 3 + 2 * cnt));
-            }
-            let outbox: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
-                .map(|r| {
-                    if r < ncells {
-                        nbr_words[r]
-                            .iter()
-                            .map(|&(to, words)| (to, vec![0u64; words]))
-                            .collect()
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect();
-            let _ = machine.exchange(outbox);
         }
+        machine.exchange_costed(&scratch.outbox);
         if it % cfg.block.max(1) == 0 {
-            if it > 0 {
-                // Re-derive the balanced lattice from the current layout and
-                // charge the quantile computation (n/P ops + one collective).
+            let far_total: usize = if it > 0 {
+                // Re-derive the balanced lattice from the current layout,
+                // refresh owners (maintaining `cross` per flip), and charge
+                // the quantile computation (n/P ops + one collective). The
+                // far total is then a row sum over `cross` — the grouping
+                // of the old per-vertex recount differed (pre-refresh owned
+                // lists), but only the total ever entered the payload, and
+                // integer totals agree regardless of grouping.
                 lattice = QuantileLattice::build(coords, q);
-                let share = (n / ncells.max(1)) as f64;
-                let mut states: Vec<()> = vec![(); p];
-                machine.compute(&mut states, |r, _| if r < ncells { share } else { 0.0 });
-                let _ = machine.group_allreduce_sum(ncells, &vec![vec![0.0; q]; p]);
                 for (v, c) in coords.iter().enumerate() {
-                    owner[v] = cell_of(*c, &lattice);
-                }
-            }
-            let mut far_counts = vec![0usize; ncells];
-            for v in 0..n as u32 {
-                let cv = owner[v as usize] as usize;
-                for &u in g.neighbors(v) {
-                    let cu = owner[u as usize] as usize;
-                    if cu != cv && !cell_adjacent(q, cv, cu) {
-                        far_counts[cv] += 1;
+                    let oc = scratch.owner[v];
+                    if lattice.in_cell(oc as usize % q, oc as usize / q, *c) {
+                        continue;
+                    }
+                    let nc = cell_of(*c, &lattice);
+                    if nc != oc {
+                        scratch.deltas.push((v as u32, oc, nc));
+                        let (ro, rn) = (oc as usize * ncells, nc as usize * ncells);
+                        for &u in g.neighbors(v as u32) {
+                            let cu = scratch.owner[u as usize] as usize;
+                            scratch.cross[ro + cu] -= 1;
+                            scratch.cross[rn + cu] += 1;
+                            scratch.cross[cu * ncells + oc as usize] -= 1;
+                            scratch.cross[cu * ncells + nc as usize] += 1;
+                        }
+                        scratch.owner[v] = nc;
                     }
                 }
-            }
-            let beta_payload: Vec<Vec<u64>> = (0..p)
-                .map(|r| {
-                    if r < ncells {
-                        vec![0u64; 3 + 2 * far_counts[r]]
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect();
-            let _ = machine.group_allgather(ncells, beta_payload);
-            let _ = machine.group_allreduce_sum(ncells, &vec![vec![0.0f64]; p]);
-            snapshot.copy_from_slice(coords);
-            beta_snapshot.copy_from_slice(&betas);
+                let share = (n / ncells.max(1)) as f64;
+                {
+                    let adj = &scratch.adj;
+                    let cross = &scratch.cross;
+                    machine.compute(&mut scratch.far, |r, far| {
+                        *far = 0;
+                        if r >= ncells {
+                            return 0.0;
+                        }
+                        let row = r * ncells;
+                        for c in 0..ncells {
+                            if c != r && !adj[row + c] {
+                                *far += cross[row + c] as usize;
+                            }
+                        }
+                        share
+                    });
+                }
+                machine.group_allreduce_sum_costed(ncells, q);
+                scratch.far[..ncells].iter().sum()
+            } else {
+                scratch.scan[..ncells].iter().map(|s| s.far).sum()
+            };
+            // Global refresh payload: per cell, β (3 words) plus 2 words
+            // per far cross-edge coordinate (the paper's ñ).
+            machine.group_allgather_costed(ncells, 3 * ncells + 2 * far_total);
+            machine.group_allreduce_sum_costed(ncells, 1);
+            scratch.snapshot.copy_from_slice(coords);
+            let betas = &scratch.betas;
+            scratch.beta_snapshot.copy_from_slice(betas);
         }
 
-        // --- Force computation and displacement per rank.
-        let displacements: Vec<(Vec<(u32, Point2)>, f64)> = {
-            let owned_ref = &owned;
+        // --- Force computation and displacement per rank (buffers reused
+        // across iterations).
+        {
+            let owned_ref = &scratch.owned;
             let coords_ref = &*coords;
-            let owner_ref = &owner;
-            let snapshot_ref = &snapshot;
-            let betas_ref = &betas;
-            let beta_snap_ref = &beta_snapshot;
+            let owner_ref = &scratch.owner;
+            let adj = &scratch.adj;
+            let snapshot_ref = &scratch.snapshot;
+            let betas_ref = &scratch.betas;
+            let beta_snap_ref = &scratch.beta_snapshot;
             let lattice_ref = &lattice;
-            let mut states: Vec<(Vec<(u32, Point2)>, f64)> = vec![(Vec::new(), 0.0); p];
-            machine.compute(&mut states, |r, state| {
-                let (out, local_energy) = state;
+            machine.compute(&mut scratch.disp, |r, state| {
+                let DispState {
+                    moves,
+                    energy,
+                    subidx,
+                    cvx,
+                    cvy,
+                    cm,
+                    fx,
+                    fy,
+                    nrm,
+                    scl,
+                } = state;
+                moves.clear();
+                *energy = 0.0;
                 if r >= ncells {
                     return 0.0;
                 }
@@ -390,7 +847,7 @@ pub fn lattice_smooth(
                         if s == my {
                             continue;
                         }
-                        let b = if cell_adjacent(q, my, s) {
+                        let b = if adj[my * ncells + s] {
                             betas_ref[s]
                         } else {
                             beta_snap_ref[s]
@@ -398,8 +855,8 @@ pub fn lattice_smooth(
                         if b.mu > 0.0 {
                             inherited += params.repulsive(my_beta.phi, 1.0, b.phi, b.mu);
                         }
-                        ops += 1.0;
                     }
+                    ops += (ncells - 1) as f64;
                 }
                 // Near field: the own cell's repulsion is resolved one
                 // lattice level deeper — a fixed 4×4 sub-lattice of β
@@ -407,73 +864,162 @@ pub fn lattice_smooth(
                 // single own-β term is the 1×1 limit and collapses local
                 // structure; a sub-lattice keeps the per-vertex cost an
                 // exact 16 ops regardless of how the layout clumps.
-                const SUB: usize = 4;
                 let my_box = lattice_ref.cell_box(my % q, my / q);
-                let mut sub = [Beta::default(); SUB * SUB];
-                let sub_of = |c: Point2| -> usize {
-                    let (si, sj) = my_box.cell_of(SUB, c);
-                    sj * SUB + si
-                };
-                for &v in &owned_ref[my] {
-                    let c = coords_ref[v as usize];
-                    let m = g.vwgt(v);
-                    let b = &mut sub[sub_of(c)];
-                    b.mu += m;
-                    b.phi += c * m;
-                    ops += 1.0;
+                let mine = &owned_ref[my];
+                let nmine = mine.len();
+                // Gather the owned vertices' coordinates and masses into
+                // contiguous arrays: every pass below streams them with
+                // vector loads instead of chasing `mine` indirections.
+                cvx.clear();
+                cvx.extend(mine.iter().map(|&v| coords_ref[v as usize].x));
+                cvy.clear();
+                cvy.extend(mine.iter().map(|&v| coords_ref[v as usize].y));
+                cm.clear();
+                cm.extend(mine.iter().map(|&v| g.vwgt(v)));
+                // Sub-lattice index per vertex, replicating
+                // `my_box.cell_of(SUB, c)` arithmetic exactly (same
+                // width/height guards, same divide-multiply-truncate-clamp
+                // sequence) in a form the compiler vectorizes.
+                subidx.clear();
+                let (bw, bh) = (my_box.width(), my_box.height());
+                let (bx, by) = (my_box.min.x, my_box.min.y);
+                {
+                    let cvx = &cvx[..nmine];
+                    let cvy = &cvy[..nmine];
+                    subidx.extend((0..nmine).map(|i| {
+                        let fxn = if bw > 0.0 { (cvx[i] - bx) / bw } else { 0.0 };
+                        let fyn = if bh > 0.0 { (cvy[i] - by) / bh } else { 0.0 };
+                        let si = ((fxn * SUB as f64) as isize).clamp(0, SUB as isize - 1) as usize;
+                        let sj = ((fyn * SUB as f64) as isize).clamp(0, SUB as isize - 1) as usize;
+                        (sj * SUB + si) as u8
+                    }));
                 }
+                let mut sub = [Beta::default(); NSUB];
+                for i in 0..nmine {
+                    let b = &mut sub[subidx[i] as usize];
+                    let m = cm[i];
+                    b.mu += m;
+                    b.phi += Point2::new(cvx[i], cvy[i]) * m;
+                }
+                ops += nmine as f64;
                 for b in sub.iter_mut() {
                     if b.mu > 0.0 {
                         b.phi = b.phi / b.mu;
                     }
                 }
-                for &v in &owned_ref[my] {
-                    let cv = coords_ref[v as usize];
-                    let mv = g.vwgt(v);
-                    let mut f = inherited * mv;
-                    let own_sub = sub_of(cv);
-                    for (si, b) in sub.iter().enumerate() {
-                        ops += 1.0;
-                        let mass = if si == own_sub { b.mu - mv } else { b.mu };
-                        if mass > 1e-12 {
-                            f += params.repulsive(cv, mv, b.phi, mass);
-                        }
-                    }
-                    // Attraction over edges with the freshness rules.
+                let mut sx = [0.0f64; NSUB];
+                let mut sy = [0.0f64; NSUB];
+                let mut sm = [0.0f64; NSUB];
+                for (i, b) in sub.iter().enumerate() {
+                    sx[i] = b.phi.x;
+                    sy[i] = b.phi.y;
+                    sm[i] = b.mu;
+                }
+                let ckk = params.c * params.k * params.k;
+                // Force accumulators start from the inherited repulsion
+                // scaled by vertex mass, exactly like the scalar
+                // original's `f = inherited * mv`.
+                fx.clear();
+                fx.extend(cm.iter().map(|&mv| inherited.x * mv));
+                fy.clear();
+                fy.extend(cm.iter().map(|&mv| inherited.y * mv));
+                near_field_passes(cvx, cvy, cm, subidx, &sx, &sy, &sm, ckk, fx, fy);
+                ops += (NSUB * nmine) as f64;
+                ops += (2 * nmine) as f64;
+                // Attraction over edges with the freshness rules, plus the
+                // displacement tail, folded onto the accumulated near-field
+                // forces in vertex order. Edge charges are counted in an
+                // integer and added to `ops` once — the same exact sum as
+                // `+= 1.0` per edge, without threading a serial f64
+                // dependency chain through the hot loop.
+                let mut nedges = 0usize;
+                for (vi, &v) in mine.iter().enumerate() {
+                    let cv = Point2::new(cvx[vi], cvy[vi]);
+                    let mut f = Point2::new(fx[vi], fy[vi]);
                     for (u, w) in g.neighbors_w(v) {
                         let cu = owner_ref[u as usize] as usize;
-                        let pu = if cu == my || cell_adjacent(q, my, cu) {
+                        let pu = if cu == my || adj[my * ncells + cu] {
                             coords_ref[u as usize]
                         } else {
                             clamp_far(lattice_ref, my, cu, snapshot_ref[u as usize])
                         };
                         f += params.attractive(cv, pu) * w;
-                        ops += 1.0;
+                        nedges += 1;
                     }
-                    let norm = f.norm();
-                    *local_energy += norm * norm;
+                    fx[vi] = f.x;
+                    fy[vi] = f.y;
+                }
+                ops += nedges as f64;
+                // Displacement tail, split so the norms (`(x² + y²).sqrt()`,
+                // exactly `Point2::norm`) and step scales run as long
+                // vectorizable passes with packed sqrt/div; the scalar pass
+                // keeps the energy accumulation and move emission in vertex
+                // order, bit-identical to the fused original. A zero norm
+                // makes `step / norm` infinite, but such entries fail the
+                // `norm > 1e-12` gate and are never read.
+                nrm.clear();
+                {
+                    let fx = &fx[..nmine];
+                    let fy = &fy[..nmine];
+                    nrm.extend((0..nmine).map(|i| (fx[i] * fx[i] + fy[i] * fy[i]).sqrt()));
+                }
+                scl.clear();
+                scl.extend(nrm.iter().map(|&n| step / n));
+                for (vi, &v) in mine.iter().enumerate() {
+                    let norm = nrm[vi];
+                    *energy += norm * norm;
                     if norm > 1e-12 {
-                        out.push((v, f * (step / norm)));
+                        moves.push((v, Point2::new(fx[vi] * scl[vi], fy[vi] * scl[vi])));
                     }
-                    ops += 2.0;
                 }
                 ops
             });
-            states
-        };
+        }
 
         // --- Apply moves (owned vertices only — ghosts are by construction
-        // other ranks' owned vertices and move on their own ranks).
+        // other ranks' owned vertices and move on their own ranks), fused
+        // with migration detection: a vertex's cell can only change if its
+        // coordinates did, and at the top of the iteration `owner[v]`
+        // matches `cell_of(coords[v])` for every vertex (initial
+        // assignment, block refreshes and prior migrations all enforce
+        // it), so scanning the movers covers every possible migration
+        // without re-walking all n vertices. Migration batches are keyed
+        // by sorted (from, to) pairs — not discovery order, which now
+        // follows rank-major move lists — so emission stays deterministic,
+        // and `apply_deltas` sorts the owner log, so it never depended on
+        // scan order either.
         let mut total_move = 0.0;
         let mut moved = 0usize;
         let mut new_energy = 0.0;
-        for (rank_moves, e) in &displacements {
-            new_energy += e;
-            for &(v, d) in rank_moves {
+        scratch.mig_pairs.clear();
+        for st in &scratch.disp {
+            new_energy += st.energy;
+            for &(v, d) in &st.moves {
                 let np = coords[v as usize] + d;
                 total_move += d.norm();
                 coords[v as usize] = np;
                 moved += 1;
+                let oc = scratch.owner[v as usize];
+                if lattice.in_cell(oc as usize % q, oc as usize / q, np) {
+                    continue;
+                }
+                let nc = cell_of(np, &lattice);
+                if nc != oc {
+                    if !scratch.adj[oc as usize * ncells + nc as usize] {
+                        scratch.mig_pairs.push((oc, nc));
+                    }
+                    scratch.deltas.push((v, oc, nc));
+                    let (ro, rn) = (oc as usize * ncells, nc as usize * ncells);
+                    for &u in g.neighbors(v) {
+                        let cu = scratch.owner[u as usize] as usize;
+                        scratch.cross[ro + cu] -= 1;
+                        scratch.cross[rn + cu] += 1;
+                        scratch.cross[cu * ncells + oc as usize] -= 1;
+                        scratch.cross[cu * ncells + nc as usize] += 1;
+                    }
+                    scratch.owner[v as usize] = nc;
+                    stats.migrations += 1;
+                }
             }
         }
         stats.final_move = if moved > 0 {
@@ -481,31 +1027,25 @@ pub fn lattice_smooth(
         } else {
             0.0
         };
-
-        // --- Migration: vertices whose box changed move to the new owner.
-        // Adjacent-cell migrations ride the next halo exchange (their data
-        // is a few extra words on messages that are sent anyway); only
-        // migrations to non-adjacent cells — rare between refreshes — cost
-        // a message of their own.
-        let mut migration_out: Vec<Vec<(usize, Vec<u64>)>> = vec![Vec::new(); p];
-        let mut mig_counts: std::collections::HashMap<(usize, usize), usize> =
-            std::collections::HashMap::new();
-        for v in 0..n {
-            let nc = cell_of(coords[v], &lattice);
-            if nc != owner[v] {
-                if !cell_adjacent(q, owner[v] as usize, nc as usize) {
-                    *mig_counts
-                        .entry((owner[v] as usize, nc as usize))
-                        .or_default() += 1;
-                }
-                owner[v] = nc;
-                stats.migrations += 1;
+        scratch.mig_pairs.sort_unstable();
+        for o in &mut scratch.outbox {
+            o.clear();
+        }
+        let mut i = 0;
+        while i < scratch.mig_pairs.len() {
+            let (from, to) = scratch.mig_pairs[i];
+            let mut cnt = 0usize;
+            while i < scratch.mig_pairs.len() && scratch.mig_pairs[i] == (from, to) {
+                cnt += 1;
+                i += 1;
             }
+            scratch.outbox[from as usize].push((to as usize, CostOnly::new(3 * cnt)));
         }
-        for ((from, to), cnt) in mig_counts {
-            migration_out[from].push((to, vec![0u64; 3 * cnt]));
-        }
-        let _ = machine.exchange(migration_out);
+        machine.exchange_costed(&scratch.outbox);
+        // Owned lists pick up this iteration's owner changes (block
+        // refresh + migrations) only now: mid-iteration they must stay
+        // stale, exactly like the per-iteration rebuild they replace.
+        scratch.apply_deltas();
 
         // Hu's adaptive step control on the global energy (the global
         // reduction this needs is the per-block reduction already charged).
@@ -626,6 +1166,95 @@ mod tests {
         lattice_smooth(&g, &mut b, 2, &mut mb, &LatticeConfig::default());
         assert_eq!(a, b);
         assert_eq!(ma.elapsed(), mb.elapsed());
+    }
+
+    #[test]
+    fn trace_output_is_byte_identical_across_runs() {
+        // Regression: halo and migration batches used to be emitted in
+        // HashMap iteration order, which differs between executions (std
+        // HashMaps are randomly seeded), so two --trace runs of the same
+        // input produced different traces. Batches are now keyed by sorted
+        // destination, making the full event stream reproducible.
+        use sp_machine::TraceRecorder;
+        let run = || {
+            let (g, mut coords, mut m) = setup(12, 2);
+            m.set_recorder(Box::new(TraceRecorder::new(4)));
+            lattice_smooth(&g, &mut coords, 2, &mut m, &LatticeConfig::default());
+            let rec = TraceRecorder::downcast(m.take_recorder().unwrap()).unwrap();
+            rec.chrome_trace()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // lattice_smooth_with must behave identically on a scratch that
+        // just served a different-sized run.
+        let (g, coords0, _) = setup(14, 2);
+        let mut scratch = SmoothScratch::new();
+        {
+            // Warm the scratch on another graph and lattice size.
+            let (g2, mut c2, mut m2) = setup(9, 3);
+            lattice_smooth_with(
+                &g2,
+                &mut c2,
+                3,
+                &mut m2,
+                &LatticeConfig::default(),
+                &mut scratch,
+            );
+        }
+        let mut a = coords0.clone();
+        let mut b = coords0.clone();
+        let mut ma = Machine::new(4, CostModel::qdr_infiniband());
+        let mut mb = Machine::new(4, CostModel::qdr_infiniband());
+        lattice_smooth_with(
+            &g,
+            &mut a,
+            2,
+            &mut ma,
+            &LatticeConfig::default(),
+            &mut scratch,
+        );
+        lattice_smooth(&g, &mut b, 2, &mut mb, &LatticeConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(ma.elapsed(), mb.elapsed());
+    }
+
+    #[test]
+    fn quantile_build_matches_full_sort_reference() {
+        // Selection must give bit-identical cuts to the sort it replaced.
+        let mut rng = StdRng::seed_from_u64(21);
+        let pts = random_init(2500, &mut rng);
+        for q in [1usize, 2, 3, 5, 8] {
+            let lat = QuantileLattice::build(&pts, q);
+            let n = pts.len();
+            let mut xs: Vec<f64> = pts.iter().map(|c| c.x).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let want: Vec<f64> = (1..q).map(|k| xs[(k * n / q).min(n - 1)]).collect();
+            assert_eq!(lat.xcuts, want, "q={q}");
+            let mut cols: Vec<Vec<f64>> = vec![Vec::new(); q];
+            for c in &pts {
+                let i = lat.xcuts.partition_point(|&cut| c.x >= cut);
+                cols[i].push(c.y);
+            }
+            for (i, mut ys) in cols.into_iter().enumerate() {
+                if ys.is_empty() {
+                    continue;
+                }
+                ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let m = ys.len();
+                let want: Vec<f64> = (1..q).map(|k| ys[(k * m / q).min(m - 1)]).collect();
+                assert_eq!(lat.ycuts[i], want, "q={q} col={i}");
+            }
+        }
+        // Duplicate-heavy input exercises the repeated-index path.
+        let dup: Vec<Point2> = (0..64).map(|i| Point2::new((i % 4) as f64, 1.0)).collect();
+        let lat = QuantileLattice::build(&dup, 8);
+        let mut xs: Vec<f64> = dup.iter().map(|c| c.x).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let want: Vec<f64> = (1..8).map(|k| xs[(k * 64 / 8).min(63)]).collect();
+        assert_eq!(lat.xcuts, want);
     }
 
     #[test]

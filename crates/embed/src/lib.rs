@@ -12,6 +12,8 @@ pub mod multilevel;
 pub mod seq;
 
 pub use force::ForceParams;
-pub use lattice::{lattice_smooth, LatticeConfig, LatticeStats};
+pub use lattice::{
+    lattice_smooth, lattice_smooth_with, LatticeConfig, LatticeStats, SmoothScratch,
+};
 pub use multilevel::{multilevel_lattice_embed, MultilevelEmbedConfig};
 pub use seq::{embed_multilevel_seq, force_layout, random_init, SeqEmbedConfig};

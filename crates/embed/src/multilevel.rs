@@ -7,7 +7,7 @@
 //! fixed-lattice iterations.
 
 use crate::force::ForceParams;
-use crate::lattice::{lattice_smooth, LatticeConfig};
+use crate::lattice::{lattice_smooth_with, LatticeConfig, SmoothScratch};
 use crate::seq::{force_layout, random_init};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,16 +88,7 @@ fn replicated_smooth(
     if active > 1 {
         let words = 2 * g.n() / active;
         for _ in 0..iters_est {
-            let contrib: Vec<Vec<u64>> = (0..machine.p())
-                .map(|r| {
-                    if r < active {
-                        vec![0u64; words]
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect();
-            let _ = machine.group_allgather(active, contrib);
+            machine.group_allgather_costed(active, active * words);
         }
     }
 }
@@ -145,19 +136,11 @@ pub fn multilevel_lattice_embed(
         if pk > 1 {
             let words = 2 * coarsest.n() / pk.max(1);
             for _ in 0..iters_est {
-                let contrib: Vec<Vec<u64>> = (0..machine.p())
-                    .map(|r| {
-                        if r < pk {
-                            vec![0u64; words]
-                        } else {
-                            Vec::new()
-                        }
-                    })
-                    .collect();
-                let _ = machine.group_allgather(pk, contrib);
+                machine.group_allgather_costed(pk, pk * words);
             }
         }
     }
+    let mut scratch = SmoothScratch::new();
 
     // --- Project and smooth, coarse → fine. Coarse levels get more
     // iterations (cheap, and they set the global shape); the two finest
@@ -200,7 +183,7 @@ pub fn multilevel_lattice_embed(
         if q_lvl >= 2 {
             let parents = ranks_at_level(p, lvl + 1).max(1);
             let per_parent = fine.n() / parents.max(1);
-            let outbox: Vec<Vec<(usize, Vec<u64>)>> = (0..machine.p())
+            let outbox: Vec<Vec<(usize, sp_machine::CostOnly)>> = (0..machine.p())
                 .map(|r| {
                     if r < parents && q_lvl * q_lvl > r {
                         // Three quarters of the parent's vertices leave.
@@ -208,7 +191,8 @@ pub fn multilevel_lattice_embed(
                         (1..4usize)
                             .filter_map(|s| {
                                 let dest = r + s * parents;
-                                (dest < q_lvl * q_lvl).then(|| (dest, vec![0u64; 2 * chunk]))
+                                (dest < q_lvl * q_lvl)
+                                    .then(|| (dest, sp_machine::CostOnly::new(2 * chunk)))
                             })
                             .collect()
                     } else {
@@ -216,13 +200,13 @@ pub fn multilevel_lattice_embed(
                     }
                 })
                 .collect();
-            let _ = machine.exchange(outbox);
+            machine.exchange_costed(&outbox);
         }
 
         // Smooth: distributed fixed-lattice scheme for big levels,
         // replicated force layout below the pays-off threshold.
         if q_lvl >= 2 && fine.n() > REPLICATION_THRESHOLD {
-            lattice_smooth(
+            lattice_smooth_with(
                 fine,
                 &mut fc,
                 q_lvl,
@@ -232,6 +216,7 @@ pub fn multilevel_lattice_embed(
                     step0: cfg.lattice.step0 * 0.3,
                     ..cfg.lattice
                 },
+                &mut scratch,
             );
         } else {
             replicated_smooth(

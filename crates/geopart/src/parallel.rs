@@ -46,7 +46,7 @@ pub fn parallel_geometric_partition(
         let rank_sizes = dist.rank_sizes();
         let mut states: Vec<f64> = vec![0.0; p];
         machine.compute(&mut states, |r, _| rank_sizes[r] as f64);
-        let _ = machine.allreduce_sum(&vec![vec![0.0; 4]; p]);
+        machine.allreduce_sum_costed(4);
     }
 
     // --- Sampling across ranks + allgather.
@@ -57,12 +57,7 @@ pub fn parallel_geometric_partition(
         .take(total_sample)
         .map(|v| coords[v])
         .collect();
-    {
-        let contrib: Vec<Vec<u64>> = (0..p)
-            .map(|_| vec![0u64; 2 * sample.len() / p.max(1)])
-            .collect();
-        let _ = machine.allgather(contrib);
-    }
+    machine.allgather_costed(p * (2 * sample.len() / p.max(1)));
     let lifted_sample: Vec<Point3> = sample
         .iter()
         .map(|&s| lift_normalized(s, center, scale))
@@ -139,7 +134,7 @@ pub fn parallel_geometric_partition(
     };
     // --- Three short reductions (cut totals, balance totals, winner).
     let totals = machine.allreduce_sum(&contribs);
-    let _ = machine.allreduce_sum(&vec![vec![0.0; 1]; p]);
+    machine.allreduce_sum_costed(1);
     let mut keys = vec![f64::INFINITY; p];
     let mut best_try = usize::MAX;
     let mut best_cut = usize::MAX;

@@ -30,7 +30,7 @@ pub mod words;
 
 pub use cost::CostModel;
 pub use machine::{Machine, PhaseBreakdown};
-pub use words::Words;
+pub use words::{CostOnly, Words};
 
 pub use sp_trace as trace;
 pub use sp_trace::{

@@ -2,7 +2,7 @@
 //! point-to-point exchange, and collectives.
 
 use crate::cost::CostModel;
-use crate::words::Words;
+use crate::words::{CostOnly, Words};
 use rayon::prelude::*;
 use sp_trace::{CollectiveKind, MachineStats, Phase, Recorder};
 use std::collections::HashMap;
@@ -33,6 +33,10 @@ pub struct Machine {
     cost: CostModel,
     /// Per-rank simulated clock.
     clock: Vec<f64>,
+    /// Cached `max(clock)` so [`Machine::elapsed`] is O(1): it is read on
+    /// every phase switch and every global collective. Clocks only move
+    /// forward, so a running max on the mutation paths stays exact.
+    clock_max: f64,
     /// Per-rank, per-phase accumulated computation time.
     comp: Vec<f64>,
     /// Per-rank accumulated communication time.
@@ -51,6 +55,12 @@ pub struct Machine {
     phase_t0: f64,
     /// Event sink; `None` (the default) records nothing and costs nothing.
     recorder: Option<Box<dyn Recorder>>,
+    /// Reusable per-rank buffers for exchange charging (send completion,
+    /// receive cost, sender bound) — exchanges run every smoothing
+    /// iteration, so their bookkeeping must not allocate.
+    xch_send_done: Vec<f64>,
+    xch_recv_cost: Vec<f64>,
+    xch_sender_bound: Vec<f64>,
 }
 
 impl Machine {
@@ -60,6 +70,7 @@ impl Machine {
             p,
             cost,
             clock: vec![0.0; p],
+            clock_max: 0.0,
             comp: vec![0.0; p],
             comm: vec![0.0; p],
             phase: Phase::Idle,
@@ -68,6 +79,9 @@ impl Machine {
             phase_start: (vec![0.0; p], vec![0.0; p]),
             phase_t0: 0.0,
             recorder: None,
+            xch_send_done: vec![0.0; p],
+            xch_recv_cost: vec![0.0; p],
+            xch_sender_bound: vec![0.0; p],
         }
     }
 
@@ -97,9 +111,12 @@ impl Machine {
         self.recorder.is_some()
     }
 
-    /// Simulated elapsed time: the maximum rank clock.
+    /// Simulated elapsed time: the maximum rank clock. O(1) — the max is
+    /// maintained on every clock mutation rather than folded over ranks
+    /// here (this accessor sits inside `close_phase` on every phase
+    /// switch, which at P=1024 made phase bookkeeping itself O(P)).
     pub fn elapsed(&self) -> f64 {
-        self.clock.iter().copied().fold(0.0, f64::max)
+        self.clock_max
     }
 
     /// Begin a phase; closes the previous phase's accounting. Re-entering
@@ -199,6 +216,7 @@ impl Machine {
             let dt = o * self.cost.t_op;
             let start = self.clock[r];
             self.clock[r] += dt;
+            self.clock_max = self.clock_max.max(self.clock[r]);
             self.comp[r] += dt;
             if o != 0.0 {
                 if let Some(rec) = self.recorder.as_deref_mut() {
@@ -214,6 +232,7 @@ impl Machine {
         let dt = ops * self.cost.t_op;
         let start = self.clock[rank];
         self.clock[rank] += dt;
+        self.clock_max = self.clock_max.max(self.clock[rank]);
         self.comp[rank] += dt;
         if ops != 0.0 {
             let phase = self.phase;
@@ -233,57 +252,113 @@ impl Machine {
     /// completes (receivers wait for senders; senders do not wait).
     pub fn exchange<M: Words + Send>(&mut self, out: Vec<Vec<(usize, M)>>) -> Vec<Vec<(usize, M)>> {
         assert_eq!(out.len(), self.p);
-        let phase = self.phase;
-        // Send-completion time per rank; sends occupy the rank back to
-        // back, so each message's span starts where the previous ended.
-        let mut send_done = self.clock.clone();
-        for (r, msgs) in out.iter().enumerate() {
-            for (d, m) in msgs {
-                assert!(*d < self.p, "bad destination {d}");
-                assert!(*d != r, "self-message from rank {r}");
-                let w = m.words();
-                let c = self.cost.msg(w);
-                let start = send_done[r];
-                send_done[r] += c;
-                if let Some(rec) = self.recorder.as_deref_mut() {
-                    rec.on_send(phase, r, *d, w, start, c);
-                }
-            }
-        }
-        // Deliver.
+        // Charge through the same code path as `exchange_costed`, so
+        // cost-only and data-carrying exchanges are f64-identical by
+        // construction.
+        let meta: Vec<Vec<(usize, CostOnly)>> = out
+            .iter()
+            .map(|msgs| {
+                msgs.iter()
+                    .map(|(d, m)| (*d, CostOnly::new(m.words())))
+                    .collect()
+            })
+            .collect();
+        self.charge_exchange(&meta);
+        // Deliver (no further charging).
         let mut inbox: Vec<Vec<(usize, M)>> = (0..self.p).map(|_| Vec::new()).collect();
-        let mut recv_cost = vec![0.0; self.p];
-        let mut sender_bound = vec![0.0f64; self.p];
         for (r, msgs) in out.into_iter().enumerate() {
             for (d, m) in msgs {
-                recv_cost[d] += self.cost.msg(m.words());
-                sender_bound[d] = sender_bound[d].max(send_done[r]);
                 inbox[d].push((r, m));
             }
         }
         for msgs in &mut inbox {
             msgs.sort_by_key(|(s, _)| *s);
         }
+        inbox
+    }
+
+    /// Cost-only point-to-point exchange: identical charging and event
+    /// emission to [`Machine::exchange`] — latency + bandwidth per message,
+    /// receivers wait for senders — but no payload is materialised and
+    /// nothing is delivered. `out[r]` holds `(dest, CostOnly)` pairs sent
+    /// by rank `r`. Allocation-free outside of tracing.
+    pub fn exchange_costed(&mut self, out: &[Vec<(usize, CostOnly)>]) {
+        assert_eq!(out.len(), self.p);
+        self.charge_exchange(out);
+    }
+
+    /// The single exchange charging path (see [`Machine::exchange`] for the
+    /// cost semantics). Uses the machine's reusable buffers; only event
+    /// emission for an installed recorder allocates.
+    fn charge_exchange(&mut self, out: &[Vec<(usize, CostOnly)>]) {
+        let phase = self.phase;
+        // Send-completion time per rank; sends occupy the rank back to
+        // back, so each message's span starts where the previous ended.
+        let mut send_done = std::mem::take(&mut self.xch_send_done);
+        let mut recv_cost = std::mem::take(&mut self.xch_recv_cost);
+        let mut sender_bound = std::mem::take(&mut self.xch_sender_bound);
+        send_done.clear();
+        send_done.extend_from_slice(&self.clock);
+        recv_cost.clear();
+        recv_cost.resize(self.p, 0.0);
+        sender_bound.clear();
+        sender_bound.resize(self.p, 0.0);
+        for (r, msgs) in out.iter().enumerate() {
+            for &(d, m) in msgs {
+                assert!(d < self.p, "bad destination {d}");
+                assert!(d != r, "self-message from rank {r}");
+                let w = m.words();
+                let c = self.cost.msg(w);
+                let start = send_done[r];
+                send_done[r] += c;
+                if let Some(rec) = self.recorder.as_deref_mut() {
+                    rec.on_send(phase, r, d, w, start, c);
+                }
+            }
+        }
+        for (r, msgs) in out.iter().enumerate() {
+            for &(d, m) in msgs {
+                recv_cost[d] += self.cost.msg(m.words());
+                sender_bound[d] = sender_bound[d].max(send_done[r]);
+            }
+        }
+        // Receive-side message lists are only needed for event emission.
+        let inbox_meta: Option<Vec<Vec<(usize, usize)>>> = if self.recorder.is_some() {
+            let mut meta: Vec<Vec<(usize, usize)>> = (0..self.p).map(|_| Vec::new()).collect();
+            for (r, msgs) in out.iter().enumerate() {
+                for &(d, m) in msgs {
+                    meta[d].push((r, m.words()));
+                }
+            }
+            for msgs in &mut meta {
+                msgs.sort_by_key(|(s, _)| *s);
+            }
+            Some(meta)
+        } else {
+            None
+        };
         for r in 0..self.p {
             let start = send_done[r].max(sender_bound[r]);
             let new_clock = start + recv_cost[r];
             self.comm[r] += new_clock - self.clock[r];
             self.clock[r] = new_clock;
+            self.clock_max = self.clock_max.max(new_clock);
             // Receive occupancy: messages drain back to back from `start`
             // in source order (the order the inbox presents them).
-            if self.recorder.is_some() && !inbox[r].is_empty() {
+            if let Some(meta) = &inbox_meta {
                 let mut t = start;
-                for (s, m) in &inbox[r] {
-                    let w = m.words();
+                for &(s, w) in &meta[r] {
                     let c = self.cost.msg(w);
                     if let Some(rec) = self.recorder.as_deref_mut() {
-                        rec.on_recv(phase, *s, r, w, t, c);
+                        rec.on_recv(phase, s, r, w, t, c);
                     }
                     t += c;
                 }
             }
         }
-        inbox
+        self.xch_send_done = send_done;
+        self.xch_recv_cost = recv_cost;
+        self.xch_sender_bound = sender_bound;
     }
 
     /// Synchronise ranks `0..active` at time `t`, charging the wait to
@@ -298,6 +373,7 @@ impl Machine {
             self.comm[r] += t - self.clock[r];
             self.clock[r] = t;
         }
+        self.clock_max = self.clock_max.max(t);
         if let Some(starts) = starts {
             let phase = self.phase;
             if let Some(rec) = self.recorder.as_deref_mut() {
@@ -324,9 +400,17 @@ impl Machine {
                 *a += x;
             }
         }
+        self.allreduce_sum_costed(len);
+        acc
+    }
+
+    /// Cost-only allreduce: charges exactly what [`Machine::allreduce_sum`]
+    /// over `len`-element contributions would, without reducing any data.
+    /// For sites whose "reduction" is a synchronisation fiction (the result
+    /// is already known on the host).
+    pub fn allreduce_sum_costed(&mut self, len: usize) {
         let t = self.elapsed() + self.cost.collective(self.p, len);
         self.sync_collective(self.p, t, CollectiveKind::AllreduceSum, len);
-        acc
     }
 
     /// Allgather: concatenates every rank's contribution (in rank order)
@@ -347,13 +431,19 @@ impl Machine {
         for v in contrib {
             all.extend(v);
         }
+        self.allgather_costed(words);
+        all
+    }
+
+    /// Cost-only allgather of `words` total 8-byte words: identical charge
+    /// to [`Machine::allgather`] whose contributions sum to `words`.
+    pub fn allgather_costed(&mut self, words: usize) {
         // Recursive doubling: log P stages, total data volume dominated by
         // the full gathered vector in the final stages.
         let t0 = self.elapsed();
         let stages = (self.p.max(1) as f64).log2().ceil().max(0.0);
         let t = t0 + stages * self.cost.t_s + self.cost.t_w * words as f64;
         self.sync_collective(self.p, t, CollectiveKind::Allgather, words);
-        all
     }
 
     /// Reduce to the arg-min over per-rank `(key, payload)` pairs; all
@@ -394,11 +484,18 @@ impl Machine {
         for v in contrib {
             all.extend(v);
         }
+        self.group_allgather_costed(active, words);
+        all
+    }
+
+    /// Cost-only sub-communicator allgather: identical charge to
+    /// [`Machine::group_allgather`] whose contributions sum to `words`.
+    pub fn group_allgather_costed(&mut self, active: usize, words: usize) {
+        let active = active.clamp(1, self.p);
         let t0 = self.clock[..active].iter().copied().fold(0.0, f64::max);
         let stages = (active as f64).log2().ceil().max(0.0);
         let t = t0 + stages * self.cost.t_s + self.cost.t_w * words as f64;
         self.sync_collective(active, t, CollectiveKind::GroupAllgather, words);
-        all
     }
 
     /// Allreduce over ranks `0..active` only; inactive contributions must
@@ -414,13 +511,20 @@ impl Machine {
                 *a += x;
             }
         }
+        self.group_allreduce_sum_costed(active, len);
+        acc
+    }
+
+    /// Cost-only sub-communicator allreduce: identical charge to
+    /// [`Machine::group_allreduce_sum`] over `len`-element contributions.
+    pub fn group_allreduce_sum_costed(&mut self, active: usize, len: usize) {
+        let active = active.clamp(1, self.p);
         let t0 = self.clock[..active].iter().copied().fold(0.0, f64::max);
         let t = t0 + {
             let stages = (active as f64).log2().ceil().max(0.0);
             stages * self.cost.msg(len)
         };
         self.sync_collective(active, t, CollectiveKind::GroupAllreduceSum, len);
-        acc
     }
 }
 
@@ -818,6 +922,132 @@ mod tests {
         let json = rec.chrome_trace();
         assert!(json.contains("\"tid\": 0") && json.contains("\"tid\": 1"));
         assert!(json.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn costed_exchange_charges_exactly_like_dummy_payloads() {
+        let cost = CostModel::qdr_infiniband();
+        let script: Vec<Vec<(usize, usize)>> = vec![
+            vec![(1, 64), (2, 8), (3, 1)],
+            vec![(2, 17)],
+            vec![],
+            vec![(0, 300)],
+        ];
+        let mut dummy = Machine::new(4, cost);
+        let out: Vec<Vec<(usize, Vec<u64>)>> = script
+            .iter()
+            .map(|msgs| msgs.iter().map(|&(d, w)| (d, vec![0u64; w])).collect())
+            .collect();
+        let _ = dummy.exchange(out);
+
+        let mut costed = Machine::new(4, cost);
+        let out: Vec<Vec<(usize, CostOnly)>> = script
+            .iter()
+            .map(|msgs| msgs.iter().map(|&(d, w)| (d, CostOnly::new(w))).collect())
+            .collect();
+        costed.exchange_costed(&out);
+
+        // Exact f64 equality — both run the same charging code path.
+        assert_eq!(dummy.clock, costed.clock);
+        assert_eq!(dummy.comm, costed.comm);
+        assert_eq!(dummy.elapsed(), costed.elapsed());
+    }
+
+    #[test]
+    fn costed_collectives_charge_exactly_like_data_variants() {
+        let cost = CostModel::qdr_infiniband();
+        let stagger = |m: &mut Machine| {
+            let mut s = vec![(); 8];
+            m.compute(&mut s, |r, _| (r * r) as f64);
+        };
+
+        let mut a = Machine::new(8, cost);
+        stagger(&mut a);
+        let _ = a.allreduce_sum(&vec![vec![0.0; 5]; 8]);
+        let _ = a.allgather(vec![vec![0u64; 3]; 8]);
+        let contrib: Vec<Vec<u64>> = (0..8)
+            .map(|r| if r < 4 { vec![0u64; 6] } else { Vec::new() })
+            .collect();
+        let _ = a.group_allgather(4, contrib);
+        let _ = a.group_allreduce_sum(4, &vec![vec![0.0; 2]; 8]);
+
+        let mut b = Machine::new(8, cost);
+        stagger(&mut b);
+        b.allreduce_sum_costed(5);
+        b.allgather_costed(24);
+        b.group_allgather_costed(4, 24);
+        b.group_allreduce_sum_costed(4, 2);
+
+        assert_eq!(a.clock, b.clock);
+        assert_eq!(a.comm, b.comm);
+        assert_eq!(a.elapsed(), b.elapsed());
+    }
+
+    #[test]
+    fn cached_elapsed_matches_fold_over_rank_clocks() {
+        let mut m = Machine::new(5, CostModel::qdr_infiniband());
+        let mut s = vec![(); 5];
+        let check = |m: &Machine| {
+            let fold = m.clock.iter().copied().fold(0.0, f64::max);
+            assert_eq!(m.elapsed(), fold);
+        };
+        check(&m);
+        m.compute(&mut s, |r, _| (5 - r) as f64 * 13.0);
+        check(&m);
+        m.charge_ops(2, 1e6);
+        check(&m);
+        let _ = m.exchange(vec![
+            vec![(1usize, vec![0u64; 100])],
+            vec![],
+            vec![(4usize, vec![0u64; 7])],
+            vec![],
+            vec![],
+        ]);
+        check(&m);
+        m.exchange_costed(&vec![
+            vec![(3usize, CostOnly::new(50))],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        check(&m);
+        m.group_allreduce_sum_costed(2, 3);
+        check(&m);
+        m.barrier();
+        check(&m);
+        m.allgather_costed(40);
+        check(&m);
+    }
+
+    #[test]
+    fn costed_exchange_emits_identical_trace_events() {
+        let cost = CostModel {
+            t_s: 1.0,
+            t_w: 0.5,
+            t_op: 1.0,
+        };
+        let events = |costed: bool| {
+            let mut m = Machine::new(3, cost);
+            m.set_recorder(Box::new(TraceRecorder::new(3)));
+            m.phase(Phase::Embed);
+            if costed {
+                m.exchange_costed(&vec![
+                    vec![(1, CostOnly::new(4)), (2, CostOnly::new(2))],
+                    vec![(2, CostOnly::new(8))],
+                    vec![],
+                ]);
+            } else {
+                let _ = m.exchange(vec![
+                    vec![(1usize, vec![0u64; 4]), (2usize, vec![0u64; 2])],
+                    vec![(2usize, vec![0u64; 8])],
+                    vec![],
+                ]);
+            }
+            let rec = TraceRecorder::downcast(m.take_recorder().unwrap()).unwrap();
+            format!("{:?}", rec.events())
+        };
+        assert_eq!(events(false), events(true));
     }
 
     #[test]

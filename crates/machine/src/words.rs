@@ -18,6 +18,35 @@ pub trait Words {
     fn words(&self) -> usize;
 }
 
+/// A zero-allocation cost-only payload: reports a wire size of `words`
+/// 8-byte words while carrying no data at all.
+///
+/// Algorithms that model communication volume without materialising the
+/// bytes (most of the SPMD code in this workspace — the data already lives
+/// in shared memory) should send `CostOnly` through
+/// [`Machine::exchange_costed`](crate::Machine::exchange_costed) and the
+/// `*_costed` collectives rather than allocating `vec![0u64; words]`
+/// dummies: the simulated charge is identical (it depends only on
+/// [`Words::words`]) and the host pays neither allocation nor memset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostOnly {
+    pub words: usize,
+}
+
+impl CostOnly {
+    #[inline]
+    pub fn new(words: usize) -> Self {
+        CostOnly { words }
+    }
+}
+
+impl Words for CostOnly {
+    #[inline]
+    fn words(&self) -> usize {
+        self.words
+    }
+}
+
 /// Packed byte-size container sizing: valid for plain-old-data `T`.
 impl<T> Words for Vec<T> {
     fn words(&self) -> usize {
@@ -83,6 +112,14 @@ mod tests {
         assert_eq!(1.0f32.words(), 1);
         assert_eq!(true.words(), 1);
         assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn cost_only_reports_declared_words() {
+        assert_eq!(CostOnly::new(0).words(), 0);
+        assert_eq!(CostOnly::new(17).words(), 17);
+        // Equal wire size to the dummy vector it replaces.
+        assert_eq!(CostOnly::new(100).words(), vec![0u64; 100].words());
     }
 
     #[test]

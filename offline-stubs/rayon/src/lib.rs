@@ -67,3 +67,45 @@ pub mod prelude {
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
     };
 }
+
+/// Sequential stand-in for `rayon::ThreadPoolBuilder`: `build()` always
+/// succeeds and the resulting pool's `install` simply runs the closure on
+/// the calling thread (the real crate's behaviour with one thread).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+pub struct ThreadPool;
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
