@@ -55,6 +55,77 @@ pub fn contract(g: &Graph, m: &Matching) -> Contraction {
     }
 }
 
+/// Validate a contraction against the fine graph and matching it came
+/// from: the map is total and dense, matched pairs share a coarse vertex,
+/// no coarse vertex absorbs more than a pair, vertex weight is conserved,
+/// and cross-pair edge weight is conserved (intra-pair edges vanish).
+///
+/// Used by sp-verify's invariant checker at every coarsening checkpoint.
+pub fn validate_contraction(g: &Graph, m: &Matching, c: &Contraction) -> Result<(), String> {
+    let n = g.n();
+    let cn = c.coarse.n();
+    if c.map.len() != n {
+        return Err(format!("map length {} != fine n {}", c.map.len(), n));
+    }
+    if m.mate.len() != n {
+        return Err(format!("matching length {} != fine n {}", m.mate.len(), n));
+    }
+    let mut group = vec![0u32; cn];
+    for v in 0..n {
+        let cv = c.map[v];
+        if cv as usize >= cn {
+            return Err(format!("map[{v}] = {cv} out of range (coarse n = {cn})"));
+        }
+        group[cv as usize] += 1;
+        let u = m.mate[v] as usize;
+        if c.map[u] != cv {
+            return Err(format!(
+                "matched pair ({v}, {u}) maps to different coarse vertices ({cv}, {})",
+                c.map[u]
+            ));
+        }
+    }
+    for (cv, &sz) in group.iter().enumerate() {
+        if sz == 0 {
+            return Err(format!("coarse vertex {cv} has no fine preimage"));
+        }
+        if sz > 2 {
+            return Err(format!(
+                "coarse vertex {cv} absorbs {sz} fine vertices (matching pairs only)"
+            ));
+        }
+    }
+    let dv = c.coarse.total_vwgt() - g.total_vwgt();
+    if dv.abs() > 1e-9 * g.total_vwgt().max(1.0) {
+        return Err(format!("vertex weight drifts by {dv} under contraction"));
+    }
+    // Edge weight accounting: fine cross-pair weight == coarse weight.
+    let mut cross = 0.0;
+    for v in 0..n as u32 {
+        for (u, w) in g.neighbors_w(v) {
+            if u > v && c.map[u as usize] != c.map[v as usize] {
+                cross += w;
+            }
+        }
+    }
+    let mut coarse_w = 0.0;
+    for v in 0..cn as u32 {
+        for (u, w) in c.coarse.neighbors_w(v) {
+            if u > v {
+                coarse_w += w;
+            }
+        }
+    }
+    if (cross - coarse_w).abs() > 1e-9 * cross.max(1.0) {
+        return Err(format!(
+            "edge weight not conserved: fine cross-pair {cross} vs coarse {coarse_w}"
+        ));
+    }
+    c.coarse
+        .validate()
+        .map_err(|e| format!("coarse graph invalid: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +196,28 @@ mod tests {
         // Coarse ids are dense.
         let mx = *c.map.iter().max().unwrap() as usize;
         assert_eq!(mx + 1, c.coarse.n());
+    }
+
+    #[test]
+    fn validate_contraction_accepts_hem_output() {
+        let g = grid_2d(20, 20);
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let c = contract(&g, &m);
+        validate_contraction(&g, &m, &c).unwrap();
+    }
+
+    #[test]
+    fn validate_contraction_rejects_broken_map() {
+        let g = grid_2d(10, 10);
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let mut c = contract(&g, &m);
+        // Point a matched vertex somewhere else: pair consistency breaks.
+        let v = (0..g.n()).find(|&v| m.mate[v] != v as u32).unwrap();
+        c.map[v] = (c.map[v] + 1) % c.coarse.n() as u32;
+        let err = validate_contraction(&g, &m, &c).unwrap_err();
+        assert!(err.contains("coarse"), "{err}");
     }
 
     #[test]

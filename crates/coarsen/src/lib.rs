@@ -15,7 +15,7 @@ pub mod hierarchy;
 pub mod matching;
 pub mod parallel;
 
-pub use contract::{contract, Contraction};
+pub use contract::{contract, validate_contraction, Contraction};
 pub use hierarchy::{CoarsenConfig, Hierarchy, Level};
 pub use matching::{heavy_edge_matching, validate_matching, Matching};
 pub use parallel::parallel_hem;

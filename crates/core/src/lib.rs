@@ -37,13 +37,18 @@
 pub mod config;
 pub mod kway;
 pub mod methods;
+pub mod observe;
 pub mod pipeline;
 pub mod svg;
 
 pub use config::SpConfig;
 pub use kway::{recursive_kway, recursive_kway_on, KWayPartition};
 pub use methods::{run_method, run_method_on, Method, MethodResult};
-pub use pipeline::{scalapart_bisect, sp_pg7nl_bisect, PhaseTimes, SpResult};
+pub use observe::{NoopObserver, PipelineObserver};
+pub use pipeline::{
+    scalapart_bisect, scalapart_bisect_observed, scalapart_bisect_with, sp_pg7nl_bisect,
+    PhaseTimes, SpResult,
+};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -1,0 +1,49 @@
+//! Pipeline checkpoint instrumentation.
+//!
+//! [`PipelineObserver`] is a hook trait the pipeline calls at every
+//! algorithmic checkpoint — each coarsening matching/contraction, the
+//! finished hierarchy, the embedding, the geometric partition, and the
+//! refined result. Every method defaults to a no-op, so observation is
+//! opt-in and free for normal runs ([`scalapart_bisect`] passes
+//! [`NoopObserver`]). Observers see *references into the running
+//! pipeline*, never copies: sp-verify's invariant checker validates each
+//! intermediate in place without perturbing the run (the machine's clocks
+//! are not visible to observers, so a checker cannot change simulated
+//! time even by accident).
+//!
+//! [`scalapart_bisect`]: crate::pipeline::scalapart_bisect
+
+use sp_coarsen::{Contraction, Hierarchy, Matching};
+use sp_geometry::Point2;
+use sp_geopart::GeoPartResult;
+use sp_graph::{Bisection, Graph};
+use sp_refine::FmStats;
+
+/// Checkpoint hooks through the ScalaPart pipeline. All methods are
+/// called on the host (outside any simulated-rank closure), in pipeline
+/// order.
+pub trait PipelineObserver {
+    /// A matching was computed on `g` (the current coarsening level).
+    fn on_matching(&mut self, _g: &Graph, _m: &Matching) {}
+
+    /// `fine` was contracted along `m` into `c`.
+    fn on_contraction(&mut self, _fine: &Graph, _m: &Matching, _c: &Contraction) {}
+
+    /// Coarsening finished with this hierarchy.
+    fn on_hierarchy(&mut self, _h: &Hierarchy) {}
+
+    /// The finest graph was embedded.
+    fn on_embedding(&mut self, _g: &Graph, _coords: &[Point2]) {}
+
+    /// Geometric partitioning produced `geo` (before strip refinement).
+    fn on_geo_partition(&mut self, _g: &Graph, _geo: &GeoPartResult) {}
+
+    /// Strip FM finished; `bi` is the refined bisection.
+    fn on_refined(&mut self, _g: &Graph, _bi: &Bisection, _st: &FmStats) {}
+}
+
+/// The explicit do-nothing observer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {}

@@ -1,10 +1,11 @@
 //! The ScalaPart pipeline: coarsen → embed → partition → strip-refine.
 
 use crate::config::SpConfig;
+use crate::observe::{NoopObserver, PipelineObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sp_coarsen::{contract, parallel_hem, Hierarchy, Level};
-use sp_embed::multilevel_lattice_embed;
+use sp_embed::{lattice_smooth_with, multilevel_lattice_embed_with, Smoother};
 use sp_geometry::Point2;
 use sp_geopart::parallel_geometric_partition;
 use sp_graph::distr::Distribution;
@@ -48,6 +49,31 @@ pub struct SpResult {
 
 /// Run the full ScalaPart pipeline on `machine`.
 pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpResult {
+    scalapart_bisect_with(g, machine, cfg, &mut NoopObserver, &mut lattice_smooth_with)
+}
+
+/// [`scalapart_bisect`] with a checkpoint observer (see
+/// [`PipelineObserver`]).
+pub fn scalapart_bisect_observed(
+    g: &Graph,
+    machine: &mut Machine,
+    cfg: &SpConfig,
+    obs: &mut dyn PipelineObserver,
+) -> SpResult {
+    scalapart_bisect_with(g, machine, cfg, obs, &mut lattice_smooth_with)
+}
+
+/// [`scalapart_bisect`] with a checkpoint observer *and* a pluggable
+/// lattice smoother. The differential tests pass the pre-optimization
+/// reference smoother here: every other stage is the same code, so any
+/// output divergence indicts the optimized smoothing kernel alone.
+pub fn scalapart_bisect_with(
+    g: &Graph,
+    machine: &mut Machine,
+    cfg: &SpConfig,
+    obs: &mut dyn PipelineObserver,
+    smoother: Smoother<'_>,
+) -> SpResult {
     let p = machine.p();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -55,7 +81,8 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
     // other contraction so retained levels shrink ≈ 4×).
     machine.phase(Phase::Coarsen);
     let t0 = machine.elapsed();
-    let hierarchy = coarsen_parallel(g, machine, cfg, &mut rng);
+    let hierarchy = coarsen_parallel(g, machine, cfg, &mut rng, obs);
+    obs.on_hierarchy(&hierarchy);
     machine.barrier();
     let t1 = machine.elapsed();
 
@@ -63,7 +90,8 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
     machine.phase(Phase::Embed);
     let mut embed_cfg = cfg.embed;
     embed_cfg.seed = cfg.embed.seed ^ cfg.seed;
-    let coords = multilevel_lattice_embed(&hierarchy, machine, &embed_cfg);
+    let coords = multilevel_lattice_embed_with(&hierarchy, machine, &embed_cfg, smoother);
+    obs.on_embedding(g, &coords);
     machine.barrier();
     let t2 = machine.elapsed();
 
@@ -71,6 +99,7 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
     machine.phase(Phase::Partition);
     let dist = Distribution::block(g.n(), p);
     let geo = parallel_geometric_partition(g, &coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
+    obs.on_geo_partition(g, &geo);
     let mut bisection = geo.bisection;
     let cut_before_refine = geo.cut;
     let mut strip_size = 0;
@@ -79,6 +108,7 @@ pub fn scalapart_bisect(g: &Graph, machine: &mut Machine, cfg: &SpConfig) -> SpR
         let movable = strip_around_separator(&geo.separator.signed, target);
         strip_size = movable.iter().filter(|&&b| b).count();
         let st = fm_refine(g, &mut bisection, Some(&movable), &cfg.fm);
+        obs.on_refined(g, &bisection, &st);
         // Strip FM cost: the strip is distributed over ranks; charge its
         // ops split across P plus one consensus collective per pass —
         // "negligible" per the paper, and it is.
@@ -185,6 +215,7 @@ fn coarsen_parallel(
     machine: &mut Machine,
     cfg: &SpConfig,
     rng: &mut StdRng,
+    obs: &mut dyn PipelineObserver,
 ) -> Hierarchy {
     let p = machine.p();
     let mut levels = vec![Level {
@@ -196,7 +227,10 @@ fn coarsen_parallel(
         if cur.n() <= cfg.coarsen.target_coarsest || levels.len() > cfg.coarsen.max_levels {
             break;
         }
-        let step = |graph: &Graph, machine: &mut Machine, rng: &mut StdRng| {
+        let step = |graph: &Graph,
+                    machine: &mut Machine,
+                    rng: &mut StdRng,
+                    obs: &mut dyn PipelineObserver| {
             let dist = Distribution::block(graph.n(), p);
             let matching = parallel_hem(
                 graph,
@@ -205,7 +239,9 @@ fn coarsen_parallel(
                 cfg.matching_rounds,
                 rng.random::<u64>(),
             );
+            obs.on_matching(graph, &matching);
             let c = contract(graph, &matching);
+            obs.on_contraction(graph, &matching, &c);
             // Contraction cost: local edges plus ghost-id exchange.
             let mut states: Vec<()> = vec![(); p];
             let edges_per_rank = (graph.m() / p).max(1) as f64;
@@ -220,10 +256,10 @@ fn coarsen_parallel(
             }
             c
         };
-        let c1 = step(cur, machine, rng);
+        let c1 = step(cur, machine, rng, obs);
         let (coarse, map) =
             if cfg.coarsen.keep_every_other && c1.coarse.n() > cfg.coarsen.target_coarsest {
-                let c2 = step(&c1.coarse, machine, rng);
+                let c2 = step(&c1.coarse, machine, rng, obs);
                 let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
                 (c2.coarse, composed)
             } else {

@@ -15,5 +15,8 @@ pub use force::ForceParams;
 pub use lattice::{
     lattice_smooth, lattice_smooth_with, LatticeConfig, LatticeStats, SmoothScratch,
 };
-pub use multilevel::{multilevel_lattice_embed, MultilevelEmbedConfig};
+pub use metrics::check_embedding;
+pub use multilevel::{
+    multilevel_lattice_embed, multilevel_lattice_embed_with, MultilevelEmbedConfig, Smoother,
+};
 pub use seq::{embed_multilevel_seq, force_layout, random_init, SeqEmbedConfig};

@@ -49,6 +49,32 @@ pub fn edge_length_stats(g: &Graph, coords: &[Point2]) -> EdgeLengthStats {
     }
 }
 
+/// Structural validity of an embedding: one finite coordinate per vertex,
+/// and (for graphs with edges) a non-degenerate spread — a collapsed
+/// embedding where every vertex sits on one point cannot support
+/// geometric partitioning. Used by sp-verify's embed checkpoint.
+pub fn check_embedding(g: &Graph, coords: &[Point2]) -> Result<(), String> {
+    if coords.len() != g.n() {
+        return Err(format!(
+            "embedding has {} coordinates for {} vertices",
+            coords.len(),
+            g.n()
+        ));
+    }
+    for (v, c) in coords.iter().enumerate() {
+        if !c.is_finite() {
+            return Err(format!("vertex {v} has non-finite coordinates {c:?}"));
+        }
+    }
+    if g.m() > 0 {
+        let first = coords[0];
+        if coords.iter().all(|c| (*c - first).norm() < 1e-12) {
+            return Err("embedding collapsed to a single point".to_string());
+        }
+    }
+    Ok(())
+}
+
 /// Bounding-box diagonal over mean edge length: how far the embedding
 /// spreads relative to local structure. Degenerate (collapsed) embeddings
 /// have spread ≈ 1.

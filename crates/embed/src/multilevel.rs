@@ -7,7 +7,7 @@
 //! fixed-lattice iterations.
 
 use crate::force::ForceParams;
-use crate::lattice::{lattice_smooth_with, LatticeConfig, SmoothScratch};
+use crate::lattice::{lattice_smooth_with, LatticeConfig, LatticeStats, SmoothScratch};
 use crate::seq::{force_layout, random_init};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -93,6 +93,20 @@ fn replicated_smooth(
     }
 }
 
+/// A pluggable lattice smoother with the signature of
+/// [`lattice_smooth_with`]. The differential tests swap in the
+/// pre-optimization reference smoother here while keeping every other
+/// pipeline stage identical, so any divergence is attributable to the
+/// optimized smoothing kernel alone.
+pub type Smoother<'a> = &'a mut dyn FnMut(
+    &sp_graph::Graph,
+    &mut [Point2],
+    usize,
+    &mut Machine,
+    &LatticeConfig,
+    &mut SmoothScratch,
+) -> LatticeStats;
+
 /// Embed the hierarchy's finest graph by multilevel lattice embedding on
 /// `machine`, charging all computation and communication. Returns finest
 /// coordinates.
@@ -100,6 +114,17 @@ pub fn multilevel_lattice_embed(
     h: &Hierarchy,
     machine: &mut Machine,
     cfg: &MultilevelEmbedConfig,
+) -> Vec<Point2> {
+    multilevel_lattice_embed_with(h, machine, cfg, &mut lattice_smooth_with)
+}
+
+/// [`multilevel_lattice_embed`] with a caller-supplied lattice smoother
+/// for the distributed (large-level) smoothing stages.
+pub fn multilevel_lattice_embed_with(
+    h: &Hierarchy,
+    machine: &mut Machine,
+    cfg: &MultilevelEmbedConfig,
+    smoother: Smoother<'_>,
 ) -> Vec<Point2> {
     let p = machine.p();
     let k = h.depth() - 1;
@@ -206,7 +231,7 @@ pub fn multilevel_lattice_embed(
         // Smooth: distributed fixed-lattice scheme for big levels,
         // replicated force layout below the pays-off threshold.
         if q_lvl >= 2 && fine.n() > REPLICATION_THRESHOLD {
-            lattice_smooth_with(
+            smoother(
                 fine,
                 &mut fc,
                 q_lvl,

@@ -22,6 +22,43 @@ pub struct GeoPartResult {
     pub try_cuts: Vec<usize>,
 }
 
+impl GeoPartResult {
+    /// Structural validity against the graph the result partitions: the
+    /// bisection is a valid two-way partition, its sides agree with the
+    /// separator's signed distances, and the reported cut is exactly the
+    /// bisection's recomputed edge cut. Used by sp-verify's partition
+    /// checkpoint.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        self.bisection
+            .validate(g)
+            .map_err(|e| format!("bisection invalid: {e}"))?;
+        if self.separator.signed.len() != g.n() {
+            return Err(format!(
+                "separator has {} signed values for {} vertices",
+                self.separator.signed.len(),
+                g.n()
+            ));
+        }
+        for v in 0..g.n() as u32 {
+            if self.separator.side(v) != self.bisection.side(v) {
+                return Err(format!(
+                    "vertex {v}: separator side {} != bisection side {}",
+                    self.separator.side(v),
+                    self.bisection.side(v)
+                ));
+            }
+        }
+        let recomputed = self.bisection.cut_edges(g);
+        if recomputed != self.cut {
+            return Err(format!(
+                "reported cut {} != recomputed edge cut {recomputed}",
+                self.cut
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Partition `g` using the embedded `coords` with the given try policy.
 ///
 /// Every great-circle try is shifted to the sample median of its projection
@@ -154,11 +191,27 @@ mod tests {
         let coords = grid_2d_coords(24, 24);
         let mut rng = StdRng::seed_from_u64(1);
         let r = geometric_partition(&g, &coords, &GeoConfig::g30(), &mut rng);
-        r.bisection.validate(&g).unwrap();
+        r.validate(&g).unwrap();
         // Optimal straight cut = 24; a geometric cut should land within ~2×.
         assert!(r.cut <= 52, "cut {}", r.cut);
         assert!(r.bisection.imbalance(&g) < 0.11);
         assert_eq!(r.cut, r.bisection.cut_edges(&g));
+    }
+
+    #[test]
+    fn validate_rejects_tampered_results() {
+        let g = grid_2d(10, 10);
+        let coords = grid_2d_coords(10, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = geometric_partition(&g, &coords, &GeoConfig::g30(), &mut rng);
+        r.validate(&g).unwrap();
+        r.cut += 1;
+        assert!(r.validate(&g).unwrap_err().contains("recomputed"));
+        r.cut -= 1;
+        let v = 0u32;
+        r.bisection.flip(v);
+        let err = r.validate(&g).unwrap_err();
+        assert!(err.contains("side") || err.contains("cut"), "{err}");
     }
 
     #[test]

@@ -25,10 +25,12 @@
 //! clock, then export Chrome trace JSON or aggregate metrics from it.
 
 pub mod cost;
+pub mod fuzz;
 pub mod machine;
 pub mod words;
 
 pub use cost::CostModel;
+pub use fuzz::{Perturbation, Schedule};
 pub use machine::{Machine, PhaseBreakdown};
 pub use words::{CostOnly, Words};
 

@@ -2,6 +2,7 @@
 //! point-to-point exchange, and collectives.
 
 use crate::cost::CostModel;
+use crate::fuzz::{Perturbation, Schedule};
 use crate::words::{CostOnly, Words};
 use rayon::prelude::*;
 use sp_trace::{CollectiveKind, MachineStats, Phase, Recorder};
@@ -61,6 +62,18 @@ pub struct Machine {
     xch_send_done: Vec<f64>,
     xch_recv_cost: Vec<f64>,
     xch_sender_bound: Vec<f64>,
+    /// Schedule fuzzer (see `fuzz::Schedule`): permutes host execution
+    /// order and message arrival order. `None` (the default) runs the
+    /// canonical schedule. Simulated clocks are charged in rank order and
+    /// inboxes are canonically re-sorted either way, so a schedule must
+    /// never change results — that is exactly the property sp-verify fuzzes.
+    schedule: Option<Schedule>,
+    /// Per-rank compute-slowdown factors; empty = unperturbed. Kept as a
+    /// separate emptiness-gated vector so the unperturbed fast path does
+    /// not even multiply by 1.0.
+    skew: Vec<f64>,
+    /// Extra simulated seconds added to every collective's completion time.
+    collective_delay: f64,
 }
 
 impl Machine {
@@ -82,6 +95,46 @@ impl Machine {
             xch_send_done: vec![0.0; p],
             xch_recv_cost: vec![0.0; p],
             xch_sender_bound: vec![0.0; p],
+            schedule: None,
+            skew: Vec::new(),
+            collective_delay: 0.0,
+        }
+    }
+
+    /// Install a schedule fuzzer: subsequent supersteps run their rank
+    /// closures in seed-determined host order and exchanges shuffle message
+    /// arrival before the canonical `(source, sequence)` sort. Legal
+    /// schedules must not change simulated time or delivered data.
+    pub fn set_schedule(&mut self, sched: Schedule) {
+        self.schedule = Some(sched);
+    }
+
+    /// The installed schedule's seed, if any (for failure reports).
+    pub fn schedule_seed(&self) -> Option<u64> {
+        self.schedule.as_ref().map(|s| s.seed)
+    }
+
+    /// Install a timing perturbation (compute skew, collective delay).
+    /// Perturbations change simulated time but must never change data.
+    pub fn set_perturbation(&mut self, pert: &Perturbation) {
+        self.skew = if pert.compute_skew > 0.0 {
+            pert.skew_factors(self.p)
+        } else {
+            Vec::new()
+        };
+        assert!(
+            pert.collective_delay >= 0.0,
+            "collectives cannot finish early"
+        );
+        self.collective_delay = pert.collective_delay;
+    }
+
+    #[inline]
+    fn skewed(&self, rank: usize, dt: f64) -> f64 {
+        if self.skew.is_empty() {
+            dt
+        } else {
+            dt * self.skew[rank]
         }
     }
 
@@ -206,14 +259,31 @@ impl Machine {
         F: Fn(usize, &mut S) -> f64 + Sync,
     {
         assert_eq!(states.len(), self.p, "one state per rank");
-        let ops: Vec<f64> = states
-            .par_iter_mut()
-            .enumerate()
-            .map(|(r, s)| f(r, s))
-            .collect();
+        let ops: Vec<f64> = if let Some(sched) = self.schedule.as_mut() {
+            // Fuzzed schedule: run the closures in a seed-determined host
+            // order. Results land by rank and the charging loop below stays
+            // in rank order, so a correct SPMD superstep (closures touch
+            // only their own state) is schedule-invariant by construction.
+            let pos = sched.permutation(self.p);
+            let mut slots: Vec<(usize, &mut S)> = states.iter_mut().enumerate().collect();
+            slots.sort_by_key(|&(r, _)| pos[r]);
+            let pairs: Vec<(usize, f64)> =
+                slots.into_par_iter().map(|(r, s)| (r, f(r, s))).collect();
+            let mut ops = vec![0.0; self.p];
+            for (r, o) in pairs {
+                ops[r] = o;
+            }
+            ops
+        } else {
+            states
+                .par_iter_mut()
+                .enumerate()
+                .map(|(r, s)| f(r, s))
+                .collect()
+        };
         let phase = self.phase;
         for (r, o) in ops.into_iter().enumerate() {
-            let dt = o * self.cost.t_op;
+            let dt = self.skewed(r, o * self.cost.t_op);
             let start = self.clock[r];
             self.clock[r] += dt;
             self.clock_max = self.clock_max.max(self.clock[r]);
@@ -229,7 +299,7 @@ impl Machine {
     /// Charge compute ops to a single rank without running anything (for
     /// cost-only modelling of work already done on the data).
     pub fn charge_ops(&mut self, rank: usize, ops: f64) {
-        let dt = ops * self.cost.t_op;
+        let dt = self.skewed(rank, ops * self.cost.t_op);
         let start = self.clock[rank];
         self.clock[rank] += dt;
         self.clock_max = self.clock_max.max(self.clock[rank]);
@@ -265,6 +335,9 @@ impl Machine {
             .collect();
         self.charge_exchange(&meta);
         // Deliver (no further charging).
+        if self.schedule.is_some() {
+            return self.deliver_fuzzed(out);
+        }
         let mut inbox: Vec<Vec<(usize, M)>> = (0..self.p).map(|_| Vec::new()).collect();
         for (r, msgs) in out.into_iter().enumerate() {
             for (d, m) in msgs {
@@ -273,6 +346,32 @@ impl Machine {
         }
         for msgs in &mut inbox {
             msgs.sort_by_key(|(s, _)| *s);
+        }
+        inbox
+    }
+
+    /// Fuzzed delivery: tag each message with `(source, send sequence)`,
+    /// shuffle the arrival order at every destination, then canonically
+    /// re-sort. The sequence tag makes the sort a total order, so the
+    /// delivered inbox is provably identical to the unfuzzed path — what
+    /// the fuzzer exercises is any *consumer* that would accidentally
+    /// depend on arrival order (and the sort's stability assumptions).
+    fn deliver_fuzzed<M: Send>(&mut self, out: Vec<Vec<(usize, M)>>) -> Vec<Vec<(usize, M)>> {
+        let sched = self
+            .schedule
+            .as_mut()
+            .expect("fuzzed delivery needs a schedule");
+        let mut tagged: Vec<Vec<(usize, usize, M)>> = (0..self.p).map(|_| Vec::new()).collect();
+        for (r, msgs) in out.into_iter().enumerate() {
+            for (seq, (d, m)) in msgs.into_iter().enumerate() {
+                tagged[d].push((r, seq, m));
+            }
+        }
+        let mut inbox: Vec<Vec<(usize, M)>> = Vec::with_capacity(self.p);
+        for mut msgs in tagged {
+            sched.shuffle(&mut msgs);
+            msgs.sort_by_key(|&(s, q, _)| (s, q));
+            inbox.push(msgs.into_iter().map(|(s, _, m)| (s, m)).collect());
         }
         inbox
     }
@@ -364,6 +463,12 @@ impl Machine {
     /// Synchronise ranks `0..active` at time `t`, charging the wait to
     /// communication and emitting one collective event.
     fn sync_collective(&mut self, active: usize, t: f64, kind: CollectiveKind, words: usize) {
+        // Perturbation: a delayed collective completes late for everyone.
+        let t = if self.collective_delay > 0.0 {
+            t + self.collective_delay
+        } else {
+            t
+        };
         let starts = if self.recorder.is_some() {
             Some(self.clock[..active].to_vec())
         } else {
@@ -1004,7 +1109,7 @@ mod tests {
             vec![],
         ]);
         check(&m);
-        m.exchange_costed(&vec![
+        m.exchange_costed(&[
             vec![(3usize, CostOnly::new(50))],
             vec![],
             vec![],
@@ -1032,7 +1137,7 @@ mod tests {
             m.set_recorder(Box::new(TraceRecorder::new(3)));
             m.phase(Phase::Embed);
             if costed {
-                m.exchange_costed(&vec![
+                m.exchange_costed(&[
                     vec![(1, CostOnly::new(4)), (2, CostOnly::new(2))],
                     vec![(2, CostOnly::new(8))],
                     vec![],
@@ -1048,6 +1153,130 @@ mod tests {
             format!("{:?}", rec.events())
         };
         assert_eq!(events(false), events(true));
+    }
+
+    #[test]
+    fn fuzzed_schedule_is_invisible_to_results_and_clocks() {
+        let cost = CostModel::qdr_infiniband();
+        let run = |sched: Option<Schedule>| {
+            let mut m = Machine::new(4, cost);
+            if let Some(s) = sched {
+                m.set_schedule(s);
+            }
+            let mut states = vec![0u64; 4];
+            m.compute(&mut states, |r, s| {
+                *s = (r as u64 + 1) * 10;
+                (r + 1) as f64 * 100.0
+            });
+            let out = vec![
+                vec![(1usize, vec![10u64, 11]), (2usize, vec![12u64])],
+                vec![(2usize, vec![21u64]), (0usize, vec![20u64])],
+                vec![(3usize, vec![32u64])],
+                vec![(2usize, vec![31u64])],
+            ];
+            let inbox = m.exchange(out);
+            m.allreduce_sum_costed(3);
+            (states, inbox, m.clock.clone(), m.comm.clone(), m.elapsed())
+        };
+        let base = run(None);
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let fuzzed = run(Some(Schedule::seeded(seed)));
+            assert_eq!(base, fuzzed, "schedule seed {seed} changed the run");
+        }
+    }
+
+    #[test]
+    fn fuzzed_delivery_preserves_per_source_send_order() {
+        // Two messages from the same source to the same destination must
+        // arrive in send order under every schedule.
+        let mut m = Machine::new(2, free());
+        m.set_schedule(Schedule::seeded(99));
+        let out = vec![
+            vec![
+                (1usize, vec![1u64]),
+                (1usize, vec![2u64]),
+                (1usize, vec![3u64]),
+            ],
+            vec![],
+        ];
+        let inbox = m.exchange(out);
+        assert_eq!(
+            inbox[1],
+            vec![(0, vec![1u64]), (0, vec![2u64]), (0, vec![3u64])]
+        );
+    }
+
+    #[test]
+    fn compute_skew_slows_time_but_keeps_accounting_consistent() {
+        let cost = CostModel::qdr_infiniband();
+        let run = |pert: Option<Perturbation>| {
+            let mut m = Machine::new(4, cost);
+            if let Some(p) = pert {
+                m.set_perturbation(&p);
+            }
+            let mut states = vec![0u64; 4];
+            m.compute(&mut states, |r, s| {
+                *s = r as u64;
+                1000.0
+            });
+            m.charge_ops(2, 500.0);
+            m.allreduce_sum_costed(1);
+            (
+                states,
+                m.elapsed(),
+                m.clock.clone(),
+                m.comp.clone(),
+                m.comm.clone(),
+            )
+        };
+        let (base_states, base_elapsed, ..) = run(None);
+        let pert = Perturbation {
+            compute_skew: 0.4,
+            collective_delay: 0.0,
+            seed: 5,
+        };
+        let (states, elapsed, clock, comp, comm) = run(Some(pert));
+        // Data unchanged; time only ever grows.
+        assert_eq!(states, base_states);
+        assert!(elapsed >= base_elapsed);
+        // Accounting stays consistent: clock = comp + comm per rank.
+        for r in 0..4 {
+            assert!((clock[r] - (comp[r] + comm[r])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn collective_delay_charges_comm_only() {
+        let cost = free();
+        let mut a = Machine::new(2, cost);
+        let mut b = Machine::new(2, cost);
+        b.set_perturbation(&Perturbation {
+            compute_skew: 0.0,
+            collective_delay: 2.5,
+            seed: 0,
+        });
+        a.barrier();
+        b.barrier();
+        assert_eq!(b.elapsed(), a.elapsed() + 2.5);
+        assert_eq!(b.comp_time(), a.comp_time());
+        assert_eq!(b.comm_time(), a.comm_time() + 2.5);
+    }
+
+    #[test]
+    fn zero_perturbation_is_bit_exact_identity() {
+        let cost = CostModel::qdr_infiniband();
+        let run = |pert: bool| {
+            let mut m = Machine::new(3, cost);
+            if pert {
+                m.set_perturbation(&Perturbation::default());
+            }
+            let mut s = vec![(); 3];
+            m.compute(&mut s, |r, _| (r * r + 1) as f64 * 0.1);
+            let _ = m.exchange(vec![vec![(1usize, vec![0u64; 3])], vec![], vec![]]);
+            m.barrier();
+            (m.clock.clone(), m.elapsed())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

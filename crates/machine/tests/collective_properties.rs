@@ -1,0 +1,164 @@
+//! Property tests for the machine's collectives against serial oracles:
+//! data results equal what a sequential reduction computes, `_costed`
+//! variants charge identical simulated time to their data-carrying twins,
+//! and a fuzzed schedule never changes results or clocks.
+
+use proptest::prelude::*;
+use sp_machine::{CostModel, Machine, Schedule};
+
+fn arb_cost() -> impl Strategy<Value = CostModel> {
+    (1e-7f64..1e-4, 1e-9f64..1e-6, 1e-10f64..1e-7).prop_map(|(t_s, t_w, t_op)| CostModel {
+        t_s,
+        t_w,
+        t_op,
+    })
+}
+
+/// A machine with every rank's clock desynchronised by some prior compute,
+/// so collectives start from a non-trivial state.
+fn warmed(p: usize, cost: CostModel, work: &[f64]) -> Machine {
+    let mut m = Machine::new(p, cost);
+    let mut s = vec![(); p];
+    m.compute(&mut s, |r, _| work[r % work.len()].abs());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allgather_matches_serial_concatenation(
+        cost in arb_cost(),
+        p in 1usize..12,
+        lens in prop::collection::vec(0usize..5, 1..12),
+    ) {
+        let mut m = Machine::new(p, cost);
+        let contrib: Vec<Vec<u64>> = (0..p)
+            .map(|r| (0..lens[r % lens.len()]).map(|i| (r * 100 + i) as u64).collect())
+            .collect();
+        let expect: Vec<u64> = contrib.iter().flatten().copied().collect();
+        let got = m.allgather(contrib);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn allreduce_min_index_matches_serial_argmin(
+        cost in arb_cost(),
+        keys in prop::collection::vec(-1e9f64..1e9, 1..12),
+    ) {
+        let p = keys.len();
+        let mut m = Machine::new(p, cost);
+        let got = m.allreduce_min_index(&keys);
+        let expect = keys
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn group_collectives_match_serial_oracle_over_active_prefix(
+        cost in arb_cost(),
+        p in 1usize..12,
+        active in 1usize..12,
+        len in 0usize..5,
+        work in prop::collection::vec(0.0f64..1e4, 1..6),
+    ) {
+        let active = active.min(p);
+        let mut m = warmed(p, cost, &work);
+
+        let contrib: Vec<Vec<f64>> = (0..p)
+            .map(|r| {
+                if r < active {
+                    (0..len).map(|i| (r + 1) as f64 * (i + 1) as f64).collect()
+                } else {
+                    vec![0.0; len]
+                }
+            })
+            .collect();
+        let got = m.group_allreduce_sum(active, &contrib);
+        for (i, g) in got.iter().enumerate() {
+            let expect: f64 = (0..active).map(|r| (r + 1) as f64 * (i + 1) as f64).sum();
+            prop_assert!((g - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+        }
+
+        let gather: Vec<Vec<u64>> = (0..p)
+            .map(|r| if r < active { vec![r as u64; 2] } else { Vec::new() })
+            .collect();
+        let expect: Vec<u64> = gather.iter().flatten().copied().collect();
+        let got = m.group_allgather(active, gather);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn costed_variants_charge_identical_time(
+        cost in arb_cost(),
+        p in 1usize..12,
+        active in 1usize..12,
+        len in 0usize..6,
+        work in prop::collection::vec(0.0f64..1e4, 1..6),
+    ) {
+        let active = active.min(p);
+        // Two machines stepped identically: one through the data-carrying
+        // collectives, one through the cost-only twins. Clocks must agree
+        // to the bit at every step.
+        let mut a = warmed(p, cost, &work);
+        let mut b = warmed(p, cost, &work);
+
+        a.allreduce_sum(&vec![vec![1.0; len]; p]);
+        b.allreduce_sum_costed(len);
+        prop_assert_eq!(a.elapsed().to_bits(), b.elapsed().to_bits());
+
+        let contrib: Vec<Vec<u64>> = (0..p).map(|r| vec![r as u64; len]).collect();
+        a.allgather(contrib);
+        b.allgather_costed(p * len);
+        prop_assert_eq!(a.elapsed().to_bits(), b.elapsed().to_bits());
+
+        let gather: Vec<Vec<u64>> = (0..p)
+            .map(|r| if r < active { vec![r as u64; len] } else { Vec::new() })
+            .collect();
+        a.group_allgather(active, gather);
+        b.group_allgather_costed(active, active * len);
+        prop_assert_eq!(a.elapsed().to_bits(), b.elapsed().to_bits());
+
+        let contrib: Vec<Vec<f64>> = (0..p)
+            .map(|r| if r < active { vec![r as f64; len] } else { vec![0.0; len] })
+            .collect();
+        a.group_allreduce_sum(active, &contrib);
+        b.group_allreduce_sum_costed(active, len);
+        prop_assert_eq!(a.elapsed().to_bits(), b.elapsed().to_bits());
+
+        prop_assert_eq!(a.comm_time().to_bits(), b.comm_time().to_bits());
+    }
+
+    #[test]
+    fn fuzzed_schedule_never_changes_collective_results_or_clocks(
+        cost in arb_cost(),
+        p in 2usize..10,
+        seed in any::<u64>(),
+        work in prop::collection::vec(0.0f64..1e4, 1..6),
+    ) {
+        let run = |sched: Option<Schedule>| {
+            let mut m = Machine::new(p, cost);
+            if let Some(s) = sched {
+                m.set_schedule(s);
+            }
+            let mut st = vec![(); p];
+            m.compute(&mut st, |r, _| work[r % work.len()]);
+            let red = m.allreduce_sum(&(0..p).map(|r| vec![r as f64, 1.0]).collect::<Vec<_>>());
+            let gat = m.allgather((0..p).map(|r| vec![r as u64]).collect());
+            let mut out: Vec<Vec<(usize, Vec<u64>)>> = vec![Vec::new(); p];
+            for s in 0..p {
+                out[s].push(((s + 1) % p, vec![s as u64]));
+                out[s].push(((s + 2) % p, vec![(s * 7) as u64]));
+            }
+            let inbox = m.exchange(out);
+            (red, gat, inbox, m.elapsed().to_bits())
+        };
+        let base = run(None);
+        let fuzz = run(Some(Schedule::seeded(seed)));
+        prop_assert_eq!(base, fuzz);
+    }
+}

@@ -7,9 +7,11 @@
 pub mod band;
 pub mod fm;
 pub mod kl;
+pub mod naive;
 pub mod strip;
 
 pub use band::band_by_hops;
 pub use fm::{fm_refine, FmConfig, FmStats};
 pub use kl::kl_refine;
+pub use naive::naive_fm_refine;
 pub use strip::strip_around_separator;

@@ -1,0 +1,239 @@
+//! Cross-checking a captured trace against the machine's own accounting.
+//!
+//! The recorder and the `MachineStats` snapshot are produced by two
+//! independent code paths inside the machine (event emission vs clock
+//! charging). [`crosscheck`] verifies they tell the same story — every
+//! send has a matching receive, per-rank compute durations sum to the
+//! rank's charged compute time, and no event extends past the simulated
+//! horizon. sp-verify runs this after every fuzzed pipeline execution, so
+//! a divergence between what the machine *did* and what it *charged*
+//! surfaces as an invariant violation rather than a silently wrong figure.
+
+use crate::metrics::MachineStats;
+use crate::recorder::{Event, TraceRecorder};
+use std::collections::HashMap;
+
+/// Relative/absolute tolerance for comparing sums of f64 durations that
+/// were accumulated in different orders.
+const EPS: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Verify a trace against the machine's accounting snapshot.
+///
+/// Checks:
+/// * every event lies within `[0, stats.elapsed]`;
+/// * point-to-point sends and receives pair up exactly (same
+///   `(src, dst, words)` multiset on both sides);
+/// * per-rank `Compute` durations sum to `stats.rank_comp[r]`;
+/// * collective participant counts never exceed `p`, and collectives end
+///   no earlier than any participant entered.
+///
+/// Returns the first inconsistency found, as a human-readable message.
+pub fn crosscheck(stats: &MachineStats, rec: &TraceRecorder) -> Result<(), String> {
+    if rec.p() != stats.p {
+        return Err(format!(
+            "recorder p = {} but stats p = {}",
+            rec.p(),
+            stats.p
+        ));
+    }
+    let horizon = stats.elapsed;
+    let mut sends: HashMap<(usize, usize, usize), i64> = HashMap::new();
+    let mut comp_sum = vec![0.0; stats.p];
+    for (i, e) in rec.events().iter().enumerate() {
+        let (start, end) = match e {
+            Event::Compute { start, dur, .. }
+            | Event::Send { start, dur, .. }
+            | Event::Recv { start, dur, .. } => (*start, start + dur),
+            Event::Collective { starts, end, .. } => {
+                (starts.iter().copied().fold(*end, f64::min), *end)
+            }
+            Event::Phase { start, end, .. } => (*start, *end),
+        };
+        if !(start.is_finite() && end.is_finite()) {
+            return Err(format!("event {i} has non-finite times: {e:?}"));
+        }
+        if start < -EPS || end < start - EPS {
+            return Err(format!("event {i} runs backwards: {e:?}"));
+        }
+        if end > horizon * (1.0 + EPS) + EPS {
+            return Err(format!(
+                "event {i} ends at {end} past the simulated horizon {horizon}: {e:?}"
+            ));
+        }
+        match e {
+            Event::Compute { rank, dur, .. } => {
+                if *rank >= stats.p {
+                    return Err(format!("compute event on rank {rank} >= p"));
+                }
+                comp_sum[*rank] += dur;
+            }
+            Event::Send {
+                src, dst, words, ..
+            } => {
+                *sends.entry((*src, *dst, *words)).or_insert(0) += 1;
+            }
+            Event::Recv {
+                src, dst, words, ..
+            } => {
+                *sends.entry((*src, *dst, *words)).or_insert(0) -= 1;
+            }
+            Event::Collective { starts, .. } => {
+                if starts.len() > stats.p {
+                    return Err(format!(
+                        "collective with {} participants on a {}-rank machine",
+                        starts.len(),
+                        stats.p
+                    ));
+                }
+            }
+            Event::Phase { .. } => {}
+        }
+    }
+    if let Some(((src, dst, words), n)) = sends.iter().find(|(_, &n)| n != 0) {
+        return Err(format!(
+            "unmatched p2p traffic: {src}->{dst} ({words} words) has send-recv imbalance {n}"
+        ));
+    }
+    for (r, (traced, charged)) in comp_sum.iter().zip(&stats.rank_comp).enumerate() {
+        if !close(*traced, *charged) {
+            return Err(format!(
+                "rank {r}: traced compute {traced} != charged compute {charged}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Internal-consistency check of the accounting snapshot alone (usable
+/// with or without a recorder): clocks are finite and non-negative,
+/// `elapsed` is the clock maximum, and each rank's clock equals its
+/// charged compute + communication time.
+pub fn check_accounting(stats: &MachineStats) -> Result<(), String> {
+    let fold = stats.rank_clock.iter().copied().fold(0.0_f64, f64::max);
+    if !close(fold, stats.elapsed) {
+        return Err(format!(
+            "elapsed {} != max rank clock {}",
+            stats.elapsed, fold
+        ));
+    }
+    for r in 0..stats.p {
+        let (clock, comp, comm) = (stats.rank_clock[r], stats.rank_comp[r], stats.rank_comm[r]);
+        if !(clock.is_finite() && comp.is_finite() && comm.is_finite()) {
+            return Err(format!("rank {r}: non-finite accounting"));
+        }
+        if clock < 0.0 || comp < 0.0 || comm < 0.0 {
+            return Err(format!(
+                "rank {r}: negative time (clock {clock}, comp {comp}, comm {comm})"
+            ));
+        }
+        if !close(comp + comm, clock) {
+            return Err(format!(
+                "rank {r}: comp {comp} + comm {comm} != clock {clock}"
+            ));
+        }
+    }
+    // Phase breakdowns accumulate the max-rank comp/comm share per phase
+    // span; a re-entered phase sums maxima that may come from different
+    // ranks each span. The sound bounds are therefore:
+    //   max_r rank_comp[r]  <=  sum_ph comp_ph  <=  sum_r rank_comp[r]
+    // (and likewise for comm).
+    let (mut ph_comp, mut ph_comm) = (0.0, 0.0);
+    for (ph, comp, comm) in &stats.phases {
+        if !(comp.is_finite() && comm.is_finite()) {
+            return Err(format!("phase {ph}: non-finite breakdown"));
+        }
+        if *comp < 0.0 || *comm < 0.0 {
+            return Err(format!("phase {ph}: negative breakdown"));
+        }
+        ph_comp += comp;
+        ph_comm += comm;
+    }
+    if !stats.phases.is_empty() {
+        let max_comp = stats.rank_comp.iter().copied().fold(0.0_f64, f64::max);
+        let max_comm = stats.rank_comm.iter().copied().fold(0.0_f64, f64::max);
+        let sum_comp: f64 = stats.rank_comp.iter().sum();
+        let sum_comm: f64 = stats.rank_comm.iter().sum();
+        let slack = |x: f64| EPS * (1.0 + x.abs());
+        if ph_comp < max_comp - slack(max_comp) || ph_comp > sum_comp + slack(sum_comp) {
+            return Err(format!(
+                "phase compute total {ph_comp} outside sound bounds [{max_comp}, {sum_comp}]"
+            ));
+        }
+        if ph_comm < max_comm - slack(max_comm) || ph_comm > sum_comm + slack(sum_comm) {
+            return Err(format!(
+                "phase comm total {ph_comm} outside sound bounds [{max_comm}, {sum_comm}]"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use crate::recorder::Recorder;
+
+    fn stats(p: usize, comp: Vec<f64>, comm: Vec<f64>) -> MachineStats {
+        let clock: Vec<f64> = comp.iter().zip(&comm).map(|(a, b)| a + b).collect();
+        MachineStats {
+            p,
+            elapsed: clock.iter().copied().fold(0.0, f64::max),
+            phases: vec![],
+            rank_comp: comp,
+            rank_comm: comm,
+            rank_clock: clock,
+        }
+    }
+
+    #[test]
+    fn consistent_trace_passes() {
+        let mut rec = TraceRecorder::new(2);
+        rec.on_compute(0, Phase::Coarsen, 0.0, 1.0, 10.0);
+        rec.on_send(Phase::Coarsen, 0, 1, 4, 1.0, 0.5);
+        rec.on_recv(Phase::Coarsen, 0, 1, 4, 1.5, 0.5);
+        let st = stats(2, vec![1.0, 0.0], vec![0.5, 2.0]);
+        crosscheck(&st, &rec).unwrap();
+        check_accounting(&st).unwrap();
+    }
+
+    #[test]
+    fn unmatched_send_is_reported() {
+        let mut rec = TraceRecorder::new(2);
+        rec.on_send(Phase::Coarsen, 0, 1, 4, 0.0, 0.5);
+        let st = stats(2, vec![0.0, 0.0], vec![0.5, 0.5]);
+        let err = crosscheck(&st, &rec).unwrap_err();
+        assert!(err.contains("unmatched"), "{err}");
+    }
+
+    #[test]
+    fn compute_mismatch_is_reported() {
+        let mut rec = TraceRecorder::new(1);
+        rec.on_compute(0, Phase::Embed, 0.0, 1.0, 5.0);
+        let st = stats(1, vec![2.0, 0.0][..1].to_vec(), vec![0.0]);
+        let err = crosscheck(&st, &rec).unwrap_err();
+        assert!(err.contains("charged compute"), "{err}");
+    }
+
+    #[test]
+    fn event_past_horizon_is_reported() {
+        let mut rec = TraceRecorder::new(1);
+        rec.on_compute(0, Phase::Embed, 0.0, 99.0, 5.0);
+        let st = stats(1, vec![1.0], vec![0.0]);
+        let err = crosscheck(&st, &rec).unwrap_err();
+        assert!(err.contains("horizon"), "{err}");
+    }
+
+    #[test]
+    fn broken_accounting_is_reported() {
+        let mut st = stats(2, vec![1.0, 2.0], vec![0.5, 0.0]);
+        st.rank_clock[1] = 5.0; // clock no longer comp + comm
+        st.elapsed = 5.0;
+        let err = check_accounting(&st).unwrap_err();
+        assert!(err.contains("clock"), "{err}");
+    }
+}

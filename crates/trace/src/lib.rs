@@ -29,12 +29,14 @@
 //! This crate is dependency-free; `sp-machine` depends on it and re-exports
 //! the commonly used items.
 
+pub mod check;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod phase;
 pub mod recorder;
 
+pub use check::{check_accounting, crosscheck};
 pub use metrics::{MachineStats, Metrics, PhaseMetrics, RankMetrics};
 pub use phase::{CollectiveKind, Phase};
 pub use recorder::{Event, NoopRecorder, Recorder, TraceRecorder};

@@ -1,0 +1,201 @@
+//! `verify` — run the deterministic-simulation verification suite from the
+//! command line. Exit code 0 means every fuzzed schedule produced
+//! bit-identical output with zero invariant violations; exit code 1 prints
+//! each violation with the seed that replays it.
+//!
+//! ```text
+//! verify [--ranks N] [--schedules N] [--seed HEX] [--graph grid:RxC|delaunay:N]
+//!        [--replay HEX] [--skip-perturb] [--self-test]
+//! ```
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_graph::gen::{delaunay_graph, grid_2d};
+use sp_graph::Graph;
+use sp_verify::{run_campaign, run_once, run_perturbations, FuzzConfig};
+
+struct Cli {
+    ranks: usize,
+    schedules: usize,
+    seed: u64,
+    graph: String,
+    replay: Option<u64>,
+    skip_perturb: bool,
+    self_test: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: verify [--ranks N] [--schedules N] [--seed HEX] \
+         [--graph grid:RxC|delaunay:N] [--replay HEX] [--skip-perturb] [--self-test]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_u64(s: &str) -> u64 {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.unwrap_or_else(|_| {
+        eprintln!("verify: bad number {s:?}");
+        usage()
+    })
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        ranks: 16,
+        schedules: 8,
+        seed: 0x5CA1_AB1E,
+        graph: "grid:48x48".to_string(),
+        replay: None,
+        skip_perturb: false,
+        self_test: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("verify: missing value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--ranks" => cli.ranks = parse_u64(&val()) as usize,
+            "--schedules" => cli.schedules = parse_u64(&val()) as usize,
+            "--seed" => cli.seed = parse_u64(&val()),
+            "--graph" => cli.graph = val(),
+            "--replay" => cli.replay = Some(parse_u64(&val())),
+            "--skip-perturb" => cli.skip_perturb = true,
+            "--self-test" => cli.self_test = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("verify: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn build_graph(spec: &str) -> Graph {
+    if let Some(dims) = spec.strip_prefix("grid:") {
+        let (r, c) = dims.split_once('x').unwrap_or_else(|| usage());
+        return grid_2d(parse_u64(r) as usize, parse_u64(c) as usize);
+    }
+    if let Some(n) = spec.strip_prefix("delaunay:") {
+        let mut rng = StdRng::seed_from_u64(0xDE1A);
+        return delaunay_graph(parse_u64(n) as usize, &mut rng).0;
+    }
+    eprintln!("verify: unknown graph spec {spec:?}");
+    usage()
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let g = build_graph(&cli.graph);
+    let cfg = FuzzConfig {
+        ranks: cli.ranks,
+        schedules: cli.schedules,
+        master_seed: cli.seed,
+        corrupt_vertex: None,
+        ..FuzzConfig::default()
+    };
+    println!(
+        "verify: graph {} (n={} m={}), {} ranks",
+        cli.graph,
+        g.n(),
+        g.m(),
+        cfg.ranks
+    );
+
+    if let Some(seed) = cli.replay {
+        // Replay a single failing schedule seed from a previous report.
+        let run = run_once(&g, &cfg, Some(seed));
+        println!(
+            "replay seed {seed:#018x}: fingerprint {:#018x}, elapsed {:.6}, {} checkpoint(s)",
+            run.fingerprint, run.elapsed, run.checkpoints
+        );
+        if run.ok() {
+            println!("replay: no violations");
+            return ExitCode::SUCCESS;
+        }
+        for v in &run.violations {
+            println!("replay: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+
+    if cli.self_test {
+        // Inject a deliberate fault and demand the checker catches it.
+        let mut bad = cfg.clone();
+        bad.corrupt_vertex = Some(11);
+        let report = run_campaign(&g, &bad);
+        let caught = report
+            .failures
+            .iter()
+            .any(|f| f.violations.iter().any(|v| v.invariant == "cut-accounting"));
+        let with_seed = report.failures.iter().any(|f| f.seed.is_some());
+        if caught && with_seed {
+            let f = report.failures.iter().find(|f| f.seed.is_some()).unwrap();
+            println!(
+                "self-test: OK — corrupted label caught ({} failure(s), replay seed {:#018x})",
+                report.failures.len(),
+                f.seed.unwrap()
+            );
+        } else {
+            println!("self-test: FAILED — injected corruption was NOT detected");
+            failed = true;
+        }
+    }
+
+    let report = run_campaign(&g, &cfg);
+    println!(
+        "fuzz: {} run(s) (baseline + {} schedule(s)), {} checkpoint(s)/run, fingerprint {:#018x}",
+        report.runs, cfg.schedules, report.checkpoints, report.baseline_fingerprint
+    );
+    if report.ok() {
+        println!("fuzz: all schedules bit-identical, zero violations");
+    } else {
+        failed = true;
+        for f in &report.failures {
+            match f.seed {
+                Some(s) => println!(
+                    "fuzz: FAILED under schedule seed {s:#018x} (replay with --replay {s:#x}):"
+                ),
+                None => println!("fuzz: FAILED on the baseline schedule:"),
+            }
+            for v in &f.violations {
+                println!("  {v}");
+            }
+        }
+    }
+
+    if !cli.skip_perturb {
+        let report = run_perturbations(&g, &cfg);
+        for s in &report.scenarios {
+            if s.ok() {
+                println!("perturb: {} OK", s.name);
+            } else {
+                failed = true;
+                for v in &s.violations {
+                    println!("perturb: {} FAILED: {v}", s.name);
+                }
+            }
+        }
+    }
+
+    if failed {
+        println!("verify: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("verify: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

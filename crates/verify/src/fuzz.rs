@@ -1,0 +1,245 @@
+//! The schedule-fuzzing campaign: run the full pipeline once on the
+//! canonical schedule, then repeatedly under fuzzed host-execution and
+//! message-delivery orders, checking every invariant and demanding
+//! bit-exact output equality. Every failure carries the derived schedule
+//! seed, so `--replay <seed>` (or `Schedule::seeded(seed)`) reproduces it.
+
+use scalapart::{scalapart_bisect_observed, SpConfig, SpResult};
+use sp_graph::Graph;
+use sp_machine::{CostModel, Machine, Schedule};
+use sp_trace::TraceRecorder;
+
+use crate::invariants::{InvariantChecker, Violation};
+use crate::rng::{derive_seed, Fingerprint};
+
+/// Configuration of one fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Simulated ranks.
+    pub ranks: usize,
+    /// Fuzzed schedules to run beyond the canonical baseline.
+    pub schedules: usize,
+    /// Master seed; schedule `i` runs under `derive_seed(master_seed, i)`.
+    pub master_seed: u64,
+    /// Pipeline configuration shared by every run.
+    pub sp: SpConfig,
+    /// Allowed final imbalance (passed to the invariant checker).
+    pub balance_bound: f64,
+    /// Self-test hook: corrupt this vertex's partition label after the
+    /// pipeline but before the final checks. The campaign must then fail.
+    pub corrupt_vertex: Option<u32>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            ranks: 16,
+            schedules: 8,
+            master_seed: 0x5CA1_AB1E,
+            sp: SpConfig::default(),
+            balance_bound: 0.15,
+            corrupt_vertex: None,
+        }
+    }
+}
+
+/// Outcome of a single pipeline run under one schedule.
+pub struct RunOutcome {
+    /// Schedule seed, or `None` for the canonical baseline schedule.
+    pub seed: Option<u64>,
+    /// Fingerprint over all output data (labels, coords, cut) AND the
+    /// simulated clock — the full bit-exactness contract.
+    pub fingerprint: u64,
+    /// Fingerprint over output data only (no simulated time); used by
+    /// perturbation scenarios where time may legitimately move.
+    pub data_fingerprint: u64,
+    /// Simulated elapsed time.
+    pub elapsed: f64,
+    /// Everything that broke.
+    pub violations: Vec<Violation>,
+    /// Checkpoints the invariant checker inspected.
+    pub checkpoints: usize,
+}
+
+impl RunOutcome {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Fingerprint a pipeline result: partition labels, coordinate bits, cut
+/// statistics, and (optionally) the simulated clock.
+pub fn fingerprint_result(g: &Graph, r: &SpResult, include_time: bool) -> u64 {
+    let mut fp = Fingerprint::new();
+    for v in 0..g.n() {
+        fp.byte(r.bisection.side(v as u32));
+    }
+    for c in &r.coords {
+        fp.f64_bits(c.x);
+        fp.f64_bits(c.y);
+    }
+    fp.u64(r.cut as u64);
+    fp.u64(r.cut_before_refine as u64);
+    fp.f64_bits(r.imbalance);
+    if include_time {
+        fp.f64_bits(r.total_time);
+    }
+    fp.finish()
+}
+
+/// Run the full pipeline once under an optional fuzzed schedule, with the
+/// invariant checker on every checkpoint and the trace crosscheck on the
+/// recorded event stream.
+pub fn run_once(g: &Graph, cfg: &FuzzConfig, seed: Option<u64>) -> RunOutcome {
+    let mut machine = Machine::new(cfg.ranks, CostModel::qdr_infiniband());
+    if let Some(s) = seed {
+        machine.set_schedule(Schedule::seeded(s));
+    }
+    machine.set_recorder(Box::new(TraceRecorder::new(cfg.ranks)));
+
+    let mut chk = InvariantChecker::new(cfg.balance_bound);
+    let mut r = scalapart_bisect_observed(g, &mut machine, &cfg.sp, &mut chk);
+
+    if let Some(v) = cfg.corrupt_vertex {
+        // Deliberate fault injection: the checker must catch this.
+        r.bisection.flip(v % g.n() as u32);
+    }
+
+    chk.check_result(g, &r);
+    let rec = TraceRecorder::downcast(machine.take_recorder().unwrap()).unwrap();
+    chk.check_machine(&machine.stats(), Some(&rec));
+
+    RunOutcome {
+        seed,
+        fingerprint: fingerprint_result(g, &r, true),
+        data_fingerprint: fingerprint_result(g, &r, false),
+        elapsed: machine.elapsed(),
+        violations: chk.violations,
+        checkpoints: chk.checkpoints,
+    }
+}
+
+/// One failed run of a campaign.
+pub struct Failure {
+    /// Replay seed (`None` = the baseline schedule failed).
+    pub seed: Option<u64>,
+    pub violations: Vec<Violation>,
+}
+
+/// Result of a whole schedule-fuzzing campaign.
+pub struct CampaignReport {
+    /// Fingerprint of the canonical baseline run.
+    pub baseline_fingerprint: u64,
+    /// Total runs performed (baseline + fuzzed).
+    pub runs: usize,
+    /// Checkpoints inspected by the baseline run.
+    pub checkpoints: usize,
+    pub failures: Vec<Failure>,
+}
+
+impl CampaignReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the baseline plus `cfg.schedules` fuzzed schedules, collecting
+/// invariant violations and any schedule-determinism breaks.
+pub fn run_campaign(g: &Graph, cfg: &FuzzConfig) -> CampaignReport {
+    let baseline = run_once(g, cfg, None);
+    let mut failures = Vec::new();
+    if !baseline.ok() {
+        failures.push(Failure {
+            seed: None,
+            violations: baseline.violations.clone(),
+        });
+    }
+    assert!(
+        baseline.checkpoints > 0,
+        "invariant checker saw no checkpoints — observer wiring is broken"
+    );
+
+    let mut runs = 1;
+    for i in 0..cfg.schedules {
+        let seed = derive_seed(cfg.master_seed, i as u64);
+        let run = run_once(g, cfg, Some(seed));
+        runs += 1;
+        let mut violations = run.violations;
+        if run.fingerprint != baseline.fingerprint {
+            violations.push(Violation {
+                invariant: "schedule-determinism",
+                detail: format!(
+                    "fingerprint {:#018x} != baseline {:#018x} (elapsed {} vs {})",
+                    run.fingerprint, baseline.fingerprint, run.elapsed, baseline.elapsed
+                ),
+            });
+        }
+        if !violations.is_empty() {
+            failures.push(Failure {
+                seed: Some(seed),
+                violations,
+            });
+        }
+    }
+
+    CampaignReport {
+        baseline_fingerprint: baseline.fingerprint,
+        runs,
+        checkpoints: baseline.checkpoints,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::grid_2d;
+
+    fn small_cfg(schedules: usize) -> FuzzConfig {
+        FuzzConfig {
+            ranks: 8,
+            schedules,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_clean_and_bit_exact_on_grid() {
+        let g = grid_2d(24, 24);
+        let report = run_campaign(&g, &small_cfg(4));
+        assert_eq!(report.runs, 5);
+        for f in &report.failures {
+            for v in &f.violations {
+                eprintln!("seed {:?}: {v}", f.seed);
+            }
+        }
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn self_test_corruption_is_caught_with_replay_seed() {
+        let g = grid_2d(24, 24);
+        let mut cfg = small_cfg(2);
+        cfg.corrupt_vertex = Some(11);
+        let report = run_campaign(&g, &cfg);
+        assert!(!report.ok(), "corrupted run must fail");
+        // The baseline is corrupted too, and every fuzzed schedule carries
+        // its replay seed.
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.seed.is_some()
+                && f.violations.iter().any(|v| v.invariant == "cut-accounting")));
+    }
+
+    #[test]
+    fn replaying_a_seed_reproduces_the_run_exactly() {
+        let g = grid_2d(20, 20);
+        let cfg = small_cfg(0);
+        let seed = derive_seed(cfg.master_seed, 3);
+        let a = run_once(&g, &cfg, Some(seed));
+        let b = run_once(&g, &cfg, Some(seed));
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.elapsed.to_bits(), b.elapsed.to_bits());
+    }
+}

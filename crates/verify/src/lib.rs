@@ -1,0 +1,32 @@
+//! # sp-verify — deterministic simulation testing for ScalaPart
+//!
+//! Three components, composed by the `verify` binary and the test suite:
+//!
+//! - a **schedule fuzzer** ([`fuzz`]) that permutes host execution order
+//!   within supersteps and shuffles message-delivery order on the simulated
+//!   machine, demanding bit-exact output equality with the canonical
+//!   schedule — every failure replays from a single `u64` seed;
+//! - a **perturbation injector** ([`perturb`]) that exercises the
+//!   nondeterminism the design tolerates (rank compute skew, delayed
+//!   collectives, extra staleness in the blocked nearest-neighbour
+//!   exchange) and asserts simulated-time accounting stays consistent;
+//! - an **invariant checker** ([`invariants`]) threaded through
+//!   `core::pipeline` checkpoints: matching validity, contraction
+//!   soundness, hierarchy shape, embedding sanity, partition validity,
+//!   balance bounds, cut accounting, FM monotonicity, and the sp-trace
+//!   event/cost crosscheck.
+//!
+//! The checker *collects* violations rather than panicking, so a campaign
+//! reports every failure together with the seed that reproduces it.
+
+pub mod fuzz;
+pub mod invariants;
+pub mod perturb;
+pub mod rng;
+
+pub use fuzz::{
+    fingerprint_result, run_campaign, run_once, CampaignReport, Failure, FuzzConfig, RunOutcome,
+};
+pub use invariants::{InvariantChecker, Violation};
+pub use perturb::{run_perturbations, PerturbReport, ScenarioOutcome};
+pub use rng::{derive_seed, Fingerprint};
