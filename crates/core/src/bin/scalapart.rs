@@ -33,13 +33,25 @@ struct Args {
     ranks: usize,
     coords: Option<PathBuf>,
     out: Option<PathBuf>,
+    json: Option<PathBuf>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     seed: u64,
 }
 
+const USAGE_HINT: &str =
+    "usage: scalapart <graph-file | gen:grid:WxH> [--method M] [--parts K] [options]; try --help";
+
+/// Usage/input errors: one line of diagnosis, one line of hint, exit 2 —
+/// never a panic or a wall of text.
+fn fail(msg: &str) -> ! {
+    eprintln!("scalapart: {msg}");
+    eprintln!("{USAGE_HINT}");
+    std::process::exit(2);
+}
+
 fn usage() -> ! {
-    eprintln!(
+    println!(
         "usage: scalapart <graph-file | gen:grid:WxH> [options]\n\
          \n\
          options:\n\
@@ -49,12 +61,14 @@ fn usage() -> ! {
            --ranks P               simulated ranks (default 64)\n\
            --coords FILE           x-y coordinate file (one pair per line)\n\
            --out FILE              write part ids here (default: stdout summary only)\n\
+           --json FILE             write labels + quality summary as JSON\n\
+                                   (schema sp-partition-v1, shared with sp-serve)\n\
            --trace FILE            write Chrome trace-event JSON of the simulated run\n\
                                    (load in chrome://tracing or ui.perfetto.dev)\n\
            --metrics FILE          write per-phase / per-rank metrics JSON\n\
            --seed N                RNG seed (default 42)"
     );
-    std::process::exit(2);
+    std::process::exit(0);
 }
 
 fn parse_args() -> Args {
@@ -66,66 +80,59 @@ fn parse_args() -> Args {
         ranks: 64,
         coords: None,
         out: None,
+        json: None,
         trace: None,
         metrics: None,
         seed: 42,
     };
     let mut it = std::env::args().skip(1);
     let mut have_input = false;
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--format" => args.format = it.next().unwrap_or_else(|| usage()),
+            "--format" => args.format = value(&mut it, "--format"),
             "--method" => {
-                args.method = match it.next().as_deref() {
-                    Some("sp") => Method::ScalaPart,
-                    Some("sp-pg7nl") => Method::SpPg7Nl,
-                    Some("rcb") => Method::Rcb,
-                    Some("parmetis") => Method::ParMetisLike,
-                    Some("ptscotch") => Method::PtScotchLike,
-                    Some("g30") => Method::G30,
-                    Some("g7") => Method::G7,
-                    Some("g7nl") => Method::G7Nl,
-                    other => {
-                        eprintln!("unknown method {other:?}");
-                        usage()
-                    }
-                }
+                let name = value(&mut it, "--method");
+                args.method = Method::parse(&name)
+                    .unwrap_or_else(|| fail(&format!("unknown method '{name}'")));
             }
             "--parts" => {
-                args.parts = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
+                let v = value(&mut it, "--parts");
+                args.parts = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad value for --parts: '{v}'")));
             }
             "--ranks" => {
-                args.ranks = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
+                let v = value(&mut it, "--ranks");
+                args.ranks = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad value for --ranks: '{v}'")));
             }
-            "--coords" => args.coords = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "--trace" => args.trace = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "--metrics" => args.metrics = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--coords" => args.coords = Some(PathBuf::from(value(&mut it, "--coords"))),
+            "--out" => args.out = Some(PathBuf::from(value(&mut it, "--out"))),
+            "--json" => args.json = Some(PathBuf::from(value(&mut it, "--json"))),
+            "--trace" => args.trace = Some(PathBuf::from(value(&mut it, "--trace"))),
+            "--metrics" => args.metrics = Some(PathBuf::from(value(&mut it, "--metrics"))),
             "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
+                let v = value(&mut it, "--seed");
+                args.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad value for --seed: '{v}'")));
             }
             "--help" | "-h" => usage(),
+            other if other.starts_with('-') => fail(&format!("unknown flag '{other}'")),
             other if !have_input => {
                 args.input = other.to_string();
                 have_input = true;
             }
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                usage()
-            }
+            other => fail(&format!("unexpected argument '{other}'")),
         }
     }
     if !have_input {
-        usage();
+        fail("no input graph given");
     }
     if args.format.is_empty() {
         args.format = if args.input.ends_with(".mtx") {
@@ -144,8 +151,7 @@ fn parse_generated(input: &str) -> Option<(Graph, Vec<Point2>)> {
     let w: usize = w.parse().ok()?;
     let h: usize = h.parse().ok()?;
     if w == 0 || h == 0 {
-        eprintln!("grid dimensions must be positive");
-        std::process::exit(1);
+        fail("grid dimensions must be positive");
     }
     Some((grid_2d(w, h), grid_2d_coords(w, h)))
 }
@@ -154,44 +160,32 @@ fn load_graph(args: &Args) -> (Graph, Option<Vec<Point2>>) {
     if args.input.starts_with("gen:") {
         match parse_generated(&args.input) {
             Some((g, c)) => return (g, Some(c)),
-            None => {
-                eprintln!(
-                    "bad generator spec '{}' (expected gen:grid:WxH)",
-                    args.input
-                );
-                usage()
-            }
+            None => fail(&format!(
+                "bad generator spec '{}' (expected gen:grid:WxH)",
+                args.input
+            )),
         }
     }
-    let file = std::fs::File::open(&args.input).unwrap_or_else(|e| {
-        eprintln!("cannot open {}: {e}", args.input);
-        std::process::exit(1);
-    });
+    let file = std::fs::File::open(&args.input)
+        .unwrap_or_else(|e| fail(&format!("cannot open {}: {e}", args.input)));
     let reader = BufReader::new(file);
     let graph = match args.format.as_str() {
         "chaco" => read_chaco(reader),
         "mm" => read_matrix_market(reader),
-        other => {
-            eprintln!("unknown format '{other}'");
-            usage()
-        }
+        other => fail(&format!("unknown format '{other}'")),
     }
-    .unwrap_or_else(|e| {
-        eprintln!("parse error: {e}");
-        std::process::exit(1);
-    });
+    .unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", args.input)));
     let coords = args.coords.as_ref().map(|p| {
-        let f = std::fs::File::open(p).unwrap_or_else(|e| {
-            eprintln!("cannot open {}: {e}", p.display());
-            std::process::exit(1);
-        });
-        let c = read_coords(BufReader::new(f)).unwrap_or_else(|e| {
-            eprintln!("coords parse error: {e}");
-            std::process::exit(1);
-        });
+        let f = std::fs::File::open(p)
+            .unwrap_or_else(|e| fail(&format!("cannot open {}: {e}", p.display())));
+        let c = read_coords(BufReader::new(f))
+            .unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", p.display())));
         if c.len() != graph.n() {
-            eprintln!("coords cover {} of {} vertices", c.len(), graph.n());
-            std::process::exit(1);
+            fail(&format!(
+                "coords cover {} of {} vertices",
+                c.len(),
+                graph.n()
+            ));
         }
         c
     });
@@ -270,5 +264,13 @@ fn main() {
     if let Some(out) = args.out {
         let body: String = kp.part.iter().map(|p| format!("{p}\n")).collect();
         write_file(&out, &body, "part ids");
+    }
+    if let Some(path) = args.json {
+        // Same serialization path as the sp-serve response body.
+        write_file(
+            &path,
+            &kp.to_json(&graph),
+            "partition JSON (sp-partition-v1)",
+        );
     }
 }

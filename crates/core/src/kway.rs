@@ -11,16 +11,28 @@
 //! over-weights its parts (k = 3 yields ≈ 25/25/50). Power-of-two k is
 //! balanced to the underlying bisector's tolerance.
 
-use crate::methods::{run_method, run_method_on, Method};
+use crate::methods::{run_method_checked, Method};
+use crate::observe::{Cancelled, NoopObserver, PipelineObserver};
 use sp_geometry::Point2;
 use sp_graph::Graph;
-use sp_machine::Machine;
+use sp_machine::{CostModel, Machine};
 
 /// A k-way partition: `part[v] ∈ 0..k`.
 #[derive(Clone, Debug)]
 pub struct KWayPartition {
     pub part: Vec<u32>,
     pub k: usize,
+}
+
+/// Quality statistics of a [`KWayPartition`] on a particular graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionSummary {
+    pub n: usize,
+    pub k: usize,
+    pub edge_cut: f64,
+    pub cut_edges: usize,
+    pub imbalance: f64,
+    pub comm_volume: usize,
 }
 
 impl KWayPartition {
@@ -90,6 +102,46 @@ impl KWayPartition {
         vol
     }
 
+    /// Quality summary of this partition on `g` — the figures the
+    /// `scalapart` CLI prints and the sp-serve response reports.
+    pub fn summary(&self, g: &Graph) -> PartitionSummary {
+        PartitionSummary {
+            n: g.n(),
+            k: self.k,
+            edge_cut: self.edge_cut(g),
+            cut_edges: self.cut_edges(g),
+            imbalance: self.imbalance(g),
+            comm_volume: self.comm_volume(g),
+        }
+    }
+
+    /// Serialize the partition as JSON: the label vector plus the
+    /// [`summary`](Self::summary) statistics. This is the one
+    /// serialization path shared by the `scalapart` CLI (`--json`) and the
+    /// sp-serve submit response, so clients of either see the same schema.
+    /// Floats use Rust's shortest round-trip `Display`, which is valid
+    /// JSON and parses back bit-identically.
+    pub fn to_json(&self, g: &Graph) -> String {
+        let s = self.summary(g);
+        let mut out = String::with_capacity(32 + 4 * self.part.len());
+        out.push_str("{\"schema\": \"sp-partition-v1\"");
+        out.push_str(&format!(", \"n\": {}", s.n));
+        out.push_str(&format!(", \"k\": {}", s.k));
+        out.push_str(&format!(", \"edge_cut\": {}", s.edge_cut));
+        out.push_str(&format!(", \"cut_edges\": {}", s.cut_edges));
+        out.push_str(&format!(", \"imbalance\": {}", s.imbalance));
+        out.push_str(&format!(", \"comm_volume\": {}", s.comm_volume));
+        out.push_str(", \"part\": [");
+        for (i, p) in self.part.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Sanity: covers the graph, parts in range, no empty part when
     /// `k ≤ n`.
     pub fn validate(&self, g: &Graph) -> Result<(), String> {
@@ -121,7 +173,8 @@ pub fn recursive_kway(
     p: usize,
     seed: u64,
 ) -> KWayPartition {
-    recursive_kway_impl(method, g, coords, k, p, seed, None)
+    recursive_kway_impl(method, g, coords, k, p, seed, None, &mut NoopObserver)
+        .expect("NoopObserver never cancels")
 }
 
 /// Like [`recursive_kway`], but the *root* bisection runs on the supplied
@@ -137,9 +190,39 @@ pub fn recursive_kway_on(
     machine: &mut Machine,
 ) -> KWayPartition {
     let p = machine.p();
-    recursive_kway_impl(method, g, coords, k, p, seed, Some(machine))
+    recursive_kway_impl(
+        method,
+        g,
+        coords,
+        k,
+        p,
+        seed,
+        Some(machine),
+        &mut NoopObserver,
+    )
+    .expect("NoopObserver never cancels")
 }
 
+/// Cancellable [`recursive_kway_on`]: the observer's
+/// [`poll_cancel`](PipelineObserver::poll_cancel) is checked before every
+/// recursive split and, for the ScalaPart method, at every pipeline
+/// checkpoint inside each bisection. On `Err(Cancelled)` the partial
+/// labelling is discarded. This is sp-serve's per-job entry point: each
+/// job runs on a fresh machine with a deadline-polling observer.
+pub fn recursive_kway_checked_on(
+    method: Method,
+    g: &Graph,
+    coords: Option<&[Point2]>,
+    k: usize,
+    seed: u64,
+    machine: &mut Machine,
+    obs: &mut dyn PipelineObserver,
+) -> Result<KWayPartition, Cancelled> {
+    let p = machine.p();
+    recursive_kway_impl(method, g, coords, k, p, seed, Some(machine), obs)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn recursive_kway_impl(
     method: Method,
     g: &Graph,
@@ -148,14 +231,17 @@ fn recursive_kway_impl(
     p: usize,
     seed: u64,
     machine: Option<&mut Machine>,
-) -> KWayPartition {
+    obs: &mut dyn PipelineObserver,
+) -> Result<KWayPartition, Cancelled> {
     assert!(k >= 1);
     let mut part = vec![0u32; g.n()];
     if k > 1 && g.n() >= 2 {
         let verts: Vec<u32> = (0..g.n() as u32).collect();
-        split(method, g, coords, &verts, 0, k, p, seed, &mut part, machine);
+        split(
+            method, g, coords, &verts, 0, k, p, seed, &mut part, machine, obs,
+        )?;
     }
-    KWayPartition { part, k }
+    Ok(KWayPartition { part, k })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -170,12 +256,16 @@ fn split(
     seed: u64,
     out: &mut [u32],
     machine: Option<&mut Machine>,
-) {
+    obs: &mut dyn PipelineObserver,
+) -> Result<(), Cancelled> {
     if k <= 1 || verts.len() < 2 {
         for &v in verts {
             out[v as usize] = first_part;
         }
-        return;
+        return Ok(());
+    }
+    if obs.poll_cancel() {
+        return Err(Cancelled);
     }
     // Split k into proportional halves (handles non-powers of two).
     let k0 = k / 2;
@@ -184,20 +274,25 @@ fn split(
     let sub_coords: Option<Vec<Point2>> =
         coords.map(|c| map.iter().map(|&v| c[v as usize]).collect());
     let r = match machine {
-        Some(m) => run_method_on(
+        Some(m) => run_method_checked(
             method,
             &sub,
             sub_coords.as_deref(),
             m,
             seed ^ first_part as u64,
-        ),
-        None => run_method(
-            method,
-            &sub,
-            sub_coords.as_deref(),
-            p.max(1),
-            seed ^ first_part as u64,
-        ),
+            obs,
+        )?,
+        None => {
+            let mut m = Machine::new(p.max(1), CostModel::qdr_infiniband());
+            run_method_checked(
+                method,
+                &sub,
+                sub_coords.as_deref(),
+                &mut m,
+                seed ^ first_part as u64,
+                obs,
+            )?
+        }
     };
     // Assign the lighter side to the smaller k when k is odd so part
     // weights track k0 : k1.
@@ -215,8 +310,8 @@ fn split(
     let p0 = ((p * k0) / k).max(1);
     let p1 = (p - p0).max(1);
     split(
-        method, g, coords, &side0, first_part, k0, p0, seed, out, None,
-    );
+        method, g, coords, &side0, first_part, k0, p0, seed, out, None, obs,
+    )?;
     split(
         method,
         g,
@@ -228,7 +323,8 @@ fn split(
         seed,
         out,
         None,
-    );
+        obs,
+    )
 }
 
 #[cfg(test)]
@@ -301,6 +397,81 @@ mod tests {
         kp.validate(&g).unwrap();
         assert_eq!(kp.cut_edges(&g), 0);
         assert_eq!(kp.imbalance(&g), 0.0);
+    }
+
+    #[test]
+    fn to_json_shares_the_cli_service_schema() {
+        let g = grid_2d(4, 4);
+        let kp = recursive_kway(Method::Rcb, &g, Some(&grid_2d_coords(4, 4)), 2, 2, 1);
+        let j = kp.to_json(&g);
+        assert!(j.starts_with("{\"schema\": \"sp-partition-v1\""), "{j}");
+        assert!(j.contains("\"n\": 16"));
+        assert!(j.contains("\"k\": 2"));
+        assert!(j.contains("\"part\": ["));
+        assert!(j.matches(',').count() >= 16, "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        let s = kp.summary(&g);
+        assert!(j.contains(&format!("\"cut_edges\": {}", s.cut_edges)));
+        assert!(j.contains(&format!("\"comm_volume\": {}", s.comm_volume)));
+    }
+
+    /// Observer that cancels after a fixed number of checkpoint polls.
+    struct CancelAfter(usize);
+    impl crate::observe::PipelineObserver for CancelAfter {
+        fn poll_cancel(&mut self) -> bool {
+            if self.0 == 0 {
+                return true;
+            }
+            self.0 -= 1;
+            false
+        }
+    }
+
+    #[test]
+    fn checked_kway_cancels_cooperatively_and_cleanly() {
+        use sp_machine::CostModel;
+        let g = grid_2d(24, 24);
+        let coords = grid_2d_coords(24, 24);
+        // Immediate cancellation: caught at the very first checkpoint.
+        let mut m = Machine::new(4, CostModel::qdr_infiniband());
+        let r = recursive_kway_checked_on(
+            Method::ScalaPart,
+            &g,
+            None,
+            4,
+            1,
+            &mut m,
+            &mut CancelAfter(0),
+        );
+        assert!(matches!(r, Err(Cancelled)));
+        // Mid-pipeline cancellation: a few checkpoints in, still Err.
+        let mut m = Machine::new(4, CostModel::qdr_infiniband());
+        let r = recursive_kway_checked_on(
+            Method::ScalaPart,
+            &g,
+            None,
+            4,
+            1,
+            &mut m,
+            &mut CancelAfter(3),
+        );
+        assert!(r.is_err());
+        // A never-cancelling observer matches the plain entry point
+        // bit-exactly — the checkpoints themselves perturb nothing.
+        let mut m = Machine::new(4, CostModel::qdr_infiniband());
+        let kp = recursive_kway_checked_on(
+            Method::ScalaPart,
+            &g,
+            Some(&coords),
+            4,
+            1,
+            &mut m,
+            &mut CancelAfter(usize::MAX),
+        )
+        .unwrap();
+        let plain = recursive_kway(Method::ScalaPart, &g, Some(&coords), 4, 4, 1);
+        assert_eq!(kp.part, plain.part);
     }
 
     #[test]

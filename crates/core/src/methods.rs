@@ -1,7 +1,8 @@
 //! Unified dispatch over every partitioner in the paper's evaluation.
 
 use crate::config::SpConfig;
-use crate::pipeline::{scalapart_bisect, sp_pg7nl_bisect, PhaseTimes};
+use crate::observe::{Cancelled, NoopObserver, PipelineObserver};
+use crate::pipeline::{scalapart_bisect_checked, sp_pg7nl_bisect, PhaseTimes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_baselines::{multilevel_bisect, rcb_bisect, MultilevelConfig};
@@ -46,6 +47,22 @@ impl Method {
             Method::G7 => "G7",
             Method::G7Nl => "G7-NL",
         }
+    }
+
+    /// Parse a CLI/protocol method name (the `--method` values of the
+    /// `scalapart` CLI, shared by the sp-serve request decoder).
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "sp" | "scalapart" => Method::ScalaPart,
+            "sp-pg7nl" => Method::SpPg7Nl,
+            "rcb" => Method::Rcb,
+            "parmetis" => Method::ParMetisLike,
+            "ptscotch" => Method::PtScotchLike,
+            "g30" => Method::G30,
+            "g7" => Method::G7,
+            "g7nl" => Method::G7Nl,
+            _ => return None,
+        })
     }
 
     /// Does the method need vertex coordinates?
@@ -98,6 +115,27 @@ pub fn run_method_on(
     machine: &mut Machine,
     seed: u64,
 ) -> MethodResult {
+    run_method_checked(method, g, coords, machine, seed, &mut NoopObserver)
+        .expect("NoopObserver never cancels")
+}
+
+/// Like [`run_method_on`], but cancellable: the observer's
+/// [`poll_cancel`](PipelineObserver::poll_cancel) is honoured at the
+/// pipeline checkpoints (for [`Method::ScalaPart`]) and at the method
+/// entry/exit boundary for the single-shot comparator methods, whose runs
+/// are one indivisible step. sp-serve threads per-job deadlines through
+/// this.
+pub fn run_method_checked(
+    method: Method,
+    g: &Graph,
+    coords: Option<&[Point2]>,
+    machine: &mut Machine,
+    seed: u64,
+    obs: &mut dyn PipelineObserver,
+) -> Result<MethodResult, Cancelled> {
+    if obs.poll_cancel() {
+        return Err(Cancelled);
+    }
     let p = machine.p();
     let owned_coords: Option<Vec<Point2>> = if method.needs_coords() && coords.is_none() {
         Some(embed_multilevel_seq(
@@ -111,9 +149,18 @@ pub fn run_method_on(
         None
     };
     let coords = owned_coords.as_deref().or(coords);
-    match method {
+    if obs.poll_cancel() {
+        return Err(Cancelled);
+    }
+    let result = match method {
         Method::ScalaPart => {
-            let r = scalapart_bisect(g, machine, &SpConfig::default().with_seed(seed));
+            let r = scalapart_bisect_checked(
+                g,
+                machine,
+                &SpConfig::default().with_seed(seed),
+                obs,
+                &mut sp_embed::lattice_smooth_with,
+            )?;
             MethodResult {
                 method,
                 cut: r.cut,
@@ -184,7 +231,11 @@ pub fn run_method_on(
                 bisection: r.bisection,
             }
         }
+    };
+    if obs.poll_cancel() {
+        return Err(Cancelled);
     }
+    Ok(result)
 }
 
 #[cfg(test)]

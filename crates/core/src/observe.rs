@@ -19,6 +19,22 @@ use sp_geopart::GeoPartResult;
 use sp_graph::{Bisection, Graph};
 use sp_refine::FmStats;
 
+/// Returned by the `*_checked` pipeline entry points when the observer
+/// requested cancellation at a checkpoint. The partial work is discarded;
+/// the machine the job ran on is left in whatever simulated state it had
+/// reached (callers that care use a fresh machine per job, as sp-serve
+/// does).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline cancelled at an observer checkpoint")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
 /// Checkpoint hooks through the ScalaPart pipeline. All methods are
 /// called on the host (outside any simulated-rank closure), in pipeline
 /// order.
@@ -40,6 +56,20 @@ pub trait PipelineObserver {
 
     /// Strip FM finished; `bi` is the refined bisection.
     fn on_refined(&mut self, _g: &Graph, _bi: &Bisection, _st: &FmStats) {}
+
+    /// Cooperative cancellation poll. The `*_checked` pipeline entry
+    /// points call this at every checkpoint (after each matching and
+    /// contraction, after the hierarchy, embedding, and geometric
+    /// partition, and between recursive-bisection splits); returning
+    /// `true` makes them abandon the run and return
+    /// [`Err(Cancelled)`](Cancelled). The default never cancels, so the
+    /// plain (non-`_checked`) entry points are unaffected. Cancellation is
+    /// *only* observed at checkpoints — a long-running stage finishes its
+    /// current step first — which is what keeps cancelled runs safe: no
+    /// simulated-rank closure is ever interrupted midway.
+    fn poll_cancel(&mut self) -> bool {
+        false
+    }
 }
 
 /// The explicit do-nothing observer.

@@ -1,7 +1,7 @@
 //! The ScalaPart pipeline: coarsen → embed → partition → strip-refine.
 
 use crate::config::SpConfig;
-use crate::observe::{NoopObserver, PipelineObserver};
+use crate::observe::{Cancelled, NoopObserver, PipelineObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sp_coarsen::{contract, parallel_hem, Hierarchy, Level};
@@ -67,6 +67,10 @@ pub fn scalapart_bisect_observed(
 /// lattice smoother. The differential tests pass the pre-optimization
 /// reference smoother here: every other stage is the same code, so any
 /// output divergence indicts the optimized smoothing kernel alone.
+///
+/// The observer's [`poll_cancel`](PipelineObserver::poll_cancel) must stay
+/// `false` on this entry point; pass a cancelling observer to
+/// [`scalapart_bisect_checked`] instead.
 pub fn scalapart_bisect_with(
     g: &Graph,
     machine: &mut Machine,
@@ -74,6 +78,22 @@ pub fn scalapart_bisect_with(
     obs: &mut dyn PipelineObserver,
     smoother: Smoother<'_>,
 ) -> SpResult {
+    scalapart_bisect_checked(g, machine, cfg, obs, smoother)
+        .expect("observer cancelled the pipeline; use scalapart_bisect_checked")
+}
+
+/// The cancellable pipeline: identical to [`scalapart_bisect_with`], but
+/// the observer's [`poll_cancel`](PipelineObserver::poll_cancel) is
+/// honoured at every checkpoint and aborts the run with
+/// [`Err(Cancelled)`](Cancelled). This is the hook sp-serve threads
+/// per-job deadlines through.
+pub fn scalapart_bisect_checked(
+    g: &Graph,
+    machine: &mut Machine,
+    cfg: &SpConfig,
+    obs: &mut dyn PipelineObserver,
+    smoother: Smoother<'_>,
+) -> Result<SpResult, Cancelled> {
     let p = machine.p();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -81,8 +101,11 @@ pub fn scalapart_bisect_with(
     // other contraction so retained levels shrink ≈ 4×).
     machine.phase(Phase::Coarsen);
     let t0 = machine.elapsed();
-    let hierarchy = coarsen_parallel(g, machine, cfg, &mut rng, obs);
+    let hierarchy = coarsen_parallel(g, machine, cfg, &mut rng, obs)?;
     obs.on_hierarchy(&hierarchy);
+    if obs.poll_cancel() {
+        return Err(Cancelled);
+    }
     machine.barrier();
     let t1 = machine.elapsed();
 
@@ -92,6 +115,9 @@ pub fn scalapart_bisect_with(
     embed_cfg.seed = cfg.embed.seed ^ cfg.seed;
     let coords = multilevel_lattice_embed_with(&hierarchy, machine, &embed_cfg, smoother);
     obs.on_embedding(g, &coords);
+    if obs.poll_cancel() {
+        return Err(Cancelled);
+    }
     machine.barrier();
     let t2 = machine.elapsed();
 
@@ -100,6 +126,9 @@ pub fn scalapart_bisect_with(
     let dist = Distribution::block(g.n(), p);
     let geo = parallel_geometric_partition(g, &coords, &dist, machine, &cfg.geo, cfg.seed ^ 0x9E0);
     obs.on_geo_partition(g, &geo);
+    if obs.poll_cancel() {
+        return Err(Cancelled);
+    }
     let mut bisection = geo.bisection;
     let cut_before_refine = geo.cut;
     let mut strip_size = 0;
@@ -147,7 +176,7 @@ pub fn scalapart_bisect_with(
     };
     let cut = bisection.cut_edges(g);
     let imbalance = bisection.imbalance(g);
-    SpResult {
+    Ok(SpResult {
         bisection,
         cut,
         cut_before_refine,
@@ -156,7 +185,7 @@ pub fn scalapart_bisect_with(
         times,
         coords,
         strip_size,
-    }
+    })
 }
 
 /// SP-PG7-NL alone: parallel geometric partitioning plus strip refinement
@@ -216,7 +245,7 @@ fn coarsen_parallel(
     cfg: &SpConfig,
     rng: &mut StdRng,
     obs: &mut dyn PipelineObserver,
-) -> Hierarchy {
+) -> Result<Hierarchy, Cancelled> {
     let p = machine.p();
     let mut levels = vec![Level {
         graph: g.clone(),
@@ -240,8 +269,14 @@ fn coarsen_parallel(
                 rng.random::<u64>(),
             );
             obs.on_matching(graph, &matching);
+            if obs.poll_cancel() {
+                return Err(Cancelled);
+            }
             let c = contract(graph, &matching);
             obs.on_contraction(graph, &matching, &c);
+            if obs.poll_cancel() {
+                return Err(Cancelled);
+            }
             // Contraction cost: local edges plus ghost-id exchange.
             let mut states: Vec<()> = vec![(); p];
             let edges_per_rank = (graph.m() / p).max(1) as f64;
@@ -254,12 +289,12 @@ fn coarsen_parallel(
                     .collect();
                 machine.exchange_costed(&outbox);
             }
-            c
+            Ok(c)
         };
-        let c1 = step(cur, machine, rng, obs);
+        let c1 = step(cur, machine, rng, obs)?;
         let (coarse, map) =
             if cfg.coarsen.keep_every_other && c1.coarse.n() > cfg.coarsen.target_coarsest {
-                let c2 = step(&c1.coarse, machine, rng, obs);
+                let c2 = step(&c1.coarse, machine, rng, obs)?;
                 let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
                 (c2.coarse, composed)
             } else {
@@ -276,7 +311,7 @@ fn coarsen_parallel(
             map_to_coarser: None,
         });
     }
-    Hierarchy { levels }
+    Ok(Hierarchy { levels })
 }
 
 #[cfg(test)]

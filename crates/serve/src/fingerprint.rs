@@ -1,0 +1,106 @@
+//! Request fingerprinting for the result cache.
+//!
+//! The cache key must distinguish any two inputs the partitioner could
+//! answer differently, so the graph fingerprint covers the *entire* CSR
+//! content — structure (`xadj`, `adjncy`), edge-weight bits, vertex-weight
+//! bits — plus the coordinate bits when the request supplies coordinates
+//! (the geometric methods consume them). Two graphs that differ only in
+//! edge weights therefore hash apart. Built on sp-verify's FNV-1a
+//! [`Fingerprint`], which is hand-rolled and platform-stable, so cache
+//! keys (and the `fingerprint` field echoed in responses) are
+//! reproducible across hosts.
+
+use sp_geometry::Point2;
+use sp_graph::Graph;
+use sp_verify::Fingerprint;
+
+/// Fingerprint a graph's full CSR content.
+pub fn fingerprint_graph(g: &Graph) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.u64(g.n() as u64);
+    for &x in g.xadj() {
+        fp.u64(x as u64);
+    }
+    for &u in g.adjncy() {
+        fp.u64(u as u64);
+    }
+    for &w in g.ewgts() {
+        fp.f64_bits(w);
+    }
+    for &w in g.vwgts() {
+        fp.f64_bits(w);
+    }
+    fp.finish()
+}
+
+/// Fingerprint a graph together with optional request coordinates. A
+/// request without coordinates hashes differently from one with them —
+/// the coordinate-free path embeds the graph itself, which changes the
+/// result for every geometric method.
+pub fn fingerprint_input(g: &Graph, coords: Option<&[Point2]>) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.u64(fingerprint_graph(g));
+    match coords {
+        None => fp.byte(0),
+        Some(c) => {
+            fp.byte(1);
+            for p in c {
+                fp.f64_bits(p.x);
+                fp.f64_bits(p.y);
+            }
+        }
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::GraphBuilder;
+
+    fn path_graph(weights: &[f64]) -> Graph {
+        let mut b = GraphBuilder::new(weights.len() + 1);
+        for (i, &w) in weights.iter().enumerate() {
+            b.add_edge(i as u32, i as u32 + 1, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_graphs_fingerprint_identically() {
+        let a = path_graph(&[1.0, 2.0, 3.0]);
+        let b = path_graph(&[1.0, 2.0, 3.0]);
+        assert_eq!(fingerprint_graph(&a), fingerprint_graph(&b));
+    }
+
+    #[test]
+    fn edge_weights_change_the_fingerprint() {
+        // Same topology, different edge weights → different key. This is
+        // the cache-correctness property: the partitioner can answer the
+        // two differently, so they must occupy distinct cache entries.
+        let a = path_graph(&[1.0, 1.0, 1.0]);
+        let b = path_graph(&[1.0, 2.0, 1.0]);
+        assert_eq!(a.adjncy(), b.adjncy());
+        assert_eq!(a.xadj(), b.xadj());
+        assert_ne!(fingerprint_graph(&a), fingerprint_graph(&b));
+    }
+
+    #[test]
+    fn vertex_weights_and_coords_change_the_fingerprint() {
+        let a = path_graph(&[1.0, 1.0]);
+        let mut bb = GraphBuilder::new(3);
+        bb.add_edge(0, 1, 1.0);
+        bb.add_edge(1, 2, 1.0);
+        bb.set_vwgt(1, 5.0);
+        let b = bb.build();
+        assert_ne!(fingerprint_graph(&a), fingerprint_graph(&b));
+
+        let coords: Vec<Point2> = (0..3).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let plain = fingerprint_input(&a, None);
+        let with = fingerprint_input(&a, Some(&coords));
+        assert_ne!(plain, with);
+        let mut moved = coords.clone();
+        moved[2].y = 1.0;
+        assert_ne!(with, fingerprint_input(&a, Some(&moved)));
+    }
+}

@@ -1,0 +1,39 @@
+//! sp-serve: a long-running partitioning service over the ScalaPart
+//! pipeline.
+//!
+//! The paper's partitioner is a batch algorithm; this crate wraps it in a
+//! daemon so repeated partitioning requests — the "partition the same
+//! mesh at many seeds / part counts" workload of a simulation campaign —
+//! amortise process startup and share a result cache. Two layers:
+//!
+//! - [`service::Service`] — the in-process core: bounded job queue,
+//!   worker pool, LRU result cache keyed by input fingerprint, per-job
+//!   deadlines with cooperative cancellation, explicit backpressure, and
+//!   graceful drain. Usable directly as a library (the loopback tests and
+//!   any embedding binary drive this API).
+//! - [`net::Server`]/[`net::Client`] — a TCP front end speaking
+//!   length-prefixed JSON frames ([`proto`]), built purely on `std::net`.
+//!
+//! Everything is dependency-free by design, like the rest of the
+//! workspace: the wire format is parsed by the hand-rolled strict
+//! [`json`] parser and emitted through sp-trace's JSON helpers, and cache
+//! fingerprints reuse sp-verify's platform-stable FNV-1a.
+//!
+//! Determinism contract: a job's result depends only on
+//! `(input fingerprint, method, parts, simulated ranks, seed)` — the
+//! cache key. Deadlines and cancellation never alter a completed result;
+//! they only decide whether a result is produced at all (see DESIGN.md).
+
+pub mod cache;
+pub mod fingerprint;
+pub mod json;
+pub mod net;
+pub mod proto;
+pub mod service;
+
+pub use cache::{CacheKey, LruCache};
+pub use fingerprint::{fingerprint_graph, fingerprint_input};
+pub use net::{Client, Server};
+pub use service::{
+    JobOutcome, JobSpec, PartitionOutput, ServeConfig, Service, ServiceStats, SubmitError, Ticket,
+};

@@ -1,0 +1,266 @@
+//! TCP front end over the in-process [`Service`](crate::service::Service).
+//!
+//! Zero new dependencies: `std::net` sockets carrying the
+//! [`proto`](crate::proto) frame format. The accept loop runs on its own
+//! thread with a non-blocking listener; each connection gets a handler
+//! thread that decodes frames, drives the service, and writes one
+//! response frame per request. Malformed frames get an `error` response
+//! and the connection keeps going — a confused client can't wedge the
+//! server.
+//!
+//! Shutdown ordering matters: a `shutdown` request first stops the accept
+//! loop, then drains the service (queued jobs complete), and only then
+//! does [`Server::wait`] return. In-flight connections finish their
+//! current request; submits racing the drain get a `shutting_down`
+//! rejection rather than a dropped socket.
+
+use crate::proto::{
+    encode_error, encode_outcome, encode_rejection, read_frame, write_frame, Request, MAX_FRAME,
+};
+use crate::service::{JobSpec, ServeConfig, Service};
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub struct Server {
+    service: Service,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) and
+    /// start accepting.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Arc<Server>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(Server {
+            service: Service::start(cfg),
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            accept_thread: Mutex::new(None),
+        });
+        let accept = {
+            let server = server.clone();
+            std::thread::spawn(move || accept_loop(server, listener))
+        };
+        *server.accept_thread.lock().unwrap() = Some(accept);
+        Ok(server)
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying in-process service (shared with the TCP front end).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Request shutdown: stop accepting, drain the queue, join workers.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.service.shutdown();
+    }
+
+    /// Block until the accept loop has exited (after [`Server::shutdown`],
+    /// from any thread or a `shutdown` frame).
+    pub fn wait(&self) {
+        let handle = self.accept_thread.lock().unwrap().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(server: Arc<Server>, listener: TcpListener) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !server.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = server.clone();
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(server, stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// `read_frame`, but interruptible: the stream has a short read timeout,
+/// and between frames (never mid-frame) a raised stop flag ends the
+/// connection. Without this, an idle keep-alive client would pin its
+/// handler thread in a blocking `read` forever and shutdown could never
+/// join it.
+fn read_frame_stoppable(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    if !read_full(stream, &mut header, stop, true)? {
+        return Ok(None); // clean EOF or stop between frames
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    if !read_full(stream, &mut buf, stop, false)? {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        ));
+    }
+    Ok(Some(buf))
+}
+
+/// Fill `buf`, tolerating read timeouts. Returns `Ok(false)` when the
+/// peer closed (or stop was raised) cleanly at offset 0 and
+/// `eof_ok_at_start` allows it. A frame already in progress is given a
+/// bounded grace period after stop before the connection is abandoned.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    eof_ok_at_start: bool,
+) -> std::io::Result<bool> {
+    let mut off = 0;
+    let mut stopped_polls = 0u32;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                return if off == 0 && eof_ok_at_start {
+                    Ok(false)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    if off == 0 {
+                        return Ok(false);
+                    }
+                    // Mid-frame at shutdown: allow ~2 s to finish.
+                    stopped_polls += 1;
+                    if stopped_polls > 40 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame during shutdown",
+                        ));
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn handle_connection(server: Arc<Server>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok();
+    loop {
+        let payload = match read_frame_stoppable(&mut stream, &server.stop) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // clean close or drain
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Oversized/truncated frame: report and drop the
+                // connection — we can no longer find a frame boundary.
+                let _ = write_frame(&mut stream, encode_error(&e.to_string()).as_bytes());
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match Request::decode(&payload) {
+            Err(msg) => encode_error(&msg),
+            Ok(Request::Stats) => {
+                format!(
+                    "{{\"type\": \"stats\", \"stats\": {}}}",
+                    server.service.stats().to_json()
+                )
+            }
+            Ok(Request::Shutdown) => {
+                write_frame(&mut stream, b"{\"type\": \"ok\", \"draining\": true}")?;
+                stream.flush()?;
+                server.shutdown();
+                return Ok(());
+            }
+            Ok(Request::Submit {
+                graph,
+                coords,
+                method,
+                parts,
+                seed,
+                deadline_ms,
+            }) => {
+                let spec = JobSpec {
+                    graph,
+                    coords,
+                    method,
+                    parts,
+                    seed,
+                    deadline_ms,
+                };
+                match server.service.submit_wait(spec) {
+                    Ok(outcome) => encode_outcome(&outcome),
+                    Err(reject) => encode_rejection(&reject),
+                }
+            }
+        };
+        write_frame(&mut stream, response.as_bytes())?;
+    }
+}
+
+/// A minimal blocking client for the frame protocol.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: &SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Send one raw JSON request and return the raw JSON response.
+    pub fn request(&mut self, json: &str) -> std::io::Result<String> {
+        write_frame(&mut self.stream, json.as_bytes())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => String::from_utf8(payload).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "response is not UTF-8")
+            }),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+}

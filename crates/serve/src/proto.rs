@@ -1,0 +1,393 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [u32 length, big-endian][length bytes of UTF-8 JSON]
+//! ```
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected before reading the
+//! payload, so a hostile length prefix cannot make the server allocate
+//! gigabytes. Requests are parsed with the strict parser in
+//! [`crate::json`]; any malformed frame produces an `error` response and
+//! the connection stays usable.
+//!
+//! Requests (`type` field selects):
+//!
+//! - `{"type": "submit", "graph": "gen:grid:32x32", "method": "sp",
+//!   "parts": 4, "seed": 1, "deadline_ms": 5000}` — the `graph` string
+//!   names a generated workload (`gen:grid:WxH` or `suite:name[:scale]`
+//!   with scale `tiny`|`bench`); alternatively `"chaco": "<file text>"`
+//!   submits an inline Chaco graph.
+//! - `{"type": "stats"}` — service counters and latency percentiles.
+//! - `{"type": "shutdown"}` — graceful drain, then the server exits.
+
+use crate::json::Value;
+use crate::service::{JobOutcome, SubmitError};
+use scalapart::Method;
+use sp_geometry::Point2;
+use sp_graph::gen::{grid_2d, grid_2d_coords};
+use sp_graph::suite::{SuiteGraph, TestScale};
+use sp_graph::{io::read_chaco, Graph};
+use sp_trace::json::{escape, num};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Largest accepted frame payload (16 MiB) — enough for a multi-million
+/// vertex label vector, small enough to bound a hostile allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Read one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly before a header.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// A decoded client request.
+pub enum Request {
+    Submit {
+        graph: Arc<Graph>,
+        coords: Option<Arc<Vec<Point2>>>,
+        method: Method,
+        parts: usize,
+        seed: u64,
+        deadline_ms: Option<u64>,
+    },
+    Stats,
+    Shutdown,
+}
+
+impl Request {
+    /// Decode a request frame. Errors are human-readable one-liners that
+    /// go straight into an `error` response.
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+        let v = Value::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("missing \"type\" field")?;
+        match ty {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "submit" => Self::decode_submit(&v),
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+
+    fn decode_submit(v: &Value) -> Result<Request, String> {
+        let (graph, coords) = match (v.get("graph"), v.get("chaco")) {
+            (Some(spec), None) => {
+                let spec = spec.as_str().ok_or("\"graph\" must be a string")?;
+                parse_graph_spec(spec)?
+            }
+            (None, Some(text)) => {
+                let text = text.as_str().ok_or("\"chaco\" must be a string")?;
+                let g = read_chaco(text.as_bytes()).map_err(|e| format!("bad chaco graph: {e}"))?;
+                (Arc::new(g), None)
+            }
+            (Some(_), Some(_)) => return Err("give either \"graph\" or \"chaco\", not both".into()),
+            (None, None) => return Err("submit needs a \"graph\" spec or inline \"chaco\"".into()),
+        };
+        let method_name = v
+            .get("method")
+            .and_then(Value::as_str)
+            .ok_or("missing \"method\"")?;
+        let method =
+            Method::parse(method_name).ok_or_else(|| format!("unknown method {method_name:?}"))?;
+        let parts = v
+            .get("parts")
+            .and_then(Value::as_usize)
+            .ok_or("missing or non-integer \"parts\"")?;
+        if parts < 2 || parts > graph.n() {
+            return Err(format!(
+                "\"parts\" must be in 2..=n ({} vertices), got {parts}",
+                graph.n()
+            ));
+        }
+        let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(1);
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(d) => Some(
+                d.as_u64()
+                    .ok_or("\"deadline_ms\" must be a non-negative integer")?,
+            ),
+        };
+        Ok(Request::Submit {
+            graph,
+            coords,
+            method,
+            parts,
+            seed,
+            deadline_ms,
+        })
+    }
+}
+
+type GraphAndCoords = (Arc<Graph>, Option<Arc<Vec<Point2>>>);
+
+/// Resolve a `gen:grid:WxH` or `suite:name[:scale]` workload name.
+fn parse_graph_spec(spec: &str) -> Result<GraphAndCoords, String> {
+    let mut it = spec.split(':');
+    match it.next() {
+        Some("gen") => match it.next() {
+            Some("grid") => {
+                let dims = it
+                    .next()
+                    .ok_or("gen:grid needs dimensions, e.g. gen:grid:32x32")?;
+                let (w, h) = dims
+                    .split_once('x')
+                    .ok_or("grid dimensions must look like 32x32")?;
+                let parse = |s: &str| -> Result<usize, String> {
+                    let v: usize = s.parse().map_err(|_| format!("bad grid dimension {s:?}"))?;
+                    if (2..=4096).contains(&v) {
+                        Ok(v)
+                    } else {
+                        Err(format!("grid dimension {v} outside 2..=4096"))
+                    }
+                };
+                let (w, h) = (parse(w)?, parse(h)?);
+                Ok((
+                    Arc::new(grid_2d(h, w)),
+                    Some(Arc::new(grid_2d_coords(h, w))),
+                ))
+            }
+            other => Err(format!("unknown generator {other:?}; try gen:grid:WxH")),
+        },
+        Some("suite") => {
+            let name = it.next().ok_or("suite: needs a graph name")?;
+            let which = SuiteGraph::all()
+                .into_iter()
+                .find(|s| s.name() == name)
+                .ok_or_else(|| {
+                    let names: Vec<&str> = SuiteGraph::all().iter().map(|s| s.name()).collect();
+                    format!("unknown suite graph {name:?}; known: {}", names.join(", "))
+                })?;
+            let scale = match it.next() {
+                None | Some("tiny") => TestScale::Tiny,
+                Some("bench") => TestScale::Bench,
+                Some(other) => return Err(format!("unknown scale {other:?}; use tiny or bench")),
+            };
+            let tg = which.instantiate(scale, 1);
+            Ok((Arc::new(tg.graph), tg.coords.map(Arc::new)))
+        }
+        _ => Err(format!(
+            "unknown graph spec {spec:?}; use gen:grid:WxH or suite:name[:scale]"
+        )),
+    }
+}
+
+/// Encode a finished job as a response frame payload. `result_json` from
+/// the cache is embedded verbatim, so a cache hit's response body is
+/// byte-identical to the original's `result` object.
+pub fn encode_outcome(outcome: &JobOutcome) -> String {
+    match outcome {
+        JobOutcome::Done {
+            result,
+            cache_hit,
+            latency_ms,
+        } => format!(
+            "{{\"type\": \"result\", \"status\": \"ok\", \"cache_hit\": {}, \"latency_ms\": {}, \"sim_time\": {}, \"fingerprint\": \"{:016x}\", \"result\": {}}}",
+            cache_hit,
+            num(*latency_ms),
+            num(result.sim_time),
+            result.input_fp,
+            result.result_json
+        ),
+        JobOutcome::Timeout { latency_ms } => format!(
+            "{{\"type\": \"result\", \"status\": \"timeout\", \"latency_ms\": {}, \"message\": \"deadline exceeded; job cancelled at a pipeline checkpoint\"}}",
+            num(*latency_ms)
+        ),
+        JobOutcome::Failed {
+            message,
+            latency_ms,
+        } => format!(
+            "{{\"type\": \"result\", \"status\": \"failed\", \"latency_ms\": {}, \"message\": \"{}\"}}",
+            num(*latency_ms),
+            escape(message)
+        ),
+    }
+}
+
+/// Encode a backpressure rejection.
+pub fn encode_rejection(err: &SubmitError) -> String {
+    match err {
+        SubmitError::QueueFull { retry_after_ms } => format!(
+            "{{\"type\": \"result\", \"status\": \"rejected\", \"reason\": \"queue_full\", \"retry_after_ms\": {retry_after_ms}}}"
+        ),
+        SubmitError::ShuttingDown => {
+            "{\"type\": \"result\", \"status\": \"rejected\", \"reason\": \"shutting_down\"}"
+                .to_string()
+        }
+    }
+}
+
+/// Encode a protocol-level error (malformed frame, unknown type, …).
+pub fn encode_error(message: &str) -> String {
+    format!(
+        "{{\"type\": \"error\", \"message\": \"{}\"}}",
+        escape(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(s: &str) -> Result<Request, String> {
+        Request::decode(s.as_bytes())
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"type\": \"stats\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            b"{\"type\": \"stats\"}"
+        );
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_hang() {
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn submit_decodes_grid_suite_and_chaco() {
+        let r = decode(
+            r#"{"type": "submit", "graph": "gen:grid:8x6", "method": "rcb", "parts": 4, "seed": 7}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                graph,
+                coords,
+                method,
+                parts,
+                seed,
+                deadline_ms,
+            } => {
+                assert_eq!(graph.n(), 48);
+                assert_eq!(coords.unwrap().len(), 48);
+                assert_eq!(method, Method::Rcb);
+                assert_eq!((parts, seed, deadline_ms), (4, 7, None));
+            }
+            _ => panic!("expected Submit"),
+        }
+
+        let r =
+            decode(r#"{"type": "submit", "graph": "suite:kkt_power", "method": "sp", "parts": 2}"#)
+                .unwrap();
+        match r {
+            Request::Submit { graph, coords, .. } => {
+                assert!(graph.n() >= 256);
+                assert!(coords.is_none(), "kkt_power is the coordinate-free case");
+            }
+            _ => panic!("expected Submit"),
+        }
+
+        let chaco = "3 2\n2\n1 3\n2\n";
+        let req = format!(
+            "{{\"type\": \"submit\", \"chaco\": \"{}\", \"method\": \"parmetis\", \"parts\": 2}}",
+            sp_trace::json::escape(chaco)
+        );
+        match decode(&req).unwrap() {
+            Request::Submit { graph, .. } => assert_eq!((graph.n(), graph.m()), (3, 2)),
+            _ => panic!("expected Submit"),
+        }
+    }
+
+    #[test]
+    fn malformed_submits_are_rejected_with_reasons() {
+        for (req, want) in [
+            ("{\"type\": \"nope\"}", "unknown request type"),
+            ("{\"no_type\": 1}", "missing \"type\""),
+            ("not json at all", "bad JSON"),
+            (
+                r#"{"type": "submit", "method": "sp", "parts": 2}"#,
+                "needs a \"graph\"",
+            ),
+            (
+                r#"{"type": "submit", "graph": "gen:grid:2x2", "method": "sp", "parts": 9}"#,
+                "\"parts\" must be in 2..=n",
+            ),
+            (
+                r#"{"type": "submit", "graph": "gen:grid:4x4", "method": "quantum", "parts": 2}"#,
+                "unknown method",
+            ),
+            (
+                r#"{"type": "submit", "graph": "gen:grid:9999999x2", "method": "sp", "parts": 2}"#,
+                "outside 2..=4096",
+            ),
+            (
+                r#"{"type": "submit", "graph": "suite:no_such", "method": "sp", "parts": 2}"#,
+                "unknown suite graph",
+            ),
+            (
+                r#"{"type": "submit", "chaco": "2 5\n2\n1\n", "method": "sp", "parts": 2}"#,
+                "bad chaco graph",
+            ),
+        ] {
+            let err = match decode(req) {
+                Err(e) => e,
+                Ok(_) => panic!("{req}: unexpectedly accepted"),
+            };
+            assert!(err.contains(want), "{req}: {err}");
+        }
+    }
+
+    #[test]
+    fn error_encoding_escapes_payloads() {
+        let e = encode_error("tab\there \"quoted\"");
+        let v = Value::parse(&e).unwrap();
+        assert_eq!(
+            v.get("message").unwrap().as_str().unwrap(),
+            "tab\there \"quoted\""
+        );
+    }
+}

@@ -1,0 +1,739 @@
+//! The in-process partitioning service: a bounded job queue feeding a
+//! worker-thread pool, with an LRU result cache in front.
+//!
+//! Control flow of one request:
+//!
+//! 1. [`Service::submit`] computes the cache key; a hit returns the stored
+//!    result immediately (bit-identical labels, no queueing).
+//! 2. A miss tries to enqueue. If the queue is at capacity the submit is
+//!    **rejected with a retry-after hint** — explicit backpressure, never
+//!    an unbounded queue or a hang. If the service is draining it is
+//!    rejected as shutting down.
+//! 3. A worker pops the job and runs it on a **fresh simulated machine**
+//!    with a deadline-polling [`PipelineObserver`]: when the job's
+//!    deadline passes, the next pipeline checkpoint returns `Cancelled`,
+//!    the partial work is dropped, and the worker is immediately free for
+//!    the next job — cancellation is cooperative, never a thread kill, so
+//!    no simulated-rank closure is ever torn down midway.
+//! 4. Completed results are validated, serialized once through
+//!    [`KWayPartition::to_json`] (the same path the CLI uses), cached, and
+//!    handed to the waiting submitter.
+//!
+//! [`Service::shutdown`] drains gracefully: no new jobs are accepted,
+//! queued jobs still run to completion, and workers exit once the queue is
+//! empty.
+
+use crate::cache::{CacheKey, LruCache};
+use crate::fingerprint::fingerprint_input;
+use scalapart::machine::{CostModel, Machine};
+use scalapart::{recursive_kway_checked_on, Method, PartitionSummary, PipelineObserver};
+use sp_geometry::Point2;
+use sp_graph::Graph;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads running partitioning jobs.
+    pub workers: usize,
+    /// Bounded queue depth; submits beyond this are rejected.
+    pub queue_capacity: usize,
+    /// LRU result-cache entries.
+    pub cache_capacity: usize,
+    /// Simulated ranks each job runs on.
+    pub ranks: usize,
+    /// Deadline applied to jobs that don't carry their own.
+    pub default_deadline_ms: u64,
+    /// Retry hint returned with queue-full rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            ranks: 8,
+            default_deadline_ms: 30_000,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One partitioning request.
+#[derive(Clone)]
+pub struct JobSpec {
+    pub graph: Arc<Graph>,
+    pub coords: Option<Arc<Vec<Point2>>>,
+    pub method: Method,
+    pub parts: usize,
+    pub seed: u64,
+    /// Per-job deadline; `None` uses the service default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A finished partition, as stored in the cache and returned to clients.
+pub struct PartitionOutput {
+    /// Vertex → part labels.
+    pub part: Vec<u32>,
+    pub k: usize,
+    pub summary: PartitionSummary,
+    /// Simulated time the job took on its fresh machine.
+    pub sim_time: f64,
+    /// Input fingerprint (graph ⊕ coords), echoed to clients.
+    pub input_fp: u64,
+    /// The partition serialized via `KWayPartition::to_json` — computed
+    /// once, shared verbatim by every response that hits this entry.
+    pub result_json: String,
+}
+
+/// Terminal state of an accepted job.
+pub enum JobOutcome {
+    /// Finished; `cache_hit` tells whether work was actually done.
+    Done {
+        result: Arc<PartitionOutput>,
+        cache_hit: bool,
+        latency_ms: f64,
+    },
+    /// Deadline passed (in queue or at a pipeline checkpoint).
+    Timeout { latency_ms: f64 },
+    /// The job panicked or produced an invalid partition.
+    Failed { message: String, latency_ms: f64 },
+}
+
+/// Why a submit was not accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — retry after the hinted delay.
+    QueueFull { retry_after_ms: u64 },
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { retry_after_ms } => {
+                write!(f, "queue full; retry after {retry_after_ms} ms")
+            }
+            SubmitError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+/// A submitted job to wait on.
+pub enum Ticket {
+    /// Cache hit — resolved at submit time.
+    Hit(JobOutcome),
+    /// Queued — wait for a worker.
+    Pending(Arc<Job>),
+}
+
+pub struct Job {
+    spec: JobSpec,
+    key: CacheKey,
+    enqueued: Instant,
+    deadline: Instant,
+    slot: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    rejected: u64,
+    timeouts: u64,
+    failed: u64,
+}
+
+struct State {
+    queue: VecDeque<Arc<Job>>,
+    active: usize,
+    closed: bool,
+    cache: LruCache<PartitionOutput>,
+    counters: Counters,
+    /// Completed-request latencies (ms), newest last, capped.
+    latencies: VecDeque<f64>,
+}
+
+const LATENCY_WINDOW: usize = 4096;
+
+struct Inner {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    job_ready: Condvar,
+    idle: Condvar,
+}
+
+/// The concurrent partitioning service. Cheap to clone; all clones share
+/// one queue, worker pool, and cache.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Service {
+    /// Start the worker pool.
+    pub fn start(cfg: ServeConfig) -> Service {
+        let cfg = ServeConfig {
+            workers: cfg.workers.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            ranks: cfg.ranks.max(1),
+            ..cfg
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                active: 0,
+                closed: false,
+                cache: LruCache::new(cfg.cache_capacity),
+                counters: Counters::default(),
+                latencies: VecDeque::new(),
+            }),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
+            cfg,
+        });
+        let workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(inner))
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Arc::new(Mutex::new(workers)),
+        }
+    }
+
+    fn key_of(&self, spec: &JobSpec) -> CacheKey {
+        CacheKey {
+            input: fingerprint_input(&spec.graph, spec.coords.as_ref().map(|c| c.as_slice())),
+            method: spec.method,
+            parts: spec.parts,
+            ranks: self.inner.cfg.ranks,
+            seed: spec.seed,
+        }
+    }
+
+    /// Submit a job. Returns immediately: either a resolved cache hit, a
+    /// pending ticket, or a backpressure rejection.
+    pub fn submit(&self, spec: JobSpec) -> Result<Ticket, SubmitError> {
+        let key = self.key_of(&spec);
+        let now = Instant::now();
+        let mut st = self.inner.state.lock().unwrap();
+        st.counters.submitted += 1;
+        if let Some(result) = st.cache.get(&key) {
+            st.counters.cache_hits += 1;
+            st.counters.completed += 1;
+            let latency_ms = now.elapsed().as_secs_f64() * 1e3;
+            push_latency(&mut st, latency_ms);
+            return Ok(Ticket::Hit(JobOutcome::Done {
+                result,
+                cache_hit: true,
+                latency_ms,
+            }));
+        }
+        if st.closed {
+            st.counters.rejected += 1;
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.cfg.queue_capacity {
+            st.counters.rejected += 1;
+            return Err(SubmitError::QueueFull {
+                retry_after_ms: self.inner.cfg.retry_after_ms,
+            });
+        }
+        st.counters.cache_misses += 1;
+        let deadline_ms = spec
+            .deadline_ms
+            .unwrap_or(self.inner.cfg.default_deadline_ms);
+        let job = Arc::new(Job {
+            key,
+            deadline: now + Duration::from_millis(deadline_ms),
+            enqueued: now,
+            spec,
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        st.queue.push_back(job.clone());
+        drop(st);
+        self.inner.job_ready.notify_one();
+        Ok(Ticket::Pending(job))
+    }
+
+    /// Block until the ticket's job finishes.
+    pub fn wait(&self, ticket: Ticket) -> JobOutcome {
+        match ticket {
+            Ticket::Hit(outcome) => outcome,
+            Ticket::Pending(job) => {
+                let mut slot = job.slot.lock().unwrap();
+                while slot.is_none() {
+                    slot = job.done.wait(slot).unwrap();
+                }
+                slot.take().unwrap()
+            }
+        }
+    }
+
+    /// [`submit`](Self::submit) + [`wait`](Self::wait).
+    pub fn submit_wait(&self, spec: JobSpec) -> Result<JobOutcome, SubmitError> {
+        let ticket = self.submit(spec)?;
+        Ok(self.wait(ticket))
+    }
+
+    /// Snapshot of the service counters and queue state.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.inner.state.lock().unwrap();
+        let c = st.counters;
+        let mut lat: Vec<f64> = st.latencies.iter().copied().collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| -> f64 {
+            if lat.is_empty() {
+                0.0
+            } else {
+                let idx = ((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1;
+                lat[idx]
+            }
+        };
+        ServiceStats {
+            workers: self.inner.cfg.workers,
+            queue_capacity: self.inner.cfg.queue_capacity,
+            queue_depth: st.queue.len(),
+            active: st.active,
+            draining: st.closed,
+            submitted: c.submitted,
+            completed: c.completed,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            rejected: c.rejected,
+            timeouts: c.timeouts,
+            failed: c.failed,
+            cache_entries: st.cache.len(),
+            cache_capacity: st.cache.capacity(),
+            latency_count: lat.len(),
+            latency_p50_ms: q(0.50),
+            latency_p90_ms: q(0.90),
+            latency_p99_ms: q(0.99),
+            latency_max_ms: lat.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Graceful drain: stop accepting, let queued jobs finish, join the
+    /// workers. Idempotent; concurrent callers all return after the drain.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.closed = true;
+        }
+        self.inner.job_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        // Late callers (or clones) wait for the queue to empty too.
+        let mut st = self.inner.state.lock().unwrap();
+        while !st.queue.is_empty() || st.active > 0 {
+            st = self.inner.idle.wait(st).unwrap();
+        }
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().unwrap().closed
+    }
+}
+
+fn push_latency(st: &mut State, ms: f64) {
+    if st.latencies.len() >= LATENCY_WINDOW {
+        st.latencies.pop_front();
+    }
+    st.latencies.push_back(ms);
+}
+
+/// Deadline polling threaded through the pipeline checkpoints.
+struct DeadlineObserver {
+    deadline: Instant,
+}
+
+impl PipelineObserver for DeadlineObserver {
+    fn poll_cancel(&mut self) -> bool {
+        Instant::now() >= self.deadline
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if let Some(j) = st.queue.pop_front() {
+                    st.active += 1;
+                    break j;
+                }
+                if st.closed {
+                    inner.idle.notify_all();
+                    return;
+                }
+                st = inner.job_ready.wait(st).unwrap();
+            }
+        };
+        let outcome = run_job(&inner.cfg, &job);
+        {
+            let mut st = inner.state.lock().unwrap();
+            st.active -= 1;
+            let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+            match &outcome {
+                JobOutcome::Done { result, .. } => {
+                    st.counters.completed += 1;
+                    st.cache.insert(job.key, result.clone());
+                }
+                JobOutcome::Timeout { .. } => st.counters.timeouts += 1,
+                JobOutcome::Failed { .. } => st.counters.failed += 1,
+            }
+            push_latency(&mut st, latency_ms);
+            if st.queue.is_empty() && st.active == 0 {
+                inner.idle.notify_all();
+            }
+        }
+        *job.slot.lock().unwrap() = Some(outcome);
+        job.done.notify_all();
+    }
+}
+
+fn run_job(cfg: &ServeConfig, job: &Job) -> JobOutcome {
+    let latency = |j: &Job| j.enqueued.elapsed().as_secs_f64() * 1e3;
+    if Instant::now() >= job.deadline {
+        // Expired while queued: report timeout without starting.
+        return JobOutcome::Timeout {
+            latency_ms: latency(job),
+        };
+    }
+    let spec = &job.spec;
+    let graph = spec.graph.clone();
+    let coords = spec.coords.clone();
+    let (method, parts, seed, ranks) = (spec.method, spec.parts, spec.seed, cfg.ranks);
+    let deadline = job.deadline;
+    // Worker threads must survive any panicking job (graceful
+    // degradation): a poisoned input becomes a Failed outcome, not a dead
+    // worker.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut machine = Machine::new(ranks, CostModel::qdr_infiniband());
+        let mut obs = DeadlineObserver { deadline };
+        let kp = recursive_kway_checked_on(
+            method,
+            &graph,
+            coords.as_ref().map(|c| c.as_slice()),
+            parts,
+            seed,
+            &mut machine,
+            &mut obs,
+        )?;
+        Ok((kp, machine.elapsed()))
+    }));
+    match run {
+        Ok(Ok((kp, sim_time))) => {
+            if let Err(e) = kp.validate(&spec.graph) {
+                return JobOutcome::Failed {
+                    message: format!("invalid partition: {e}"),
+                    latency_ms: latency(job),
+                };
+            }
+            let result = Arc::new(PartitionOutput {
+                summary: kp.summary(&spec.graph),
+                result_json: kp.to_json(&spec.graph),
+                part: kp.part,
+                k: kp.k,
+                sim_time,
+                input_fp: job.key.input,
+            });
+            JobOutcome::Done {
+                result,
+                cache_hit: false,
+                latency_ms: latency(job),
+            }
+        }
+        Ok(Err(scalapart::Cancelled)) => JobOutcome::Timeout {
+            latency_ms: latency(job),
+        },
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".into());
+            JobOutcome::Failed {
+                message: msg,
+                latency_ms: latency(job),
+            }
+        }
+    }
+}
+
+/// Counter snapshot exposed through `stats` requests and `--metrics`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceStats {
+    pub workers: usize,
+    pub queue_capacity: usize,
+    pub queue_depth: usize,
+    pub active: usize,
+    pub draining: bool,
+    pub submitted: u64,
+    pub completed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub rejected: u64,
+    pub timeouts: u64,
+    pub failed: u64,
+    pub cache_entries: usize,
+    pub cache_capacity: usize,
+    pub latency_count: usize,
+    pub latency_p50_ms: f64,
+    pub latency_p90_ms: f64,
+    pub latency_p99_ms: f64,
+    pub latency_max_ms: f64,
+}
+
+impl ServiceStats {
+    /// Hit rate over resolved lookups (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// JSON snapshot, same emission conventions as sp-trace's metrics
+    /// (shortest round-trip floats via [`sp_trace::json::num`]).
+    pub fn to_json(&self) -> String {
+        use sp_trace::json::num;
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"schema\": \"sp-serve-stats-v1\"");
+        s.push_str(&format!(", \"workers\": {}", self.workers));
+        s.push_str(&format!(", \"queue_capacity\": {}", self.queue_capacity));
+        s.push_str(&format!(", \"queue_depth\": {}", self.queue_depth));
+        s.push_str(&format!(", \"active\": {}", self.active));
+        s.push_str(&format!(", \"draining\": {}", self.draining));
+        s.push_str(&format!(", \"submitted\": {}", self.submitted));
+        s.push_str(&format!(", \"completed\": {}", self.completed));
+        s.push_str(&format!(", \"cache_hits\": {}", self.cache_hits));
+        s.push_str(&format!(", \"cache_misses\": {}", self.cache_misses));
+        s.push_str(&format!(", \"hit_rate\": {}", num(self.hit_rate())));
+        s.push_str(&format!(", \"rejected\": {}", self.rejected));
+        s.push_str(&format!(", \"timeouts\": {}", self.timeouts));
+        s.push_str(&format!(", \"failed\": {}", self.failed));
+        s.push_str(&format!(", \"cache_entries\": {}", self.cache_entries));
+        s.push_str(&format!(", \"cache_capacity\": {}", self.cache_capacity));
+        s.push_str(&format!(
+            ", \"latency_ms\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+            self.latency_count,
+            num(self.latency_p50_ms),
+            num(self.latency_p90_ms),
+            num(self.latency_p99_ms),
+            num(self.latency_max_ms)
+        ));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::{grid_2d, grid_2d_coords};
+
+    fn spec(side: usize, method: Method, seed: u64) -> JobSpec {
+        JobSpec {
+            graph: Arc::new(grid_2d(side, side)),
+            coords: Some(Arc::new(grid_2d_coords(side, side))),
+            method,
+            parts: 4,
+            seed,
+            deadline_ms: None,
+        }
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            ranks: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn submit_runs_caches_and_reuses_bit_identically() {
+        let svc = Service::start(small_cfg());
+        let s = spec(16, Method::Rcb, 1);
+        let first = svc.submit_wait(s.clone()).unwrap();
+        let (labels, fp) = match &first {
+            JobOutcome::Done {
+                result, cache_hit, ..
+            } => {
+                assert!(!cache_hit);
+                (result.part.clone(), result.input_fp)
+            }
+            _ => panic!("expected Done"),
+        };
+        let second = svc.submit_wait(s).unwrap();
+        match &second {
+            JobOutcome::Done {
+                result, cache_hit, ..
+            } => {
+                assert!(cache_hit, "identical resubmit must hit the cache");
+                assert_eq!(result.part, labels);
+                assert_eq!(result.input_fp, fp);
+            }
+            _ => panic!("expected Done"),
+        }
+        let st = svc.stats();
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.cache_misses, 1);
+        assert_eq!(st.completed, 2);
+        assert!(st.hit_rate() > 0.49 && st.hit_rate() < 0.51);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn graphs_differing_only_in_edge_weights_get_distinct_cache_entries() {
+        // Cache-key correctness end to end: same topology, different edge
+        // weights → different fingerprints → two misses, two entries.
+        let svc = Service::start(small_cfg());
+        let mk = |w: f64| {
+            let mut b = sp_graph::GraphBuilder::new(64);
+            for i in 0..63u32 {
+                b.add_edge(i, i + 1, if i == 31 { w } else { 1.0 });
+            }
+            Arc::new(b.build())
+        };
+        let job = |g: Arc<Graph>| JobSpec {
+            graph: g,
+            coords: None,
+            method: Method::ParMetisLike,
+            parts: 2,
+            seed: 9,
+            deadline_ms: None,
+        };
+        svc.submit_wait(job(mk(1.0))).unwrap();
+        svc.submit_wait(job(mk(1000.0))).unwrap();
+        let st = svc.stats();
+        assert_eq!(st.cache_misses, 2, "distinct weights must not collide");
+        assert_eq!(st.cache_entries, 2);
+        assert_eq!(st.cache_hits, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_cooperatively_and_worker_survives() {
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            ..small_cfg()
+        });
+        let mut s = spec(48, Method::ScalaPart, 2);
+        s.deadline_ms = Some(0);
+        match svc.submit_wait(s).unwrap() {
+            JobOutcome::Timeout { .. } => {}
+            _ => panic!("expected Timeout"),
+        }
+        // The same worker must immediately serve the next job.
+        match svc.submit_wait(spec(12, Method::Rcb, 3)).unwrap() {
+            JobOutcome::Done { result, .. } => result
+                .part
+                .iter()
+                .for_each(|&p| assert!((p as usize) < result.k)),
+            _ => panic!("expected Done after timeout"),
+        }
+        let st = svc.stats();
+        assert_eq!(st.timeouts, 1);
+        assert_eq!(st.completed, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn queue_full_submits_are_rejected_not_hung() {
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            ranks: 4,
+            ..Default::default()
+        });
+        // Occupy the worker and fill the 1-slot queue, then overflow.
+        let slow = || spec(56, Method::ScalaPart, 4);
+        let t1 = svc.submit(slow()).unwrap();
+        let mut rejected = 0;
+        let mut pending = vec![t1];
+        for i in 0..6 {
+            match svc.submit(spec(56, Method::ScalaPart, 10 + i)) {
+                Ok(t) => pending.push(t),
+                Err(SubmitError::QueueFull { retry_after_ms }) => {
+                    assert!(retry_after_ms > 0);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(rejected >= 4, "only {rejected} rejections");
+        assert_eq!(svc.stats().rejected, rejected);
+        for t in pending {
+            match svc.wait(t) {
+                JobOutcome::Done { .. } => {}
+                _ => panic!("accepted job must complete"),
+            }
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..small_cfg()
+        });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| svc.submit(spec(20, Method::Rcb, 100 + i)).unwrap())
+            .collect();
+        let svc2 = svc.clone();
+        let drainer = std::thread::spawn(move || svc2.shutdown());
+        for t in tickets {
+            match svc.wait(t) {
+                JobOutcome::Done { .. } => {}
+                _ => panic!("queued job dropped during drain"),
+            }
+        }
+        drainer.join().unwrap();
+        assert!(svc.is_closed());
+        assert_eq!(svc.stats().completed, 4);
+        assert!(matches!(
+            svc.submit(spec(8, Method::Rcb, 1)),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let svc = Service::start(small_cfg());
+        svc.submit_wait(spec(12, Method::Rcb, 5)).unwrap();
+        let j = svc.stats().to_json();
+        assert!(j.contains("\"schema\": \"sp-serve-stats-v1\""), "{j}");
+        assert!(j.contains("\"queue_depth\": 0"));
+        assert!(j.contains("\"p99\""));
+        let parsed = crate::json::Value::parse(&j).unwrap();
+        assert_eq!(parsed.get("completed").unwrap().as_u64(), Some(1));
+        assert!(parsed.get("latency_ms").unwrap().get("max").is_some());
+        svc.shutdown();
+    }
+}
