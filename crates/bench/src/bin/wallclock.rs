@@ -30,9 +30,11 @@ use scalapart::geopart::parallel_geometric_partition;
 use scalapart::graph::distr::Distribution;
 use scalapart::graph::Graph;
 use scalapart::machine::{CostModel, CostOnly, Machine};
+use scalapart::obs::rss;
 use scalapart::refine::{fm_refine, strip_around_separator};
 use scalapart::SpConfig;
 use sp_bench::reference::{demo_grid, reference_lattice_smooth, seed_lattice_smooth};
+use sp_bench::report::rss_mb_json;
 use sp_embed::lattice::LatticeConfig;
 use sp_embed::{lattice_smooth_with, SmoothScratch};
 use std::fmt::Write as _;
@@ -61,6 +63,10 @@ fn main() {
         let mut wall_ref = f64::INFINITY;
         let mut wall_new = f64::INFINITY;
         let mut sim_new = 0.0f64;
+        // Peak RSS over the scenario (reset is best-effort: without
+        // /proc/self/clear_refs the number is a cumulative high-water
+        // mark, still an upper bound for this scenario).
+        rss::reset_peak();
         for _ in 0..repeats {
             // Wall-clock baseline: the seed commit's smoother, fully
             // faithful (full-sort lattice builds, per-iteration rebuilds
@@ -103,17 +109,18 @@ fn main() {
         }
 
         let speedup = wall_ref / wall_new.max(1e-9);
+        let peak_rss = rss_mb_json(rss::peak_rss_bytes());
         eprintln!(
             "embed {rows}x{cols} q={q}: reference {wall_ref:.1} ms, \
              optimized {wall_new:.1} ms, speedup {speedup:.2}x, \
-             simulated {sim_new:.6e} s (exact match)"
+             simulated {sim_new:.6e} s (exact match), peak RSS {peak_rss} MiB"
         );
         let _ = writeln!(
             json,
             "    {{\"rows\": {rows}, \"cols\": {cols}, \"q\": {q}, \
              \"wall_ms_reference\": {wall_ref:.3}, \"wall_ms_optimized\": {wall_new:.3}, \
              \"speedup\": {speedup:.3}, \"simulated_time\": {sim_new:.17e}, \
-             \"simulated_time_matches\": true}}{}",
+             \"simulated_time_matches\": true, \"peak_rss_mb\": {peak_rss}}}{}",
             if i + 1 < scenarios.len() { "," } else { "" }
         );
     }
@@ -147,6 +154,8 @@ fn main() {
 /// structure) but keeps an `Instant` around each phase — the library entry
 /// point deliberately has no host-timing hooks.
 fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String {
+    // Per-run memory high-water mark (best-effort reset, see above).
+    rss::reset_peak();
     let cfg = SpConfig::default();
     let mut machine = Machine::new(p, CostModel::qdr_infiniband());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -240,10 +249,11 @@ fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String 
     let sim_refine = machine.elapsed() - sim_coarsen - sim_embed - sim_partition;
 
     let cut = bisection.cut_edges(g);
+    let peak_rss = rss_mb_json(rss::peak_rss_bytes());
     eprintln!(
         "pipeline grid{rows}x{cols} p={p}: wall ms coarsen {wall_coarsen:.1} / \
          embed {wall_embed:.1} / partition {wall_partition:.1} / refine {wall_refine:.1}, \
-         simulated total {:.3e} s, cut {cut}",
+         simulated total {:.3e} s, cut {cut}, peak RSS {peak_rss} MiB",
         machine.elapsed()
     );
     format!(
@@ -252,7 +262,7 @@ fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String 
          \"partition\": {wall_partition:.3}, \"refine\": {wall_refine:.3}}}, \
          \"simulated\": {{\"coarsen\": {sim_coarsen:.6e}, \"embed\": {sim_embed:.6e}, \
          \"partition\": {sim_partition:.6e}, \"refine\": {sim_refine:.6e}, \
-         \"total\": {:.6e}}}, \"cut\": {cut}}}",
+         \"total\": {:.6e}}}, \"cut\": {cut}, \"peak_rss_mb\": {peak_rss}}}",
         machine.elapsed()
     )
 }

@@ -17,7 +17,8 @@
 //!   scalapart gen:grid:64x64 --ranks 16 --trace run.trace.json --metrics run.metrics.json
 
 use scalapart::machine::{CostModel, Machine, Metrics, TraceRecorder};
-use scalapart::{recursive_kway_on, Method};
+use scalapart::obs::{JsonlLog, Record};
+use scalapart::{recursive_kway_checked_on, recursive_kway_on, Method, ProfilingObserver};
 use sp_geometry::Point2;
 use sp_graph::gen::{grid_2d, grid_2d_coords};
 use sp_graph::io::{read_chaco, read_coords, read_matrix_market};
@@ -36,6 +37,7 @@ struct Args {
     json: Option<PathBuf>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    obs_log: Option<PathBuf>,
     seed: u64,
 }
 
@@ -66,6 +68,8 @@ fn usage() -> ! {
            --trace FILE            write Chrome trace-event JSON of the simulated run\n\
                                    (load in chrome://tracing or ui.perfetto.dev)\n\
            --metrics FILE          write per-phase / per-rank metrics JSON\n\
+           --obs-log FILE          append host-runtime JSONL records (run_start,\n\
+                                   phase_profile with per-phase wall ms + RSS, run_done)\n\
            --seed N                RNG seed (default 42)"
     );
     std::process::exit(0);
@@ -83,6 +87,7 @@ fn parse_args() -> Args {
         json: None,
         trace: None,
         metrics: None,
+        obs_log: None,
         seed: 42,
     };
     let mut it = std::env::args().skip(1);
@@ -116,6 +121,7 @@ fn parse_args() -> Args {
             "--json" => args.json = Some(PathBuf::from(value(&mut it, "--json"))),
             "--trace" => args.trace = Some(PathBuf::from(value(&mut it, "--trace"))),
             "--metrics" => args.metrics = Some(PathBuf::from(value(&mut it, "--metrics"))),
+            "--obs-log" => args.obs_log = Some(PathBuf::from(value(&mut it, "--obs-log"))),
             "--seed" => {
                 let v = value(&mut it, "--seed");
                 args.seed = v
@@ -216,15 +222,51 @@ fn main() {
         machine.set_recorder(Box::new(TraceRecorder::new(machine.p())));
     }
 
+    let obs_log = args.obs_log.as_ref().map(|p| {
+        let path = p.to_string_lossy();
+        let log = JsonlLog::open(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot open obs log {path}: {e}")));
+        log.emit(
+            Record::new("run_start")
+                .str("input", &args.input)
+                .str("method", args.method.name())
+                .u64("parts", args.parts as u64)
+                .u64("ranks", args.ranks as u64)
+                .u64("seed", args.seed)
+                .u64("n", graph.n() as u64)
+                .u64("m", graph.m() as u64),
+        );
+        log
+    });
+
     let t0 = std::time::Instant::now();
-    let kp = recursive_kway_on(
-        args.method,
-        &graph,
-        coords.as_deref(),
-        args.parts,
-        args.seed,
-        &mut machine,
-    );
+    let (kp, profiler) = if obs_log.is_some() {
+        // Same algorithm, checked entry point: the profiling observer only
+        // samples clocks/RSS at checkpoints and never cancels, so results
+        // are bit-identical to the plain path (sp-verify fuzzes this).
+        let mut prof = ProfilingObserver::new();
+        let kp = recursive_kway_checked_on(
+            args.method,
+            &graph,
+            coords.as_deref(),
+            args.parts,
+            args.seed,
+            &mut machine,
+            &mut prof,
+        )
+        .expect("profiling observer never cancels");
+        (kp, Some(prof.into_profiler()))
+    } else {
+        let kp = recursive_kway_on(
+            args.method,
+            &graph,
+            coords.as_deref(),
+            args.parts,
+            args.seed,
+            &mut machine,
+        );
+        (kp, None)
+    };
     let wall = t0.elapsed();
     kp.validate(&graph).unwrap_or_else(|e| {
         eprintln!("internal error: invalid partition: {e}");
@@ -251,6 +293,26 @@ fn main() {
     if let Some(path) = &args.metrics {
         let metrics = Metrics::build(&stats, recorder.as_deref());
         write_file(path, &metrics.to_json(), "metrics JSON");
+    }
+
+    if let Some(log) = &obs_log {
+        let prof = profiler.as_ref().expect("profiler exists with obs log");
+        let mut rec = Record::new("phase_profile");
+        rec.str("input", &args.input)
+            .str("method", args.method.name())
+            .json("phases", &prof.to_json())
+            .f64("total_wall_ms", wall.as_secs_f64() * 1e3);
+        if let Some(peak) = scalapart::obs::rss::peak_rss_bytes() {
+            rec.f64("peak_rss_mb", scalapart::obs::rss::bytes_to_mib(peak));
+        }
+        log.emit(&rec);
+        log.emit(
+            Record::new("run_done")
+                .str("input", &args.input)
+                .u64("cut", kp.cut_edges(&graph) as u64)
+                .f64("sim_time", sim)
+                .f64("wall_ms", wall.as_secs_f64() * 1e3),
+        );
     }
 
     println!("method     : {}", args.method.name());

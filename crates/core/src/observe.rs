@@ -77,3 +77,105 @@ pub trait PipelineObserver {
 pub struct NoopObserver;
 
 impl PipelineObserver for NoopObserver {}
+
+/// An observer adapter that attributes host wall time and RSS to pipeline
+/// phases using an [`sp_obs::PhaseProfiler`], while forwarding every hook
+/// (including `poll_cancel`) to an optional inner observer.
+///
+/// Phase boundaries fall at the pipeline's own checkpoints: everything up
+/// to `on_hierarchy` is **coarsen**, up to `on_embedding` is **embed**, up
+/// to `on_geo_partition` is **partition**, and up to `on_refined` is
+/// **refine**. Recursive bisections revisit these checkpoints, so samples
+/// accumulate per phase across the whole k-way run (the graph-extraction
+/// overhead between one bisection's refine and the next one's coarsening
+/// lands in the next coarsen span — it is coarsening-side work).
+///
+/// Profiling is strictly passive: the profiler reads `Instant::now()` and
+/// `/proc/self/status` at checkpoints and never touches the graph,
+/// machine, or observer-visible state. The sp-verify passivity fuzz
+/// asserts this end to end.
+pub struct ProfilingObserver<'a> {
+    profiler: sp_obs::PhaseProfiler,
+    inner: Option<&'a mut dyn PipelineObserver>,
+}
+
+impl Default for ProfilingObserver<'static> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> ProfilingObserver<'a> {
+    pub fn new() -> ProfilingObserver<'static> {
+        ProfilingObserver {
+            profiler: sp_obs::PhaseProfiler::new(),
+            inner: None,
+        }
+    }
+
+    /// Profile while also forwarding every checkpoint to `inner` (e.g. an
+    /// invariant checker or a deadline canceller).
+    pub fn wrapping(inner: &'a mut dyn PipelineObserver) -> ProfilingObserver<'a> {
+        ProfilingObserver {
+            profiler: sp_obs::PhaseProfiler::new(),
+            inner: Some(inner),
+        }
+    }
+
+    pub fn profiler(&self) -> &sp_obs::PhaseProfiler {
+        &self.profiler
+    }
+
+    pub fn into_profiler(self) -> sp_obs::PhaseProfiler {
+        self.profiler
+    }
+}
+
+impl PipelineObserver for ProfilingObserver<'_> {
+    fn on_matching(&mut self, g: &Graph, m: &Matching) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_matching(g, m);
+        }
+    }
+
+    fn on_contraction(&mut self, fine: &Graph, m: &Matching, c: &Contraction) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_contraction(fine, m, c);
+        }
+    }
+
+    fn on_hierarchy(&mut self, h: &Hierarchy) {
+        self.profiler.mark("coarsen");
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_hierarchy(h);
+        }
+    }
+
+    fn on_embedding(&mut self, g: &Graph, coords: &[Point2]) {
+        self.profiler.mark("embed");
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_embedding(g, coords);
+        }
+    }
+
+    fn on_geo_partition(&mut self, g: &Graph, geo: &GeoPartResult) {
+        self.profiler.mark("partition");
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_geo_partition(g, geo);
+        }
+    }
+
+    fn on_refined(&mut self, g: &Graph, bi: &Bisection, st: &FmStats) {
+        self.profiler.mark("refine");
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_refined(g, bi, st);
+        }
+    }
+
+    fn poll_cancel(&mut self) -> bool {
+        match self.inner.as_deref_mut() {
+            Some(inner) => inner.poll_cancel(),
+            None => false,
+        }
+    }
+}

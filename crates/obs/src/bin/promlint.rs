@@ -1,0 +1,52 @@
+//! promlint — validate Prometheus text exposition on stdin or from files.
+//!
+//! In-repo replacement for `promtool check metrics`, so CI can lint a
+//! scrape without network access or external binaries. Exit 0 when every
+//! input is clean; exit 1 listing each problem otherwise.
+//!
+//! Usage:
+//!   promlint [FILE...]        # no files: read stdin
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut failed = false;
+    if args.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("promlint: stdin: {e}");
+            std::process::exit(2);
+        }
+        failed |= lint_one("<stdin>", &text);
+    } else {
+        for path in &args {
+            match std::fs::read_to_string(path) {
+                Ok(text) => failed |= lint_one(path, &text),
+                Err(e) => {
+                    eprintln!("promlint: {path}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// Returns true when the input has problems.
+fn lint_one(name: &str, text: &str) -> bool {
+    let errs = sp_obs::prom::lint(text);
+    if errs.is_empty() {
+        let samples = text
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .count();
+        eprintln!("promlint: {name}: OK ({samples} samples)");
+        false
+    } else {
+        for e in &errs {
+            eprintln!("promlint: {name}: {e}");
+        }
+        true
+    }
+}

@@ -1,0 +1,36 @@
+//! sp-obs — host-runtime observability for the ScalaPart workspace.
+//!
+//! This crate watches the *host* process: wall-clock time, resident
+//! memory, queue depths, cache hit rates. It is the complement of
+//! sp-trace, which records the *simulated* machine (message counts,
+//! simulated seconds, deterministic event streams). The two never mix:
+//! sp-trace numbers are bit-reproducible artifacts of the model; sp-obs
+//! numbers describe one particular run on one particular box.
+//!
+//! Pieces:
+//! - [`registry`] — lock-cheap counters/gauges/histograms ([`Registry`]);
+//! - [`hist`] — fixed-bucket histograms with p50/p90/p99 summaries;
+//! - [`prom`] — Prometheus text exposition 0.0.4 render + an in-repo lint
+//!   (used by CI instead of an external promtool);
+//! - [`log`] — structured JSONL event log ([`JsonlLog`], [`Record`]);
+//! - [`rss`] — `/proc/self/status` VmRSS/VmHWM sampling and per-run peak
+//!   reset;
+//! - [`profile`] — per-phase wall + RSS accumulation ([`PhaseProfiler`]).
+//!
+//! The cardinal rule is passivity: observing a run must not change its
+//! outputs. Instruments are atomics (no allocation, no locks on the hot
+//! path), the profiler samples only at phase boundaries, and sp-verify
+//! carries a fuzz asserting bit-identical partitions with observability
+//! on and off.
+
+pub mod hist;
+pub mod log;
+pub mod profile;
+pub mod prom;
+pub mod registry;
+pub mod rss;
+
+pub use hist::Histogram;
+pub use log::{JsonlLog, Record};
+pub use profile::{PhaseProfiler, PhaseSample};
+pub use registry::{Counter, Gauge, Kind, Registry};

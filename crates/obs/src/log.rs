@@ -1,0 +1,198 @@
+//! Structured JSONL event log.
+//!
+//! One JSON object per line, append-only, flushed per record so a crash
+//! loses at most the record being written. Records are built with
+//! [`Record`] — a tiny ordered field builder over the workspace's
+//! serde-free JSON helpers — and every record carries:
+//!
+//! - `ts_ms`: wall-clock milliseconds since the Unix epoch (host time;
+//!   simulated time stays in sp-trace),
+//! - `event`: the record type (`job_enqueued`, `phase_profile`, …),
+//! - `job`: the job ID when the event belongs to one.
+//!
+//! The sink is `Mutex<Writer>`; job runners format their record outside
+//! the lock and hold it only for one `write_all` + `flush`, so the log
+//! can be shared by a worker pool without serialising the workers.
+
+use sp_trace::json;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// An ordered JSON-object builder. Field order is emission order, which
+/// keeps the logs grep-friendly (`^{"ts_ms":…,"event":"…"`).
+pub struct Record {
+    buf: String,
+}
+
+impl Record {
+    pub fn new(event: &str) -> Record {
+        let ts_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut r = Record {
+            buf: String::with_capacity(128),
+        };
+        r.buf.push('{');
+        r.raw("ts_ms", &ts_ms.to_string());
+        r.str("event", event);
+        r
+    }
+
+    fn raw(&mut self, key: &str, value: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&json::escape(key));
+        self.buf.push_str("\":");
+        self.buf.push_str(value);
+    }
+
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Record {
+        let quoted = format!("\"{}\"", json::escape(value));
+        self.raw(key, &quoted);
+        self
+    }
+
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Record {
+        self.raw(key, &value.to_string());
+        self
+    }
+
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Record {
+        self.raw(key, &value.to_string());
+        self
+    }
+
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Record {
+        self.raw(key, &json::num(value));
+        self
+    }
+
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Record {
+        self.raw(key, if value { "true" } else { "false" });
+        self
+    }
+
+    /// Embed a pre-rendered JSON value verbatim (object, array, …). The
+    /// caller vouches for its validity.
+    pub fn json(&mut self, key: &str, value: &str) -> &mut Record {
+        self.raw(key, value);
+        self
+    }
+
+    pub fn finish(&self) -> String {
+        let mut s = self.buf.clone();
+        s.push('}');
+        s
+    }
+}
+
+/// An append-only JSONL sink. Clone the `Arc` around it freely; `emit`
+/// is the only lock-taking call.
+pub struct JsonlLog {
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlLog {
+    /// Open (append) a log file at `path`.
+    pub fn open(path: &str) -> std::io::Result<JsonlLog> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlLog {
+            sink: Mutex::new(Box::new(std::io::BufWriter::new(f))),
+        })
+    }
+
+    /// A log writing to an arbitrary sink (tests, stderr).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> JsonlLog {
+        JsonlLog {
+            sink: Mutex::new(w),
+        }
+    }
+
+    /// Write one record and flush. I/O errors are swallowed: observability
+    /// must never take down the observed process.
+    pub fn emit(&self, record: &Record) {
+        let line = record.finish();
+        let mut sink = self.sink.lock().unwrap();
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.write_all(b"\n");
+        let _ = sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write impl capturing into a shared buffer.
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn records_are_one_json_object_per_line() {
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        let log = JsonlLog::to_writer(Box::new(Shared(buf.clone())));
+        let mut r = Record::new("job_done");
+        r.u64("job", 7)
+            .str("method", "sp")
+            .f64("latency_ms", 12.5)
+            .bool("cache_hit", false);
+        log.emit(&r);
+        let mut r2 = Record::new("phase_profile");
+        r2.u64("job", 8).json("phases", "[{\"phase\":\"embed\"}]");
+        log.emit(&r2);
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"job_done\""));
+        assert!(lines[0].contains("\"job\":7"));
+        assert!(lines[0].contains("\"cache_hit\":false"));
+        assert!(lines[1].contains("\"phases\":[{\"phase\":\"embed\"}]"));
+        for l in &lines {
+            assert!(l.starts_with("{\"ts_ms\":"), "ts first: {l}");
+            assert!(l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = Record::new("x");
+        r.str("msg", "a\"b\nc");
+        let s = r.finish();
+        assert!(s.contains("\"msg\":\"a\\\"b\\nc\""), "{s}");
+    }
+
+    #[test]
+    fn file_log_appends() {
+        let dir = std::env::temp_dir().join(format!("sp-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        let p = path.to_str().unwrap();
+        {
+            let log = JsonlLog::open(p).unwrap();
+            log.emit(Record::new("a").u64("n", 1));
+        }
+        {
+            let log = JsonlLog::open(p).unwrap();
+            log.emit(Record::new("b").u64("n", 2));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,10 +3,11 @@
 //! ```text
 //! sp-serve serve   --addr 127.0.0.1:7070 [--workers N] [--queue N]
 //!                  [--cache N] [--ranks N] [--deadline-ms N] [--metrics FILE]
+//!                  [--obs-log FILE] [--no-profile]
 //! sp-serve submit  --addr 127.0.0.1:7070 --graph gen:grid:32x32
 //!                  --method sp --parts 4 [--seed N] [--deadline-ms N]
 //!                  [--chaco FILE]
-//! sp-serve stats   --addr 127.0.0.1:7070
+//! sp-serve stats   --addr 127.0.0.1:7070 [--prom]
 //! sp-serve shutdown --addr 127.0.0.1:7070
 //! ```
 
@@ -36,6 +37,9 @@ serve options:
   --ranks N            simulated ranks per job (default 8)
   --deadline-ms N      default per-job deadline (default 30000)
   --metrics FILE       write a final stats JSON snapshot on exit
+  --obs-log FILE       append structured JSONL job records (job_submitted,
+                       job_start, phase_profile, job_done, cache_evict)
+  --no-profile         disable per-phase wall/RSS profiling of jobs
 
 submit options:
   --addr HOST:PORT     server address
@@ -44,7 +48,11 @@ submit options:
   --method NAME        sp | sp-pg7nl | rcb | parmetis | ptscotch | g30 | g7 | g7nl
   --parts N            number of parts
   --seed N             RNG seed (default 1)
-  --deadline-ms N      per-job deadline";
+  --deadline-ms N      per-job deadline
+
+stats options:
+  --prom               print Prometheus text exposition instead of the
+                       JSON stats snapshot (scrape-friendly)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sp-serve: {msg}");
@@ -67,6 +75,17 @@ impl Args {
                 }
                 self.argv.remove(i);
                 Ok(Some(self.argv.remove(i)))
+            }
+        }
+    }
+
+    /// Pull a boolean `--flag` (present or not, no value).
+    fn take_flag(&mut self, flag: &str) -> bool {
+        match self.argv.iter().position(|a| a == flag) {
+            None => false,
+            Some(i) => {
+                self.argv.remove(i);
+                true
             }
         }
     }
@@ -103,7 +122,7 @@ fn main() -> ExitCode {
     let run = match sub.as_str() {
         "serve" => cmd_serve(&mut args),
         "submit" => cmd_submit(&mut args),
-        "stats" => cmd_roundtrip(&mut args, "{\"type\": \"stats\"}"),
+        "stats" => cmd_stats(&mut args),
         "shutdown" => cmd_roundtrip(&mut args, "{\"type\": \"shutdown\"}"),
         other => return fail(&format!("unknown subcommand {other:?}")),
     };
@@ -134,6 +153,8 @@ fn cmd_serve(args: &mut Args) -> Result<ExitCode, String> {
     if let Some(v) = args.take_parsed("--deadline-ms")? {
         cfg.default_deadline_ms = v;
     }
+    cfg.obs_log = args.take("--obs-log")?;
+    cfg.profile = !args.take_flag("--no-profile");
     args_done(args)?;
     let server = Server::bind(&addr, cfg).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
     eprintln!("sp-serve: listening on {}", server.local_addr());
@@ -188,6 +209,24 @@ fn cmd_submit(args: &mut Args) -> Result<ExitCode, String> {
         Ok(ExitCode::SUCCESS)
     } else {
         Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_stats(args: &mut Args) -> Result<ExitCode, String> {
+    if !args.take_flag("--prom") {
+        return cmd_roundtrip(args, "{\"type\": \"stats\"}");
+    }
+    let addr = args.take("--addr")?.ok_or("need --addr")?;
+    args_done(args)?;
+    let reply = roundtrip(&addr, "{\"type\": \"metrics\"}")?;
+    // Unwrap the exposition text from the response frame's body field.
+    let v = sp_serve::json::Value::parse(&reply).map_err(|e| format!("bad response: {e}"))?;
+    match v.get("body").and_then(sp_serve::json::Value::as_str) {
+        Some(body) => {
+            print!("{body}");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => Err(format!("response has no metrics body: {reply}")),
     }
 }
 

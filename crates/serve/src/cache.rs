@@ -55,12 +55,15 @@ impl<V> LruCache<V> {
     }
 
     /// Insert (or refresh) an entry, evicting the least recently used
-    /// entry if the cache is full. A zero-capacity cache stores nothing.
-    pub fn insert(&mut self, key: CacheKey, value: Arc<V>) {
+    /// entry if the cache is full. Returns the evicted key, if any, so
+    /// the caller can count evictions. A zero-capacity cache stores
+    /// nothing (and evicts nothing).
+    pub fn insert(&mut self, key: CacheKey, value: Arc<V>) -> Option<CacheKey> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         self.stamp += 1;
+        let mut evicted = None;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
@@ -69,9 +72,11 @@ impl<V> LruCache<V> {
                 .map(|(k, _)| *k)
             {
                 self.map.remove(&oldest);
+                evicted = Some(oldest);
             }
         }
         self.map.insert(key, (self.stamp, value));
+        evicted
     }
 
     pub fn len(&self) -> usize {
@@ -118,10 +123,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c: LruCache<u32> = LruCache::new(2);
-        c.insert(key(1, 0), Arc::new(10));
-        c.insert(key(2, 0), Arc::new(20));
+        assert_eq!(c.insert(key(1, 0), Arc::new(10)), None);
+        assert_eq!(c.insert(key(2, 0), Arc::new(20)), None);
         c.get(&key(1, 0)); // refresh 1 → 2 is now oldest
-        c.insert(key(3, 0), Arc::new(30));
+        let evicted = c.insert(key(3, 0), Arc::new(30));
+        assert_eq!(evicted, Some(key(2, 0)), "eviction is reported");
         assert!(c.get(&key(1, 0)).is_some());
         assert!(c.get(&key(2, 0)).is_none(), "LRU entry evicted");
         assert!(c.get(&key(3, 0)).is_some());

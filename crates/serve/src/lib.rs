@@ -27,12 +27,14 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod json;
+pub mod metrics;
 pub mod net;
 pub mod proto;
 pub mod service;
 
 pub use cache::{CacheKey, LruCache};
 pub use fingerprint::{fingerprint_graph, fingerprint_input};
+pub use metrics::ServiceMetrics;
 pub use net::{Client, Server};
 pub use service::{
     JobOutcome, JobSpec, PartitionOutput, ServeConfig, Service, ServiceStats, SubmitError, Ticket,

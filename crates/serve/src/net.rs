@@ -15,7 +15,8 @@
 //! rejection rather than a dropped socket.
 
 use crate::proto::{
-    encode_error, encode_outcome, encode_rejection, read_frame, write_frame, Request, MAX_FRAME,
+    encode_error, encode_metrics, encode_outcome, encode_rejection, read_frame, write_frame,
+    Request, MAX_FRAME,
 };
 use crate::service::{JobSpec, ServeConfig, Service};
 use std::io::{Read, Write as _};
@@ -206,6 +207,7 @@ fn handle_connection(server: Arc<Server>, mut stream: TcpStream) -> std::io::Res
                     server.service.stats().to_json()
                 )
             }
+            Ok(Request::Metrics) => encode_metrics(&server.service.prometheus()),
             Ok(Request::Shutdown) => {
                 write_frame(&mut stream, b"{\"type\": \"ok\", \"draining\": true}")?;
                 stream.flush()?;

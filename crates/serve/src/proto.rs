@@ -20,6 +20,9 @@
 //!   with scale `tiny`|`bench`); alternatively `"chaco": "<file text>"`
 //!   submits an inline Chaco graph.
 //! - `{"type": "stats"}` — service counters and latency percentiles.
+//! - `{"type": "metrics"}` — Prometheus text exposition (format 0.0.4)
+//!   of the service's runtime metric registry, carried in the `body`
+//!   field of the response frame (`sp-serve stats --prom` unwraps it).
 //! - `{"type": "shutdown"}` — graceful drain, then the server exits.
 
 use crate::json::Value;
@@ -84,6 +87,7 @@ pub enum Request {
         deadline_ms: Option<u64>,
     },
     Stats,
+    Metrics,
     Shutdown,
 }
 
@@ -99,6 +103,7 @@ impl Request {
             .ok_or("missing \"type\" field")?;
         match ty {
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => Self::decode_submit(&v),
             other => Err(format!("unknown request type {other:?}")),
@@ -213,30 +218,42 @@ fn parse_graph_spec(spec: &str) -> Result<GraphAndCoords, String> {
 pub fn encode_outcome(outcome: &JobOutcome) -> String {
     match outcome {
         JobOutcome::Done {
+            job_id,
             result,
             cache_hit,
             latency_ms,
         } => format!(
-            "{{\"type\": \"result\", \"status\": \"ok\", \"cache_hit\": {}, \"latency_ms\": {}, \"sim_time\": {}, \"fingerprint\": \"{:016x}\", \"result\": {}}}",
+            "{{\"type\": \"result\", \"status\": \"ok\", \"job\": {job_id}, \"cache_hit\": {}, \"latency_ms\": {}, \"sim_time\": {}, \"fingerprint\": \"{:016x}\", \"result\": {}}}",
             cache_hit,
             num(*latency_ms),
             num(result.sim_time),
             result.input_fp,
             result.result_json
         ),
-        JobOutcome::Timeout { latency_ms } => format!(
-            "{{\"type\": \"result\", \"status\": \"timeout\", \"latency_ms\": {}, \"message\": \"deadline exceeded; job cancelled at a pipeline checkpoint\"}}",
+        JobOutcome::Timeout { job_id, latency_ms } => format!(
+            "{{\"type\": \"result\", \"status\": \"timeout\", \"job\": {job_id}, \"latency_ms\": {}, \"message\": \"deadline exceeded; job cancelled at a pipeline checkpoint\"}}",
             num(*latency_ms)
         ),
         JobOutcome::Failed {
+            job_id,
             message,
             latency_ms,
         } => format!(
-            "{{\"type\": \"result\", \"status\": \"failed\", \"latency_ms\": {}, \"message\": \"{}\"}}",
+            "{{\"type\": \"result\", \"status\": \"failed\", \"job\": {job_id}, \"latency_ms\": {}, \"message\": \"{}\"}}",
             num(*latency_ms),
             escape(message)
         ),
     }
+}
+
+/// Encode a Prometheus exposition as a response frame: the text rides in
+/// the `body` field of a JSON frame (the framed protocol has no raw-text
+/// mode; `sp-serve stats --prom` unescapes it back to plain text).
+pub fn encode_metrics(exposition: &str) -> String {
+    format!(
+        "{{\"type\": \"metrics\", \"content_type\": \"text/plain; version=0.0.4\", \"body\": \"{}\"}}",
+        escape(exposition)
+    )
 }
 
 /// Encode a backpressure rejection.

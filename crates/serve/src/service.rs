@@ -25,11 +25,16 @@
 
 use crate::cache::{CacheKey, LruCache};
 use crate::fingerprint::fingerprint_input;
+use crate::metrics::ServiceMetrics;
 use scalapart::machine::{CostModel, Machine};
-use scalapart::{recursive_kway_checked_on, Method, PartitionSummary, PipelineObserver};
+use scalapart::obs::{JsonlLog, PhaseProfiler, Record};
+use scalapart::{
+    recursive_kway_checked_on, Method, PartitionSummary, PipelineObserver, ProfilingObserver,
+};
 use sp_geometry::Point2;
 use sp_graph::Graph;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -49,6 +54,14 @@ pub struct ServeConfig {
     pub default_deadline_ms: u64,
     /// Retry hint returned with queue-full rejections.
     pub retry_after_ms: u64,
+    /// Append structured JSONL job records here (`--obs-log`). `None`
+    /// disables the log; metrics are always collected (they are passive
+    /// atomics) and exported only when scraped.
+    pub obs_log: Option<String>,
+    /// Run jobs under the per-phase profiler. On by default; the
+    /// passivity tests run with it both on and off and assert
+    /// bit-identical results.
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +73,8 @@ impl Default for ServeConfig {
             ranks: 8,
             default_deadline_ms: 30_000,
             retry_after_ms: 50,
+            obs_log: None,
+            profile: true,
         }
     }
 }
@@ -95,14 +110,31 @@ pub struct PartitionOutput {
 pub enum JobOutcome {
     /// Finished; `cache_hit` tells whether work was actually done.
     Done {
+        job_id: u64,
         result: Arc<PartitionOutput>,
         cache_hit: bool,
         latency_ms: f64,
     },
     /// Deadline passed (in queue or at a pipeline checkpoint).
-    Timeout { latency_ms: f64 },
+    Timeout { job_id: u64, latency_ms: f64 },
     /// The job panicked or produced an invalid partition.
-    Failed { message: String, latency_ms: f64 },
+    Failed {
+        job_id: u64,
+        message: String,
+        latency_ms: f64,
+    },
+}
+
+impl JobOutcome {
+    /// The service-assigned job ID (threaded through responses and log
+    /// records).
+    pub fn job_id(&self) -> u64 {
+        match self {
+            JobOutcome::Done { job_id, .. }
+            | JobOutcome::Timeout { job_id, .. }
+            | JobOutcome::Failed { job_id, .. } => *job_id,
+        }
+    }
 }
 
 /// Why a submit was not accepted.
@@ -133,7 +165,18 @@ pub enum Ticket {
     Pending(Arc<Job>),
 }
 
+impl Ticket {
+    /// The service-assigned job ID.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            Ticket::Hit(outcome) => outcome.job_id(),
+            Ticket::Pending(job) => job.id,
+        }
+    }
+}
+
 pub struct Job {
+    id: u64,
     spec: JobSpec,
     key: CacheKey,
     enqueued: Instant,
@@ -148,6 +191,7 @@ struct Counters {
     completed: u64,
     cache_hits: u64,
     cache_misses: u64,
+    evictions: u64,
     rejected: u64,
     timeouts: u64,
     failed: u64,
@@ -155,6 +199,8 @@ struct Counters {
 
 struct State {
     queue: VecDeque<Arc<Job>>,
+    /// Deepest the queue has been since start.
+    queue_hwm: usize,
     active: usize,
     closed: bool,
     cache: LruCache<PartitionOutput>,
@@ -170,6 +216,10 @@ struct Inner {
     state: Mutex<State>,
     job_ready: Condvar,
     idle: Condvar,
+    metrics: ServiceMetrics,
+    obs_log: Option<JsonlLog>,
+    started: Instant,
+    next_job_id: AtomicU64,
 }
 
 /// The concurrent partitioning service. Cheap to clone; all clones share
@@ -189,9 +239,22 @@ impl Service {
             ranks: cfg.ranks.max(1),
             ..cfg
         };
+        let metrics = ServiceMetrics::new();
+        metrics.workers.set(cfg.workers as i64);
+        metrics.queue_capacity.set(cfg.queue_capacity as i64);
+        // A broken log path degrades to "no log" with a warning — the
+        // service must come up regardless.
+        let obs_log = cfg.obs_log.as_ref().and_then(|p| match JsonlLog::open(p) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("sp-serve: cannot open obs log {p}: {e}; continuing without");
+                None
+            }
+        });
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
+                queue_hwm: 0,
                 active: 0,
                 closed: false,
                 cache: LruCache::new(cfg.cache_capacity),
@@ -200,6 +263,10 @@ impl Service {
             }),
             job_ready: Condvar::new(),
             idle: Condvar::new(),
+            metrics,
+            obs_log,
+            started: Instant::now(),
+            next_job_id: AtomicU64::new(1),
             cfg,
         });
         let workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers)
@@ -229,6 +296,20 @@ impl Service {
     pub fn submit(&self, spec: JobSpec) -> Result<Ticket, SubmitError> {
         let key = self.key_of(&spec);
         let now = Instant::now();
+        let job_id = self.inner.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let m = &self.inner.metrics;
+        m.jobs_submitted.inc();
+        if let Some(log) = &self.inner.obs_log {
+            log.emit(
+                Record::new("job_submitted")
+                    .u64("job", job_id)
+                    .str("method", spec.method.name())
+                    .u64("parts", spec.parts as u64)
+                    .u64("seed", spec.seed)
+                    .u64("n", spec.graph.n() as u64)
+                    .str("fp", &format!("{:016x}", key.input)),
+            );
+        }
         let mut st = self.inner.state.lock().unwrap();
         st.counters.submitted += 1;
         if let Some(result) = st.cache.get(&key) {
@@ -236,7 +317,21 @@ impl Service {
             st.counters.completed += 1;
             let latency_ms = now.elapsed().as_secs_f64() * 1e3;
             push_latency(&mut st, latency_ms);
+            drop(st);
+            m.cache_hits.inc();
+            m.jobs_completed.inc();
+            m.job_latency_ms.observe(latency_ms);
+            if let Some(log) = &self.inner.obs_log {
+                log.emit(
+                    Record::new("job_done")
+                        .u64("job", job_id)
+                        .str("status", "ok")
+                        .bool("cache_hit", true)
+                        .f64("latency_ms", latency_ms),
+                );
+            }
             return Ok(Ticket::Hit(JobOutcome::Done {
+                job_id,
                 result,
                 cache_hit: true,
                 latency_ms,
@@ -244,10 +339,28 @@ impl Service {
         }
         if st.closed {
             st.counters.rejected += 1;
+            drop(st);
+            m.rejected_shutting_down.inc();
+            if let Some(log) = &self.inner.obs_log {
+                log.emit(
+                    Record::new("job_rejected")
+                        .u64("job", job_id)
+                        .str("reason", "shutting_down"),
+                );
+            }
             return Err(SubmitError::ShuttingDown);
         }
         if st.queue.len() >= self.inner.cfg.queue_capacity {
             st.counters.rejected += 1;
+            drop(st);
+            m.rejected_queue_full.inc();
+            if let Some(log) = &self.inner.obs_log {
+                log.emit(
+                    Record::new("job_rejected")
+                        .u64("job", job_id)
+                        .str("reason", "queue_full"),
+                );
+            }
             return Err(SubmitError::QueueFull {
                 retry_after_ms: self.inner.cfg.retry_after_ms,
             });
@@ -257,6 +370,7 @@ impl Service {
             .deadline_ms
             .unwrap_or(self.inner.cfg.default_deadline_ms);
         let job = Arc::new(Job {
+            id: job_id,
             key,
             deadline: now + Duration::from_millis(deadline_ms),
             enqueued: now,
@@ -265,7 +379,21 @@ impl Service {
             done: Condvar::new(),
         });
         st.queue.push_back(job.clone());
+        let depth = st.queue.len();
+        st.queue_hwm = st.queue_hwm.max(depth);
+        // Gauge writes stay under the state lock so concurrent pops can't
+        // interleave and publish a stale depth.
+        m.queue_depth.set(depth as i64);
+        m.queue_depth_highwater.set_max(depth as i64);
         drop(st);
+        m.cache_misses.inc();
+        if let Some(log) = &self.inner.obs_log {
+            log.emit(
+                Record::new("job_enqueued")
+                    .u64("job", job_id)
+                    .u64("queue_depth", depth as u64),
+            );
+        }
         self.inner.job_ready.notify_one();
         Ok(Ticket::Pending(job))
     }
@@ -308,12 +436,14 @@ impl Service {
             workers: self.inner.cfg.workers,
             queue_capacity: self.inner.cfg.queue_capacity,
             queue_depth: st.queue.len(),
+            queue_depth_hwm: st.queue_hwm,
             active: st.active,
             draining: st.closed,
             submitted: c.submitted,
             completed: c.completed,
             cache_hits: c.cache_hits,
             cache_misses: c.cache_misses,
+            cache_evictions: c.evictions,
             rejected: c.rejected,
             timeouts: c.timeouts,
             failed: c.failed,
@@ -325,6 +455,19 @@ impl Service {
             latency_p99_ms: q(0.99),
             latency_max_ms: lat.last().copied().unwrap_or(0.0),
         }
+    }
+
+    /// Render the Prometheus text exposition (format 0.0.4) of the
+    /// service's metric registry. Scrape-time gauges (uptime, RSS,
+    /// cache entries) are refreshed here.
+    pub fn prometheus(&self) -> String {
+        {
+            let st = self.inner.state.lock().unwrap();
+            self.inner.metrics.cache_entries.set(st.cache.len() as i64);
+        }
+        self.inner
+            .metrics
+            .render(self.inner.started.elapsed().as_secs_f64())
     }
 
     /// Graceful drain: stop accepting, let queued jobs finish, join the
@@ -371,12 +514,15 @@ impl PipelineObserver for DeadlineObserver {
 }
 
 fn worker_loop(inner: Arc<Inner>) {
+    let m = &inner.metrics;
     loop {
         let job = {
             let mut st = inner.state.lock().unwrap();
             loop {
                 if let Some(j) = st.queue.pop_front() {
                     st.active += 1;
+                    m.queue_depth.set(st.queue.len() as i64);
+                    m.workers_active.set(st.active as i64);
                     break j;
                 }
                 if st.closed {
@@ -386,66 +532,156 @@ fn worker_loop(inner: Arc<Inner>) {
                 st = inner.job_ready.wait(st).unwrap();
             }
         };
-        let outcome = run_job(&inner.cfg, &job);
+        let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        m.queue_wait_ms.observe(queue_wait_ms);
+        if let Some(log) = &inner.obs_log {
+            log.emit(
+                Record::new("job_start")
+                    .u64("job", job.id)
+                    .f64("queue_wait_ms", queue_wait_ms),
+            );
+        }
+        let run_started = Instant::now();
+        let (outcome, profile) = run_job(&inner.cfg, &job);
+        let run_ms = run_started.elapsed().as_secs_f64() * 1e3;
+        m.job_run_ms.observe(run_ms);
+        m.worker_busy_ms.add(run_ms as u64);
+        if let Some(prof) = &profile {
+            m.observe_phases(prof.samples());
+            if let Some(log) = &inner.obs_log {
+                let mut rec = Record::new("phase_profile");
+                rec.u64("job", job.id)
+                    .json("phases", &prof.to_json())
+                    .f64("total_wall_ms", run_ms);
+                if let Some(peak) = scalapart::obs::rss::peak_rss_bytes() {
+                    rec.f64("peak_rss_mb", scalapart::obs::rss::bytes_to_mib(peak));
+                }
+                log.emit(&rec);
+            }
+        }
+        let latency_ms;
+        let mut evicted = None;
         {
             let mut st = inner.state.lock().unwrap();
             st.active -= 1;
-            let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+            m.workers_active.set(st.active as i64);
+            latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
             match &outcome {
                 JobOutcome::Done { result, .. } => {
                     st.counters.completed += 1;
-                    st.cache.insert(job.key, result.clone());
+                    evicted = st.cache.insert(job.key, result.clone());
+                    if evicted.is_some() {
+                        st.counters.evictions += 1;
+                    }
+                    m.jobs_completed.inc();
+                    m.cache_entries.set(st.cache.len() as i64);
                 }
-                JobOutcome::Timeout { .. } => st.counters.timeouts += 1,
-                JobOutcome::Failed { .. } => st.counters.failed += 1,
+                JobOutcome::Timeout { .. } => {
+                    st.counters.timeouts += 1;
+                    m.jobs_timeout.inc();
+                }
+                JobOutcome::Failed { .. } => {
+                    st.counters.failed += 1;
+                    m.jobs_failed.inc();
+                }
             }
             push_latency(&mut st, latency_ms);
             if st.queue.is_empty() && st.active == 0 {
                 inner.idle.notify_all();
             }
         }
+        m.job_latency_ms.observe(latency_ms);
+        if let Some(key) = evicted {
+            m.cache_evictions.inc();
+            if let Some(log) = &inner.obs_log {
+                log.emit(Record::new("cache_evict").str("fp", &format!("{:016x}", key.input)));
+            }
+        }
+        if let Some(log) = &inner.obs_log {
+            let (status, cache_hit) = match &outcome {
+                JobOutcome::Done { cache_hit, .. } => ("ok", *cache_hit),
+                JobOutcome::Timeout { .. } => ("timeout", false),
+                JobOutcome::Failed { .. } => ("failed", false),
+            };
+            log.emit(
+                Record::new("job_done")
+                    .u64("job", job.id)
+                    .str("status", status)
+                    .bool("cache_hit", cache_hit)
+                    .f64("latency_ms", latency_ms)
+                    .f64("run_ms", run_ms),
+            );
+        }
         *job.slot.lock().unwrap() = Some(outcome);
         job.done.notify_all();
     }
 }
 
-fn run_job(cfg: &ServeConfig, job: &Job) -> JobOutcome {
+fn run_job(cfg: &ServeConfig, job: &Job) -> (JobOutcome, Option<PhaseProfiler>) {
     let latency = |j: &Job| j.enqueued.elapsed().as_secs_f64() * 1e3;
     if Instant::now() >= job.deadline {
         // Expired while queued: report timeout without starting.
-        return JobOutcome::Timeout {
-            latency_ms: latency(job),
-        };
+        return (
+            JobOutcome::Timeout {
+                job_id: job.id,
+                latency_ms: latency(job),
+            },
+            None,
+        );
     }
     let spec = &job.spec;
     let graph = spec.graph.clone();
     let coords = spec.coords.clone();
     let (method, parts, seed, ranks) = (spec.method, spec.parts, spec.seed, cfg.ranks);
     let deadline = job.deadline;
+    let profile = cfg.profile;
     // Worker threads must survive any panicking job (graceful
     // degradation): a poisoned input becomes a Failed outcome, not a dead
     // worker.
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         let mut machine = Machine::new(ranks, CostModel::qdr_infiniband());
-        let mut obs = DeadlineObserver { deadline };
-        let kp = recursive_kway_checked_on(
-            method,
-            &graph,
-            coords.as_ref().map(|c| c.as_slice()),
-            parts,
-            seed,
-            &mut machine,
-            &mut obs,
-        )?;
-        Ok((kp, machine.elapsed()))
+        let mut deadline_obs = DeadlineObserver { deadline };
+        // With profiling on, the profiler wraps the deadline observer —
+        // same checkpoints, same cancellation semantics, plus clock/RSS
+        // samples at phase boundaries. The passivity tests assert the
+        // two paths produce bit-identical partitions.
+        let (kp, prof) = if profile {
+            let mut obs = ProfilingObserver::wrapping(&mut deadline_obs);
+            let kp = recursive_kway_checked_on(
+                method,
+                &graph,
+                coords.as_ref().map(|c| c.as_slice()),
+                parts,
+                seed,
+                &mut machine,
+                &mut obs,
+            );
+            (kp, Some(obs.into_profiler()))
+        } else {
+            let kp = recursive_kway_checked_on(
+                method,
+                &graph,
+                coords.as_ref().map(|c| c.as_slice()),
+                parts,
+                seed,
+                &mut machine,
+                &mut deadline_obs,
+            );
+            (kp, None)
+        };
+        (kp.map(|kp| (kp, machine.elapsed())), prof)
     }));
     match run {
-        Ok(Ok((kp, sim_time))) => {
+        Ok((Ok((kp, sim_time)), prof)) => {
             if let Err(e) = kp.validate(&spec.graph) {
-                return JobOutcome::Failed {
-                    message: format!("invalid partition: {e}"),
-                    latency_ms: latency(job),
-                };
+                return (
+                    JobOutcome::Failed {
+                        job_id: job.id,
+                        message: format!("invalid partition: {e}"),
+                        latency_ms: latency(job),
+                    },
+                    prof,
+                );
             }
             let result = Arc::new(PartitionOutput {
                 summary: kp.summary(&spec.graph),
@@ -455,25 +691,37 @@ fn run_job(cfg: &ServeConfig, job: &Job) -> JobOutcome {
                 sim_time,
                 input_fp: job.key.input,
             });
-            JobOutcome::Done {
-                result,
-                cache_hit: false,
-                latency_ms: latency(job),
-            }
+            (
+                JobOutcome::Done {
+                    job_id: job.id,
+                    result,
+                    cache_hit: false,
+                    latency_ms: latency(job),
+                },
+                prof,
+            )
         }
-        Ok(Err(scalapart::Cancelled)) => JobOutcome::Timeout {
-            latency_ms: latency(job),
-        },
+        Ok((Err(scalapart::Cancelled), prof)) => (
+            JobOutcome::Timeout {
+                job_id: job.id,
+                latency_ms: latency(job),
+            },
+            prof,
+        ),
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "job panicked".into());
-            JobOutcome::Failed {
-                message: msg,
-                latency_ms: latency(job),
-            }
+            (
+                JobOutcome::Failed {
+                    job_id: job.id,
+                    message: msg,
+                    latency_ms: latency(job),
+                },
+                None,
+            )
         }
     }
 }
@@ -484,12 +732,16 @@ pub struct ServiceStats {
     pub workers: usize,
     pub queue_capacity: usize,
     pub queue_depth: usize,
+    /// Deepest the queue has been since the service started.
+    pub queue_depth_hwm: usize,
     pub active: usize,
     pub draining: bool,
     pub submitted: u64,
     pub completed: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// LRU evictions from the result cache.
+    pub cache_evictions: u64,
     pub rejected: u64,
     pub timeouts: u64,
     pub failed: u64,
@@ -522,12 +774,14 @@ impl ServiceStats {
         s.push_str(&format!(", \"workers\": {}", self.workers));
         s.push_str(&format!(", \"queue_capacity\": {}", self.queue_capacity));
         s.push_str(&format!(", \"queue_depth\": {}", self.queue_depth));
+        s.push_str(&format!(", \"queue_depth_hwm\": {}", self.queue_depth_hwm));
         s.push_str(&format!(", \"active\": {}", self.active));
         s.push_str(&format!(", \"draining\": {}", self.draining));
         s.push_str(&format!(", \"submitted\": {}", self.submitted));
         s.push_str(&format!(", \"completed\": {}", self.completed));
         s.push_str(&format!(", \"cache_hits\": {}", self.cache_hits));
         s.push_str(&format!(", \"cache_misses\": {}", self.cache_misses));
+        s.push_str(&format!(", \"cache_evictions\": {}", self.cache_evictions));
         s.push_str(&format!(", \"hit_rate\": {}", num(self.hit_rate())));
         s.push_str(&format!(", \"rejected\": {}", self.rejected));
         s.push_str(&format!(", \"timeouts\": {}", self.timeouts));

@@ -6,6 +6,11 @@
 //! collective occupancy — one lane (`tid`) per simulated rank — plus
 //! begin/end pairs (`"ph": "B"`/`"E"`) for pipeline phases on an extra
 //! lane with `tid = p`. Timestamps are simulated microseconds.
+//!
+//! The array opens with metadata events (`"ph": "M"`): a `process_name`
+//! for the simulated machine and a `thread_name` per lane, so viewers
+//! label the rank lanes "rank 0", "rank 1", … and the phase lane
+//! "pipeline phases" instead of bare tids.
 
 use crate::json::{escape, num};
 use crate::recorder::{Event, TraceRecorder};
@@ -31,6 +36,23 @@ impl TraceRecorder {
                 first = false;
                 out.push_str(&line);
             };
+            // Metadata first: name the process and every lane.
+            push(format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
+                 \"args\": {{\"name\": \"sp-machine ({} simulated ranks)\"}}}}",
+                self.p(),
+            ));
+            for r in 0..self.p() {
+                push(format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \
+                     \"tid\": {r}, \"args\": {{\"name\": \"rank {r}\"}}}}"
+                ));
+            }
+            push(format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \
+                 \"tid\": {}, \"args\": {{\"name\": \"pipeline phases\"}}}}",
+                self.p(),
+            ));
             for ev in self.events() {
                 match ev {
                     Event::Compute {
@@ -158,7 +180,7 @@ mod tests {
     }
 
     #[test]
-    fn exports_only_x_b_e_events() {
+    fn exports_only_x_b_e_m_events() {
         let json = sample().chrome_trace();
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
@@ -166,7 +188,8 @@ mod tests {
             assert!(
                 line.contains("\"ph\": \"X\"")
                     || line.contains("\"ph\": \"B\"")
-                    || line.contains("\"ph\": \"E\""),
+                    || line.contains("\"ph\": \"E\"")
+                    || line.contains("\"ph\": \"M\""),
                 "{line}"
             );
         }
@@ -174,6 +197,22 @@ mod tests {
         assert!(json.contains("\"tid\": 0"));
         assert!(json.contains("\"tid\": 1"));
         assert!(json.contains("\"tid\": 2")); // phase lane (p = 2)
+    }
+
+    #[test]
+    fn metadata_names_process_and_every_lane() {
+        let json = sample().chrome_trace();
+        assert!(json.contains("\"name\": \"process_name\""));
+        assert!(json.contains("sp-machine (2 simulated ranks)"));
+        // thread_name for rank 0, rank 1, and the phase lane.
+        assert_eq!(json.matches("\"name\": \"thread_name\"").count(), 3);
+        assert!(json.contains("\"name\": \"rank 0\""));
+        assert!(json.contains("\"name\": \"rank 1\""));
+        assert!(json.contains("\"name\": \"pipeline phases\""));
+        // Metadata precedes the first span.
+        let meta = json.find("process_name").unwrap();
+        let span = json.find("\"ph\": \"X\"").unwrap();
+        assert!(meta < span);
     }
 
     #[test]
@@ -195,11 +234,15 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_is_valid_empty_array() {
+    fn empty_trace_is_metadata_only() {
         let t = TraceRecorder::new(1);
         let json = t.chrome_trace();
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
-        assert!(!json.contains("\"ph\""));
+        // No spans — only the naming metadata survives.
+        for line in json.lines().filter(|l| l.contains("\"ph\"")) {
+            assert!(line.contains("\"ph\": \"M\""), "{line}");
+        }
+        assert!(json.contains("\"name\": \"rank 0\""));
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! verify [--ranks N] [--schedules N] [--seed HEX] [--graph grid:RxC|delaunay:N]
-//!        [--replay HEX] [--skip-perturb] [--self-test]
+//!        [--replay HEX] [--skip-perturb] [--skip-passivity] [--self-test]
 //! ```
 
 use std::process::ExitCode;
@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_graph::gen::{delaunay_graph, grid_2d};
 use sp_graph::Graph;
-use sp_verify::{run_campaign, run_once, run_perturbations, FuzzConfig};
+use sp_verify::{run_campaign, run_once, run_passivity, run_perturbations, FuzzConfig};
 
 struct Cli {
     ranks: usize,
@@ -23,13 +23,15 @@ struct Cli {
     graph: String,
     replay: Option<u64>,
     skip_perturb: bool,
+    skip_passivity: bool,
     self_test: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: verify [--ranks N] [--schedules N] [--seed HEX] \
-         [--graph grid:RxC|delaunay:N] [--replay HEX] [--skip-perturb] [--self-test]"
+         [--graph grid:RxC|delaunay:N] [--replay HEX] [--skip-perturb] \
+         [--skip-passivity] [--self-test]"
     );
     std::process::exit(2)
 }
@@ -54,6 +56,7 @@ fn parse_cli() -> Cli {
         graph: "grid:48x48".to_string(),
         replay: None,
         skip_perturb: false,
+        skip_passivity: false,
         self_test: false,
     };
     let mut args = std::env::args().skip(1);
@@ -71,6 +74,7 @@ fn parse_cli() -> Cli {
             "--graph" => cli.graph = val(),
             "--replay" => cli.replay = Some(parse_u64(&val())),
             "--skip-perturb" => cli.skip_perturb = true,
+            "--skip-passivity" => cli.skip_passivity = true,
             "--self-test" => cli.self_test = true,
             "--help" | "-h" => usage(),
             other => {
@@ -173,6 +177,29 @@ fn main() -> ExitCode {
             }
             for v in &f.violations {
                 println!("  {v}");
+            }
+        }
+    }
+
+    if !cli.skip_passivity {
+        let report = run_passivity(&g, &cfg);
+        if report.ok() {
+            println!(
+                "passivity: {} run pair(s) bit-identical with observability off/on",
+                report.runs.len()
+            );
+        } else {
+            failed = true;
+            for r in report.failures() {
+                let which = match r.seed {
+                    Some(s) => format!("schedule seed {s:#018x}"),
+                    None => "the baseline schedule".to_string(),
+                };
+                println!(
+                    "passivity: FAILED on {which}: fingerprint off {:#018x} vs on {:#018x}, \
+                     elapsed bits {:#x} vs {:#x}",
+                    r.fp_off, r.fp_on, r.elapsed_bits_off, r.elapsed_bits_on
+                );
             }
         }
     }

@@ -14,13 +14,18 @@
 //!   `core::pipeline` checkpoints: matching validity, contraction
 //!   soundness, hierarchy shape, embedding sanity, partition validity,
 //!   balance bounds, cut accounting, FM monotonicity, and the sp-trace
-//!   event/cost crosscheck.
+//!   event/cost crosscheck;
+//! - an **observability passivity fuzz** ([`passive`]) that runs each
+//!   fuzzed schedule with sp-obs profiling off and on and demands
+//!   bit-identical partitions, coordinates, and simulated times —
+//!   instrumentation must never perturb the run it watches.
 //!
 //! The checker *collects* violations rather than panicking, so a campaign
 //! reports every failure together with the seed that reproduces it.
 
 pub mod fuzz;
 pub mod invariants;
+pub mod passive;
 pub mod perturb;
 pub mod rng;
 
@@ -28,5 +33,6 @@ pub use fuzz::{
     fingerprint_result, run_campaign, run_once, CampaignReport, Failure, FuzzConfig, RunOutcome,
 };
 pub use invariants::{InvariantChecker, Violation};
+pub use passive::{run_passivity, PassivityReport, PassivityRun};
 pub use perturb::{run_perturbations, PerturbReport, ScenarioOutcome};
 pub use rng::{derive_seed, Fingerprint};
