@@ -1,0 +1,433 @@
+//! Baseline comparison for the wallclock harness: parse a committed
+//! `BENCH_*.json` snapshot and diff a fresh run against it, flagging
+//! wall-clock regressions beyond a tolerance.
+//!
+//! The parser is a deliberately small hand-rolled JSON reader — the repo
+//! takes no serde dependency, and the only documents it ever sees are the
+//! ones `wallclock` itself writes (flat objects, arrays, numbers,
+//! strings, `null` for missing RSS). It still parses general JSON so a
+//! hand-edited baseline cannot silently half-parse.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Numbers are kept as `f64` — bench documents only
+/// carry measurements and small integers, both exact in a double.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'u' => {
+                        // \uXXXX — bench docs never emit these, but accept
+                        // the BMP subset rather than corrupting input.
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        char::from_u32(cp).ok_or("surrogate \\u escape")?
+                    }
+                    other => return Err(format!("bad escape \\{}", *other as char)),
+                });
+                *pos += 1;
+            }
+            Some(&c) => {
+                out.push(c as char);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// One `embed_fastpath` row of a bench document.
+#[derive(Clone, Debug)]
+pub struct FastRow {
+    pub rows: u64,
+    pub cols: u64,
+    pub q: u64,
+    pub wall_ms_reference: f64,
+    pub wall_ms_optimized: f64,
+}
+
+/// One `pipeline` row: per-phase wall milliseconds keyed by phase name.
+#[derive(Clone, Debug)]
+pub struct PipeRow {
+    pub graph: String,
+    pub p: u64,
+    pub wall_ms: BTreeMap<String, f64>,
+}
+
+/// The measurements a wallclock bench document carries, independent of
+/// which `BENCH_*.json` generation wrote it.
+#[derive(Clone, Debug, Default)]
+pub struct BenchDoc {
+    pub fastpath: Vec<FastRow>,
+    pub pipeline: Vec<PipeRow>,
+}
+
+impl BenchDoc {
+    pub fn parse(text: &str) -> Result<BenchDoc, String> {
+        let v = Json::parse(text)?;
+        let mut doc = BenchDoc::default();
+        for row in v
+            .get("embed_fastpath")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+        {
+            let f = |k: &str| row.get(k).and_then(Json::as_f64);
+            doc.fastpath.push(FastRow {
+                rows: f("rows").ok_or("fastpath row missing 'rows'")? as u64,
+                cols: f("cols").ok_or("fastpath row missing 'cols'")? as u64,
+                q: f("q").ok_or("fastpath row missing 'q'")? as u64,
+                wall_ms_reference: f("wall_ms_reference").ok_or("missing wall_ms_reference")?,
+                wall_ms_optimized: f("wall_ms_optimized").ok_or("missing wall_ms_optimized")?,
+            });
+        }
+        for row in v.get("pipeline").and_then(Json::as_arr).unwrap_or(&[]) {
+            let graph = row
+                .get("graph")
+                .and_then(Json::as_str)
+                .ok_or("pipeline row missing 'graph'")?
+                .to_string();
+            let p = row
+                .get("p")
+                .and_then(Json::as_f64)
+                .ok_or("pipeline row missing 'p'")? as u64;
+            let mut wall_ms = BTreeMap::new();
+            if let Some(Json::Obj(m)) = row.get("wall_ms") {
+                for (phase, val) in m {
+                    if let Some(x) = val.as_f64() {
+                        wall_ms.insert(phase.clone(), x);
+                    }
+                }
+            }
+            doc.pipeline.push(PipeRow { graph, p, wall_ms });
+        }
+        Ok(doc)
+    }
+}
+
+/// Result of diffing a fresh run against a committed baseline.
+pub struct Comparison {
+    /// Human-readable per-row speedup lines (baseline / current; >1 is a
+    /// win, <1 a slowdown).
+    pub lines: Vec<String>,
+    /// Rows slower than `baseline * (1 + tolerance)`.
+    pub regressions: Vec<String>,
+}
+
+impl Comparison {
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diff `current` against `baseline`. Only rows present in *both*
+/// documents are compared (a `--quick` run covers a subset of the full
+/// scenario list). `tolerance` is fractional: 0.2 flags anything more
+/// than 20% slower than the committed number.
+pub fn compare(current: &BenchDoc, baseline: &BenchDoc, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    let limit = 1.0 + tolerance;
+
+    for cur in &current.fastpath {
+        let Some(base) = baseline
+            .fastpath
+            .iter()
+            .find(|b| (b.rows, b.cols, b.q) == (cur.rows, cur.cols, cur.q))
+        else {
+            continue;
+        };
+        let ratio = base.wall_ms_optimized / cur.wall_ms_optimized.max(1e-9);
+        cmp.lines.push(format!(
+            "fastpath {}x{} q={}: optimized {:.1} ms vs baseline {:.1} ms ({ratio:.2}x)",
+            cur.rows, cur.cols, cur.q, cur.wall_ms_optimized, base.wall_ms_optimized
+        ));
+        if cur.wall_ms_optimized > base.wall_ms_optimized * limit {
+            cmp.regressions.push(format!(
+                "fastpath {}x{} q={}: {:.1} ms is >{:.0}% over baseline {:.1} ms",
+                cur.rows,
+                cur.cols,
+                cur.q,
+                cur.wall_ms_optimized,
+                tolerance * 100.0,
+                base.wall_ms_optimized
+            ));
+        }
+    }
+
+    for cur in &current.pipeline {
+        let Some(base) = baseline
+            .pipeline
+            .iter()
+            .find(|b| b.graph == cur.graph && b.p == cur.p)
+        else {
+            continue;
+        };
+        for (phase, &cur_ms) in &cur.wall_ms {
+            let Some(&base_ms) = base.wall_ms.get(phase) else {
+                continue;
+            };
+            let ratio = base_ms / cur_ms.max(1e-9);
+            cmp.lines.push(format!(
+                "pipeline {} p={} {phase}: {cur_ms:.1} ms vs baseline {base_ms:.1} ms ({ratio:.2}x)",
+                cur.graph, cur.p
+            ));
+            if cur_ms > base_ms * limit {
+                cmp.regressions.push(format!(
+                    "pipeline {} p={} {phase}: {cur_ms:.1} ms is >{:.0}% over baseline {base_ms:.1} ms",
+                    cur.graph,
+                    cur.p,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+      "bench": "wallclock",
+      "embed_fastpath": [
+        {"rows": 64, "cols": 64, "q": 4, "wall_ms_reference": 39.8,
+         "wall_ms_optimized": 23.3, "speedup": 1.706,
+         "simulated_time": 2.782e-3, "simulated_time_matches": true,
+         "peak_rss_mb": 12.5}
+      ],
+      "pipeline": [
+        {"graph": "grid96x96", "p": 4,
+         "wall_ms": {"coarsen": 10.0, "embed": 40.0, "partition": 5.0, "refine": 2.0},
+         "simulated": {"total": 1.0e-2}, "cut": 100, "peak_rss_mb": null}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_a_real_shaped_document() {
+        let doc = BenchDoc::parse(DOC).unwrap();
+        assert_eq!(doc.fastpath.len(), 1);
+        assert_eq!(doc.fastpath[0].rows, 64);
+        assert_eq!(doc.fastpath[0].wall_ms_optimized, 23.3);
+        assert_eq!(doc.pipeline.len(), 1);
+        assert_eq!(doc.pipeline[0].wall_ms["embed"], 40.0);
+    }
+
+    #[test]
+    fn json_corner_cases() {
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(
+            Json::parse(r#""a\"b\n""#).unwrap(),
+            Json::Str("a\"b\n".into())
+        );
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert!(Json::parse("{\"a\": 1,}").is_err());
+        assert!(Json::parse("[1 2]").is_err());
+        assert!(Json::parse("{} garbage").is_err());
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_beyond_fails() {
+        let base = BenchDoc::parse(DOC).unwrap();
+        let mut cur = base.clone();
+        // 10% slower everywhere: inside a 20% tolerance.
+        cur.fastpath[0].wall_ms_optimized *= 1.10;
+        for v in cur.pipeline[0].wall_ms.values_mut() {
+            *v *= 1.10;
+        }
+        let cmp = compare(&cur, &base, 0.2);
+        assert!(cmp.ok(), "{:?}", cmp.regressions);
+        assert_eq!(cmp.lines.len(), 5, "1 fastpath + 4 phases compared");
+
+        // One phase 30% slower: flagged by name.
+        *cur.pipeline[0].wall_ms.get_mut("embed").unwrap() = 40.0 * 1.30;
+        let cmp = compare(&cur, &base, 0.2);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(
+            cmp.regressions[0].contains("embed"),
+            "{:?}",
+            cmp.regressions
+        );
+    }
+
+    #[test]
+    fn rows_missing_from_either_side_are_skipped() {
+        let base = BenchDoc::parse(DOC).unwrap();
+        let cur = BenchDoc::default();
+        // A quick run measuring nothing in common regresses nothing.
+        let cmp = compare(&cur, &base, 0.2);
+        assert!(cmp.ok() && cmp.lines.is_empty());
+    }
+}

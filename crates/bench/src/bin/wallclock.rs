@@ -2,8 +2,9 @@
 //!
 //! Simulated time measures the *modelled* machine; this harness measures
 //! the *host* — how long the simulation itself takes to run — and tracks
-//! it in `BENCH_2.json` at the repo root so wall-clock regressions are
-//! visible in review. Two sections:
+//! it in `BENCH_3.json` at the repo root so wall-clock regressions are
+//! visible in review (`BENCH_2.json` is the frozen round-1 baseline that
+//! `--baseline` diffs against). Two sections:
 //!
 //! * `embed_fastpath` — the headline comparison: the optimized
 //!   `lattice_smooth` versus the pre-optimization reference
@@ -21,6 +22,18 @@
 //! the scenario list to the small grids — the CI smoke configuration,
 //! where the invariance assertions are the point and the wall numbers
 //! from shared runners are informational.
+//!
+//! `--baseline` additionally diffs the fresh run against the committed
+//! `BENCH_2.json` (rows present in both), prints the per-row and
+//! per-phase speedups, and exits non-zero if anything ran more than 20%
+//! slower than the committed number.
+//!
+//! Peak-RSS columns: each row resets the kernel's peak-RSS counter via
+//! `/proc/self/clear_refs` before measuring. Where that write is
+//! unavailable (non-Linux, restricted /proc), the row's `rss_reset` field
+//! records `false` and `peak_rss_mb` falls back to the process-lifetime
+//! high-water mark — still a valid upper bound for the row, just not
+//! row-scoped.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +46,7 @@ use scalapart::machine::{CostModel, CostOnly, Machine};
 use scalapart::obs::rss;
 use scalapart::refine::{fm_refine, strip_around_separator};
 use scalapart::SpConfig;
+use sp_bench::baseline::{compare, BenchDoc};
 use sp_bench::reference::{demo_grid, reference_lattice_smooth, seed_lattice_smooth};
 use sp_bench::report::rss_mb_json;
 use sp_embed::lattice::LatticeConfig;
@@ -42,6 +56,18 @@ use std::time::Instant;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let against_baseline = std::env::args().any(|a| a == "--baseline");
+    // `--assert-speedup X`: fail unless the largest fast-path scenario
+    // beats the reference smoother by at least X (CI runs this without
+    // --quick so the gate covers the 256x256 wall).
+    let mut assert_speedup = None;
+    let mut argv = std::env::args();
+    while let Some(a) = argv.next() {
+        if a == "--assert-speedup" {
+            let v = argv.next().expect("--assert-speedup needs a value");
+            assert_speedup = Some(v.parse::<f64>().expect("bad --assert-speedup value"));
+        }
+    }
     let mut json = String::from("{\n  \"bench\": \"wallclock\",\n");
 
     // ---- Section 1: optimized vs reference lattice smoothing.
@@ -52,6 +78,7 @@ fn main() {
     }
     let mut scratch = SmoothScratch::new();
     let repeats = if quick { 1 } else { 5 };
+    let mut headline_speedup = 0.0f64;
     for (i, &(rows, cols, q)) in scenarios.iter().enumerate() {
         let cfg = LatticeConfig::default();
         let (g, coords0) = demo_grid(rows, cols, 0xC0FFEE);
@@ -63,10 +90,11 @@ fn main() {
         let mut wall_ref = f64::INFINITY;
         let mut wall_new = f64::INFINITY;
         let mut sim_new = 0.0f64;
-        // Peak RSS over the scenario (reset is best-effort: without
-        // /proc/self/clear_refs the number is a cumulative high-water
-        // mark, still an upper bound for this scenario).
-        rss::reset_peak();
+        // Peak RSS over the scenario. The reset is best-effort and its
+        // outcome is recorded per row: when /proc/self/clear_refs rejects
+        // the write, `peak_rss_mb` degrades to the process-lifetime
+        // high-water mark — an upper bound, not a row-scoped peak.
+        let rss_reset = rss::reset_peak();
         for _ in 0..repeats {
             // Wall-clock baseline: the seed commit's smoother, fully
             // faithful (full-sort lattice builds, per-iteration rebuilds
@@ -109,6 +137,7 @@ fn main() {
         }
 
         let speedup = wall_ref / wall_new.max(1e-9);
+        headline_speedup = speedup; // scenarios grow, so the last is the headline
         let peak_rss = rss_mb_json(rss::peak_rss_bytes());
         eprintln!(
             "embed {rows}x{cols} q={q}: reference {wall_ref:.1} ms, \
@@ -120,11 +149,23 @@ fn main() {
             "    {{\"rows\": {rows}, \"cols\": {cols}, \"q\": {q}, \
              \"wall_ms_reference\": {wall_ref:.3}, \"wall_ms_optimized\": {wall_new:.3}, \
              \"speedup\": {speedup:.3}, \"simulated_time\": {sim_new:.17e}, \
-             \"simulated_time_matches\": true, \"peak_rss_mb\": {peak_rss}}}{}",
+             \"simulated_time_matches\": true, \"peak_rss_mb\": {peak_rss}, \
+             \"rss_reset\": {rss_reset}}}{}",
             if i + 1 < scenarios.len() { "," } else { "" }
         );
     }
     json.push_str("  ],\n");
+
+    if let Some(min) = assert_speedup {
+        if headline_speedup < min {
+            eprintln!(
+                "FAIL: largest fast-path scenario ran {headline_speedup:.2}x \
+                 the reference smoother, below the {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("speedup gate: {headline_speedup:.2}x >= {min:.2}x");
+    }
 
     // ---- Section 2: per-phase wall clock of the full pipeline.
     json.push_str("  \"pipeline\": [\n");
@@ -144,9 +185,33 @@ fn main() {
     json.push_str(&rows_out.join(",\n"));
     json.push_str("\n  ]\n}\n");
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
-    std::fs::write(out, &json).expect("write BENCH_2.json");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
+    std::fs::write(out, &json).expect("write BENCH_3.json");
     eprintln!("wrote {out}");
+
+    if against_baseline {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--baseline: cannot read {path}: {e}"));
+        let base = BenchDoc::parse(&text)
+            .unwrap_or_else(|e| panic!("--baseline: cannot parse {path}: {e}"));
+        let cur = BenchDoc::parse(&json).expect("fresh run parses");
+        let cmp = compare(&cur, &base, 0.2);
+        for l in &cmp.lines {
+            eprintln!("baseline: {l}");
+        }
+        if !cmp.ok() {
+            for r in &cmp.regressions {
+                eprintln!("baseline: REGRESSION {r}");
+            }
+            eprintln!(
+                "baseline: {} row(s) more than 20% over BENCH_2.json",
+                cmp.regressions.len()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("baseline: all rows within 20% of BENCH_2.json");
+    }
 }
 
 /// One full pipeline run with host wall-clock timing per phase. This
@@ -154,8 +219,9 @@ fn main() {
 /// structure) but keeps an `Instant` around each phase — the library entry
 /// point deliberately has no host-timing hooks.
 fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String {
-    // Per-run memory high-water mark (best-effort reset, see above).
-    rss::reset_peak();
+    // Per-run memory high-water mark (best-effort reset, recorded per
+    // row — see the module docs for the fallback semantics).
+    let rss_reset = rss::reset_peak();
     let cfg = SpConfig::default();
     let mut machine = Machine::new(p, CostModel::qdr_infiniband());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -262,7 +328,8 @@ fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String 
          \"partition\": {wall_partition:.3}, \"refine\": {wall_refine:.3}}}, \
          \"simulated\": {{\"coarsen\": {sim_coarsen:.6e}, \"embed\": {sim_embed:.6e}, \
          \"partition\": {sim_partition:.6e}, \"refine\": {sim_refine:.6e}, \
-         \"total\": {:.6e}}}, \"cut\": {cut}, \"peak_rss_mb\": {peak_rss}}}",
+         \"total\": {:.6e}}}, \"cut\": {cut}, \"peak_rss_mb\": {peak_rss}, \
+         \"rss_reset\": {rss_reset}}}",
         machine.elapsed()
     )
 }

@@ -39,6 +39,7 @@ struct Args {
     metrics: Option<PathBuf>,
     obs_log: Option<PathBuf>,
     seed: u64,
+    rank_batch: usize,
 }
 
 const USAGE_HINT: &str =
@@ -70,7 +71,10 @@ fn usage() -> ! {
            --metrics FILE          write per-phase / per-rank metrics JSON\n\
            --obs-log FILE          append host-runtime JSONL records (run_start,\n\
                                    phase_profile with per-phase wall ms + RSS, run_done)\n\
-           --seed N                RNG seed (default 42)"
+           --seed N                RNG seed (default 42)\n\
+           --rank-batch N          simulated ranks per host task in parallel\n\
+                                   supersteps (default 0 = auto; results are\n\
+                                   bit-identical for every value)"
     );
     std::process::exit(0);
 }
@@ -89,6 +93,7 @@ fn parse_args() -> Args {
         metrics: None,
         obs_log: None,
         seed: 42,
+        rank_batch: 0,
     };
     let mut it = std::env::args().skip(1);
     let mut have_input = false;
@@ -127,6 +132,12 @@ fn parse_args() -> Args {
                 args.seed = v
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad value for --seed: '{v}'")));
+            }
+            "--rank-batch" => {
+                let v = value(&mut it, "--rank-batch");
+                args.rank_batch = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad value for --rank-batch: '{v}'")));
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => fail(&format!("unknown flag '{other}'")),
@@ -217,6 +228,7 @@ fn main() {
     );
 
     let mut machine = Machine::new(args.ranks.max(1), CostModel::qdr_infiniband());
+    machine.set_rank_batch(args.rank_batch);
     let observing = args.trace.is_some() || args.metrics.is_some();
     if observing {
         machine.set_recorder(Box::new(TraceRecorder::new(machine.p())));

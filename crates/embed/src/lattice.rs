@@ -297,18 +297,20 @@ const NF_BLOCK: usize = 512;
 /// nearly-empty lanes that the original *skipped* instead add `-0.0`,
 /// the IEEE-754 round-to-nearest additive identity (`x + -0.0 == x` for
 /// every `x`, including both zeros), so the skip becomes a branchless
-/// operand select without changing a single bit.
+/// operand select without changing a single bit — and a fully *empty*
+/// lane (zero mass, so every vertex selects `-0.0`) is elided wholesale
+/// by the same identity.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn near_field_passes(
     cvx: &[f64],
     cvy: &[f64],
     cm: &[f64],
+    cmk: &[f64],
     subidx: &[u8],
     sx: &[f64; NSUB],
     sy: &[f64; NSUB],
     sm: &[f64; NSUB],
-    ckk: f64,
     fx: &mut [f64],
     fy: &mut [f64],
 ) {
@@ -320,10 +322,17 @@ fn near_field_passes(
             let sxs = sx[si];
             let sys = sy[si];
             let sms = sm[si];
+            // An empty lane contributes `-0.0` to every vertex (own-lane
+            // masses are nonnegative, so `keep` is false throughout) —
+            // the additive identity. Skipping the pass changes no bits.
+            if sms == 0.0 {
+                continue;
+            }
             let siu = si as u8;
             let cx = &cvx[start..end];
             let cy = &cvy[start..end][..cx.len()];
             let m = &cm[start..end][..cx.len()];
+            let mk = &cmk[start..end][..cx.len()];
             let sb = &subidx[start..end][..cx.len()];
             let gx = &mut fx[start..end][..cx.len()];
             let gy = &mut fy[start..end][..cx.len()];
@@ -331,9 +340,8 @@ fn near_field_passes(
                 let dx = cx[i] - sxs;
                 let dy = cy[i] - sys;
                 let ds = (dx * dx + dy * dy).max(1e-9 * 1e-9);
-                let mv = m[i];
-                let mass = if sb[i] == siu { sms - mv } else { sms };
-                let fac = (ckk * mv) * mass / ds;
+                let mass = if sb[i] == siu { sms - m[i] } else { sms };
+                let fac = mk[i] * mass / ds;
                 let keep = mass > 1e-12;
                 gx[i] += if keep { dx * fac } else { -0.0 };
                 gy[i] += if keep { dy * fac } else { -0.0 };
@@ -361,7 +369,12 @@ struct BetaScan {
 /// near-field pass, saving one `cell_of` per vertex).
 #[derive(Clone, Debug, Default)]
 struct DispState {
-    moves: Vec<(u32, Point2)>,
+    /// Emitted moves `(v, new position, ‖displacement‖, crossed)`: the
+    /// norm, the moved position and the did-it-leave-its-cell test are
+    /// all computed here, inside the parallel superstep and from packed
+    /// passes, so the serial apply loop is a store, an add, and an
+    /// almost-never-taken branch per move.
+    moves: Vec<(u32, Point2, f64, u8)>,
     energy: f64,
     subidx: Vec<u8>,
     /// Owned-vertex coordinates and masses, gathered contiguous (struct of
@@ -369,12 +382,20 @@ struct DispState {
     cvx: Vec<f64>,
     cvy: Vec<f64>,
     cm: Vec<f64>,
+    /// Hoisted near-field products `C·K²·m_v` per owned vertex (lane
+    /// passes reread the product instead of redoing the multiply ×16).
+    cmk: Vec<f64>,
     /// Per-owned-vertex force accumulators (x and y lanes).
     fx: Vec<f64>,
     fy: Vec<f64>,
-    /// Displacement-tail scratch: per-vertex force norms and step scales.
+    /// Displacement-tail scratch: per-vertex force norms, step scales,
+    /// displacement norms, moved positions, and cell-crossing flags.
     nrm: Vec<f64>,
     scl: Vec<f64>,
+    dn: Vec<f64>,
+    npx: Vec<f64>,
+    npy: Vec<f64>,
+    crx: Vec<u8>,
 }
 
 /// Reusable working state for [`lattice_smooth_with`]: per-cell owned
@@ -816,6 +837,7 @@ pub fn lattice_smooth_with(
             let betas_ref = &scratch.betas;
             let beta_snap_ref = &scratch.beta_snapshot;
             let lattice_ref = &lattice;
+            let refreshed = it > 0 && it % cfg.block.max(1) == 0;
             machine.compute(&mut scratch.disp, |r, state| {
                 let DispState {
                     moves,
@@ -824,10 +846,15 @@ pub fn lattice_smooth_with(
                     cvx,
                     cvy,
                     cm,
+                    cmk,
                     fx,
                     fy,
                     nrm,
                     scl,
+                    dn,
+                    npx,
+                    npy,
+                    crx,
                 } = state;
                 moves.clear();
                 *energy = 0.0;
@@ -869,13 +896,33 @@ pub fn lattice_smooth_with(
                 let nmine = mine.len();
                 // Gather the owned vertices' coordinates and masses into
                 // contiguous arrays: every pass below streams them with
-                // vector loads instead of chasing `mine` indirections.
-                cvx.clear();
-                cvx.extend(mine.iter().map(|&v| coords_ref[v as usize].x));
-                cvy.clear();
-                cvy.extend(mine.iter().map(|&v| coords_ref[v as usize].y));
-                cm.clear();
-                cm.extend(mine.iter().map(|&v| g.vwgt(v)));
+                // vector loads instead of chasing `mine` indirections. One
+                // fused sweep fills all five streams — the split extends it
+                // replaces chased the same indirections three times over,
+                // and the force accumulators seed from the inherited
+                // repulsion scaled by vertex mass exactly like the
+                // original's `f = inherited * mv`.
+                cvx.resize(nmine, 0.0);
+                cvy.resize(nmine, 0.0);
+                cm.resize(nmine, 0.0);
+                fx.resize(nmine, 0.0);
+                fy.resize(nmine, 0.0);
+                {
+                    let cvx = &mut cvx[..nmine];
+                    let cvy = &mut cvy[..nmine];
+                    let cm = &mut cm[..nmine];
+                    let fx = &mut fx[..nmine];
+                    let fy = &mut fy[..nmine];
+                    for (i, &v) in mine.iter().enumerate() {
+                        let c = coords_ref[v as usize];
+                        let m = g.vwgt(v);
+                        cvx[i] = c.x;
+                        cvy[i] = c.y;
+                        cm[i] = m;
+                        fx[i] = inherited.x * m;
+                        fy[i] = inherited.y * m;
+                    }
+                }
                 // Sub-lattice index per vertex, replicating
                 // `my_box.cell_of(SUB, c)` arithmetic exactly (same
                 // width/height guards, same divide-multiply-truncate-clamp
@@ -916,22 +963,27 @@ pub fn lattice_smooth_with(
                     sm[i] = b.mu;
                 }
                 let ckk = params.c * params.k * params.k;
-                // Force accumulators start from the inherited repulsion
-                // scaled by vertex mass, exactly like the scalar
-                // original's `f = inherited * mv`.
-                fx.clear();
-                fx.extend(cm.iter().map(|&mv| inherited.x * mv));
-                fy.clear();
-                fy.extend(cm.iter().map(|&mv| inherited.y * mv));
-                near_field_passes(cvx, cvy, cm, subidx, &sx, &sy, &sm, ckk, fx, fy);
+                // Hoist the per-vertex near-field product `C·K²·m_v`: each
+                // of the 16 lane passes rereads it instead of redoing the
+                // multiply (the multiply is identical, so so are the bits).
+                cmk.clear();
+                cmk.extend(cm.iter().map(|&mv| ckk * mv));
+                near_field_passes(cvx, cvy, cm, cmk, subidx, &sx, &sy, &sm, fx, fy);
                 ops += (NSUB * nmine) as f64;
                 ops += (2 * nmine) as f64;
-                // Attraction over edges with the freshness rules, plus the
-                // displacement tail, folded onto the accumulated near-field
-                // forces in vertex order. Edge charges are counted in an
-                // integer and added to `ops` once — the same exact sum as
-                // `+= 1.0` per edge, without threading a serial f64
-                // dependency chain through the hot loop.
+                // Attraction over edges with the freshness rules, folded
+                // onto the accumulated near-field forces in vertex order.
+                // This loop stays fused and scalar by measurement: the
+                // per-edge owner/coordinate gathers bound it, not the
+                // sqrt/div (out-of-order execution overlaps the next
+                // edge's loads with the current edge's root), and both
+                // split variants tried — whole-edge-list passes and
+                // L1-blocked chunks — lost more to per-edge buffer
+                // traffic and bookkeeping than packed arithmetic saved.
+                // Edge charges are counted in an integer and added to
+                // `ops` once — the same exact sum as `+= 1.0` per edge,
+                // without threading a serial f64 dependency chain through
+                // the hot loop.
                 let mut nedges = 0usize;
                 for (vi, &v) in mine.iter().enumerate() {
                     let cv = Point2::new(cvx[vi], cvy[vi]);
@@ -965,11 +1017,84 @@ pub fn lattice_smooth_with(
                 }
                 scl.clear();
                 scl.extend(nrm.iter().map(|&n| step / n));
+                // Displacement norms, moved positions and cell-crossing
+                // flags as one more packed pass. The products are the
+                // same expressions the fused apply loop computed — `d.x`
+                // as `f.x · scale`, `np` as `coords[v] + d` (`cvx` *is*
+                // `coords[v].x`: nothing writes coordinates between the
+                // gather and the apply of the same iteration) — so every
+                // value the serial apply loop folds in is bit-identical
+                // to what it used to compute per move. The crossing test
+                // replays `QuantileLattice::in_cell`'s exact comparisons
+                // against the own cell's cuts (lane constants here).
+                // Gated-out entries (zero force norm → infinite scale)
+                // are computed but never read.
+                dn.resize(nmine, 0.0);
+                npx.resize(nmine, 0.0);
+                npy.resize(nmine, 0.0);
+                crx.resize(nmine, 0);
+                let (ci, cj) = (my % q, my / q);
+                let xlo = if ci > 0 {
+                    lattice_ref.xcuts[ci - 1]
+                } else {
+                    0.0
+                };
+                let xhi = if ci + 1 < q {
+                    lattice_ref.xcuts[ci]
+                } else {
+                    0.0
+                };
+                let yc = &lattice_ref.ycuts[ci];
+                let ylo = if cj > 0 { yc[cj - 1] } else { 0.0 };
+                let yhi = if cj + 1 < q { yc[cj] } else { 0.0 };
+                {
+                    let fx = &fx[..nmine];
+                    let fy = &fy[..nmine];
+                    let scl = &scl[..nmine];
+                    let cvx = &cvx[..nmine];
+                    let cvy = &cvy[..nmine];
+                    let dn = &mut dn[..nmine];
+                    let npx = &mut npx[..nmine];
+                    let npy = &mut npy[..nmine];
+                    let crx = &mut crx[..nmine];
+                    for i in 0..nmine {
+                        let dx = fx[i] * scl[i];
+                        let dy = fy[i] * scl[i];
+                        dn[i] = (dx * dx + dy * dy).sqrt();
+                        let nx = cvx[i] + dx;
+                        let ny = cvy[i] + dy;
+                        npx[i] = nx;
+                        npy[i] = ny;
+                        // Non-short-circuit `&`/`|` on the bools: the
+                        // comparisons are side-effect-free, so the truth
+                        // table is identical to `in_cell`'s `&&`/`||`
+                        // version but compiles to branchless masks.
+                        let out_x = ((ci > 0) & (nx < xlo)) | ((ci + 1 < q) & (nx >= xhi));
+                        let in_y = ((cj == 0) | (ny >= ylo)) & ((cj + 1 >= q) | (ny < yhi));
+                        crx[i] = (out_x | !in_y) as u8;
+                    }
+                }
+                if refreshed {
+                    // A block refresh rewrites `owner` mid-iteration while
+                    // this rank's owned list stays stale until the
+                    // end-of-iteration `apply_deltas`, so a just-flipped
+                    // vertex is still in `mine` with `owner[v] != my`. Its
+                    // crossing test above used the wrong cell's bounds:
+                    // force the flag on so the apply loop runs the full
+                    // `cell_of` path against the true owner. On every
+                    // other iteration `owner[v] == my` for all of `mine`
+                    // and the packed flags are exact as computed.
+                    let myu = my as u32;
+                    let crx = &mut crx[..nmine];
+                    for (i, &v) in mine.iter().enumerate() {
+                        crx[i] |= (owner_ref[v as usize] != myu) as u8;
+                    }
+                }
                 for (vi, &v) in mine.iter().enumerate() {
                     let norm = nrm[vi];
                     *energy += norm * norm;
                     if norm > 1e-12 {
-                        moves.push((v, Point2::new(fx[vi] * scl[vi], fy[vi] * scl[vi])));
+                        moves.push((v, Point2::new(npx[vi], npy[vi]), dn[vi], crx[vi]));
                     }
                 }
                 ops
@@ -994,15 +1119,14 @@ pub fn lattice_smooth_with(
         scratch.mig_pairs.clear();
         for st in &scratch.disp {
             new_energy += st.energy;
-            for &(v, d) in &st.moves {
-                let np = coords[v as usize] + d;
-                total_move += d.norm();
+            for &(v, np, dnorm, crossed) in &st.moves {
+                total_move += dnorm;
                 coords[v as usize] = np;
                 moved += 1;
-                let oc = scratch.owner[v as usize];
-                if lattice.in_cell(oc as usize % q, oc as usize / q, np) {
+                if crossed == 0 {
                     continue;
                 }
+                let oc = scratch.owner[v as usize];
                 let nc = cell_of(np, &lattice);
                 if nc != oc {
                     if !scratch.adj[oc as usize * ncells + nc as usize] {

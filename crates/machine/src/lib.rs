@@ -31,7 +31,7 @@ pub mod words;
 
 pub use cost::CostModel;
 pub use fuzz::{Perturbation, Schedule};
-pub use machine::{Machine, PhaseBreakdown};
+pub use machine::{Machine, PhaseBreakdown, SuperstepHook, SuperstepInfo};
 pub use words::{CostOnly, Words};
 
 pub use sp_trace as trace;

@@ -21,6 +21,30 @@ impl PhaseBreakdown {
     }
 }
 
+/// One superstep's host-execution report, passed to the
+/// [`Machine::set_superstep_hook`] observer after the rank clocks are
+/// charged. Everything in here describes the *host* run — wall time, task
+/// batching, pool width; simulated results never depend on any of it, so
+/// a hook is free to feed metrics without perturbing the simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct SuperstepInfo {
+    /// Simulation phase the superstep ran under.
+    pub phase: Phase,
+    /// Total ranks in the machine.
+    pub ranks: usize,
+    /// Ranks that charged nonzero ops (the superstep's active set).
+    pub active: usize,
+    /// Contiguous ranks per host task this superstep was packed into.
+    pub batch: usize,
+    /// Host threads in the rayon pool the superstep ran on.
+    pub threads: usize,
+    /// Host wall-clock seconds spent in the rank closures.
+    pub wall_seconds: f64,
+}
+
+/// Observer for superstep host execution (see [`SuperstepInfo`]).
+pub type SuperstepHook = Box<dyn FnMut(&SuperstepInfo) + Send>;
+
 /// A P-rank simulated message-passing machine.
 ///
 /// Observability: an optional [`Recorder`] (see `sp-trace`) receives
@@ -74,6 +98,17 @@ pub struct Machine {
     skew: Vec<f64>,
     /// Extra simulated seconds added to every collective's completion time.
     collective_delay: f64,
+    /// Contiguous ranks per host task in [`Machine::compute`]; 0 = auto
+    /// (spread the ranks evenly over the rayon pool). Purely a host
+    /// execution knob: results and clock charges are keyed by rank, never
+    /// by task or thread, so any batch size yields identical simulations.
+    rank_batch: usize,
+    /// Reusable per-rank ops buffer for `compute` (supersteps run every
+    /// smoothing iteration; their bookkeeping must not allocate).
+    ops_buf: Vec<f64>,
+    /// Host-execution observer, called once per superstep. `None` (the
+    /// default) costs one branch.
+    superstep_hook: Option<SuperstepHook>,
 }
 
 impl Machine {
@@ -98,7 +133,32 @@ impl Machine {
             schedule: None,
             skew: Vec::new(),
             collective_delay: 0.0,
+            rank_batch: 0,
+            ops_buf: Vec::new(),
+            superstep_hook: None,
         }
+    }
+
+    /// Set how many contiguous ranks each host task runs in
+    /// [`Machine::compute`]: 0 (the default) spreads the ranks evenly over
+    /// the rayon pool; `p` or more runs the whole superstep inline on the
+    /// calling thread. A pure host-performance knob — simulated clocks and
+    /// delivered data are identical for every value (the sp-verify
+    /// `parallel` fuzz proves this bit-for-bit).
+    pub fn set_rank_batch(&mut self, batch: usize) {
+        self.rank_batch = batch;
+    }
+
+    /// The configured rank batch size (0 = auto).
+    pub fn rank_batch(&self) -> usize {
+        self.rank_batch
+    }
+
+    /// Install a host-execution observer called once per superstep with
+    /// wall time and batching facts. The hook observes only; it runs after
+    /// clocks are charged and nothing it does can reach the simulation.
+    pub fn set_superstep_hook(&mut self, hook: SuperstepHook) {
+        self.superstep_hook = Some(hook);
     }
 
     /// Install a schedule fuzzer: subsequent supersteps run their rank
@@ -251,15 +311,35 @@ impl Machine {
         self.comp.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Run one superstep: `f(rank, state)` executes for every rank in
-    /// parallel on real threads and returns the number of abstract ops the
-    /// rank performed, which is charged to its clock.
+    /// Run one superstep: `f(rank, state)` executes for every rank on the
+    /// rayon pool and returns the number of abstract ops the rank
+    /// performed, which is charged to its clock.
+    ///
+    /// Host execution packs contiguous ranks into batches of
+    /// [`Machine::set_rank_batch`] per rayon task (auto by default: the
+    /// ranks spread evenly over the pool). Each closure touches only its
+    /// own rank's state and writes its ops into its own rank's slot, and
+    /// the charging loop below always walks ranks in ascending order on
+    /// the simulated clock — so batch size, thread count, and host
+    /// completion order are all invisible to simulated time and data, the
+    /// same argument that makes the `Schedule` fuzzer's permutations
+    /// legal. One batch (or one thread) degenerates to an inline serial
+    /// loop with no task dispatch at all.
     pub fn compute<S: Send, F>(&mut self, states: &mut [S], f: F)
     where
         F: Fn(usize, &mut S) -> f64 + Sync,
     {
         assert_eq!(states.len(), self.p, "one state per rank");
-        let ops: Vec<f64> = if let Some(sched) = self.schedule.as_mut() {
+        let threads = rayon::current_num_threads().max(1);
+        let batch = match self.rank_batch {
+            0 => self.p.div_ceil(threads),
+            b => b,
+        }
+        .clamp(1, self.p);
+        let host_t0 = std::time::Instant::now();
+        self.ops_buf.clear();
+        self.ops_buf.resize(self.p, 0.0);
+        if let Some(sched) = self.schedule.as_mut() {
             // Fuzzed schedule: run the closures in a seed-determined host
             // order. Results land by rank and the charging loop below stays
             // in rank order, so a correct SPMD superstep (closures touch
@@ -269,30 +349,62 @@ impl Machine {
             slots.sort_by_key(|&(r, _)| pos[r]);
             let pairs: Vec<(usize, f64)> =
                 slots.into_par_iter().map(|(r, s)| (r, f(r, s))).collect();
-            let mut ops = vec![0.0; self.p];
             for (r, o) in pairs {
-                ops[r] = o;
+                self.ops_buf[r] = o;
             }
-            ops
+        } else if batch >= self.p || threads == 1 {
+            // Whole superstep in one batch (or a one-thread pool): run
+            // inline on the calling thread, no dispatch at all.
+            for (r, s) in states.iter_mut().enumerate() {
+                self.ops_buf[r] = f(r, s);
+            }
         } else {
-            states
-                .par_iter_mut()
-                .enumerate()
-                .map(|(r, s)| f(r, s))
-                .collect()
-        };
+            // Fork-join over contiguous rank batches: each task owns a
+            // disjoint slice of states and of the ops buffer, so there is
+            // no sharing to synchronise and nothing host-order-dependent
+            // to merge — slot `r` is rank `r`'s result wherever it ran.
+            let f = &f;
+            rayon::scope(|s| {
+                for (c, (ss, os)) in states
+                    .chunks_mut(batch)
+                    .zip(self.ops_buf.chunks_mut(batch))
+                    .enumerate()
+                {
+                    let base = c * batch;
+                    s.spawn(move |_| {
+                        for (i, (st, o)) in ss.iter_mut().zip(os.iter_mut()).enumerate() {
+                            *o = f(base + i, st);
+                        }
+                    });
+                }
+            });
+        }
+        let wall_seconds = host_t0.elapsed().as_secs_f64();
         let phase = self.phase;
-        for (r, o) in ops.into_iter().enumerate() {
+        let mut active = 0usize;
+        for r in 0..self.p {
+            let o = self.ops_buf[r];
             let dt = self.skewed(r, o * self.cost.t_op);
             let start = self.clock[r];
             self.clock[r] += dt;
             self.clock_max = self.clock_max.max(self.clock[r]);
             self.comp[r] += dt;
             if o != 0.0 {
+                active += 1;
                 if let Some(rec) = self.recorder.as_deref_mut() {
                     rec.on_compute(r, phase, start, dt, o);
                 }
             }
+        }
+        if let Some(hook) = self.superstep_hook.as_mut() {
+            hook(&SuperstepInfo {
+                phase,
+                ranks: self.p,
+                active,
+                batch,
+                threads,
+                wall_seconds,
+            });
         }
     }
 
@@ -656,6 +768,63 @@ mod tests {
         });
         assert_eq!(m.elapsed(), 4.0);
         assert_eq!(states, vec![0, 1, 2, 3]);
+    }
+
+    /// Batch size is a pure host knob: every choice must leave states and
+    /// per-rank clock charges bit-identical.
+    #[test]
+    fn rank_batch_is_invisible_to_results_and_clocks() {
+        let run = |batch: usize| {
+            let mut m = Machine::new(7, CostModel::qdr_infiniband());
+            m.set_rank_batch(batch);
+            let mut states = vec![0.0f64; 7];
+            m.compute(&mut states, |r, s| {
+                *s = (r as f64 + 1.0).sqrt();
+                (r * r) as f64 + 0.25
+            });
+            (states, m.elapsed().to_bits())
+        };
+        let baseline = run(0);
+        for batch in [1, 2, 3, 7, 100] {
+            let got = run(batch);
+            assert_eq!(got.1, baseline.1, "clock drift at batch {batch}");
+            for (a, b) in got.0.iter().zip(&baseline.0) {
+                assert_eq!(a.to_bits(), b.to_bits(), "state drift at batch {batch}");
+            }
+        }
+    }
+
+    /// The superstep hook observes host facts (batching, active set) and
+    /// runs after charging; installing one must not change the simulation.
+    #[test]
+    fn superstep_hook_reports_batching_facts() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new(AtomicUsize::new(0));
+        let active_seen = Arc::new(AtomicUsize::new(usize::MAX));
+        let mut m = Machine::new(4, free());
+        {
+            let seen = seen.clone();
+            let active_seen = active_seen.clone();
+            m.set_superstep_hook(Box::new(move |info| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                active_seen.store(info.active, Ordering::Relaxed);
+                assert_eq!(info.ranks, 4);
+                assert!(info.batch >= 1 && info.batch <= 4);
+                assert!(info.threads >= 1);
+                assert!(info.wall_seconds >= 0.0);
+            }));
+        }
+        let mut states = vec![(); 4];
+        m.compute(&mut states, |r, _| if r < 3 { 2.0 } else { 0.0 });
+        m.compute(&mut states, |_, _| 1.0);
+        assert_eq!(seen.load(Ordering::Relaxed), 2, "one call per superstep");
+        assert_eq!(active_seen.load(Ordering::Relaxed), 4);
+        let mut plain = Machine::new(4, free());
+        let mut pstates = vec![(); 4];
+        plain.compute(&mut pstates, |r, _| if r < 3 { 2.0 } else { 0.0 });
+        plain.compute(&mut pstates, |_, _| 1.0);
+        assert_eq!(m.elapsed().to_bits(), plain.elapsed().to_bits());
     }
 
     #[test]

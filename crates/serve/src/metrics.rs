@@ -42,6 +42,14 @@ pub struct ServiceMetrics {
     /// Per-phase host wall time; indexed like [`PHASES`].
     pub phase_wall_ms: Vec<Arc<Histogram>>,
 
+    /// Host wall time of each simulated superstep's rank closures, fed by
+    /// the machine's superstep hook. Microsecond buckets: a superstep is
+    /// orders of magnitude shorter than a job.
+    pub superstep_wall_us: Arc<Histogram>,
+    /// Percentage of ranks that charged nonzero ops in the most recent
+    /// superstep — how full the rank batches ran.
+    pub rank_batch_occupancy: Arc<Gauge>,
+
     pub uptime_seconds: Arc<Gauge>,
     pub resident_memory_bytes: Arc<Gauge>,
     pub peak_resident_memory_bytes: Arc<Gauge>,
@@ -75,6 +83,12 @@ impl ServiceMetrics {
             queue_wait_ms: r.histogram("sp_queue_wait_milliseconds", "Time from enqueue to worker pickup", &lat),
             job_latency_ms: r.histogram("sp_job_latency_milliseconds", "End-to-end latency of resolved submits", &lat),
             job_run_ms: r.histogram("sp_job_run_milliseconds", "Worker execution time per job (queue wait excluded)", &lat),
+            superstep_wall_us: r.histogram(
+                "sp_superstep_wall_microseconds",
+                "Host wall time per simulated superstep (rank closures only)",
+                &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 50000.0],
+            ),
+            rank_batch_occupancy: r.gauge("sp_rank_batch_occupancy_percent", "Active ranks as a percentage of machine ranks in the last superstep"),
             phase_wall_ms: PHASES
                 .iter()
                 .map(|p| {

@@ -542,7 +542,7 @@ fn worker_loop(inner: Arc<Inner>) {
             );
         }
         let run_started = Instant::now();
-        let (outcome, profile) = run_job(&inner.cfg, &job);
+        let (outcome, profile) = run_job(&inner.cfg, &job, m);
         let run_ms = run_started.elapsed().as_secs_f64() * 1e3;
         m.job_run_ms.observe(run_ms);
         m.worker_busy_ms.add(run_ms as u64);
@@ -617,7 +617,11 @@ fn worker_loop(inner: Arc<Inner>) {
     }
 }
 
-fn run_job(cfg: &ServeConfig, job: &Job) -> (JobOutcome, Option<PhaseProfiler>) {
+fn run_job(
+    cfg: &ServeConfig,
+    job: &Job,
+    m: &ServiceMetrics,
+) -> (JobOutcome, Option<PhaseProfiler>) {
     let latency = |j: &Job| j.enqueued.elapsed().as_secs_f64() * 1e3;
     if Instant::now() >= job.deadline {
         // Expired while queued: report timeout without starting.
@@ -635,11 +639,22 @@ fn run_job(cfg: &ServeConfig, job: &Job) -> (JobOutcome, Option<PhaseProfiler>) 
     let (method, parts, seed, ranks) = (spec.method, spec.parts, spec.seed, cfg.ranks);
     let deadline = job.deadline;
     let profile = cfg.profile;
+    let superstep_wall = m.superstep_wall_us.clone();
+    let occupancy = m.rank_batch_occupancy.clone();
     // Worker threads must survive any panicking job (graceful
     // degradation): a poisoned input becomes a Failed outcome, not a dead
     // worker.
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         let mut machine = Machine::new(ranks, CostModel::qdr_infiniband());
+        // Host-execution telemetry from the batched superstep executor.
+        // The hook observes only — clocks are charged before it fires, so
+        // the passivity tests still hold with it installed.
+        machine.set_superstep_hook(Box::new(move |info| {
+            superstep_wall.observe(info.wall_seconds * 1e6);
+            if let Some(pct) = (info.active * 100).checked_div(info.ranks) {
+                occupancy.set(pct as i64);
+            }
+        }));
         let mut deadline_obs = DeadlineObserver { deadline };
         // With profiling on, the profiler wraps the deadline observer —
         // same checkpoints, same cancellation semantics, plus clock/RSS

@@ -220,6 +220,21 @@ fn metrics_stay_consistent_under_eight_concurrent_clients() {
     // The wait histogram only covers enqueued (missed) jobs.
     assert_eq!(get("sp_queue_wait_milliseconds_count"), misses);
 
+    // Superstep telemetry flowed from the machine's batched executor: the
+    // ScalaPart jobs in the burst drive the simulated machine through many
+    // supersteps, each observing one wall-time sample and refreshing the
+    // rank-batch occupancy gauge.
+    let supersteps = get("sp_superstep_wall_microseconds_count");
+    assert!(
+        supersteps > 0.0,
+        "no superstep samples reached the registry\n{prom}"
+    );
+    let occ = get("sp_rank_batch_occupancy_percent");
+    assert!(
+        (0.0..=100.0).contains(&occ),
+        "occupancy {occ} out of range\n{prom}"
+    );
+
     // The JSON stats snapshot and Prometheus view must agree.
     let stats = server.service().stats();
     assert_eq!(stats.completed as f64, completed);
@@ -265,6 +280,16 @@ fn metrics_frame_returns_valid_prometheus_text() {
         .to_string();
     assert!(scalapart::obs::prom::lint(&body).is_empty(), "{body}");
     assert_eq!(sample(&body, "sp_jobs_completed_total"), Some(1.0));
+    // The superstep instruments are part of the scrape surface even when
+    // the method exercised few supersteps.
+    assert!(
+        body.contains("# TYPE sp_superstep_wall_microseconds histogram"),
+        "superstep histogram missing from exposition"
+    );
+    assert!(
+        body.contains("sp_rank_batch_occupancy_percent"),
+        "occupancy gauge missing from exposition"
+    );
 
     server.shutdown();
     server.wait();

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! verify [--ranks N] [--schedules N] [--seed HEX] [--graph grid:RxC|delaunay:N]
-//!        [--replay HEX] [--skip-perturb] [--skip-passivity] [--self-test]
+//!        [--replay HEX] [--skip-perturb] [--skip-passivity] [--skip-parallel]
+//!        [--self-test]
 //! ```
 
 use std::process::ExitCode;
@@ -14,7 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_graph::gen::{delaunay_graph, grid_2d};
 use sp_graph::Graph;
-use sp_verify::{run_campaign, run_once, run_passivity, run_perturbations, FuzzConfig};
+use sp_verify::{
+    run_campaign, run_once, run_parallel_campaign, run_passivity, run_perturbations, FuzzConfig,
+    ParallelFuzzConfig,
+};
 
 struct Cli {
     ranks: usize,
@@ -24,6 +28,7 @@ struct Cli {
     replay: Option<u64>,
     skip_perturb: bool,
     skip_passivity: bool,
+    skip_parallel: bool,
     self_test: bool,
 }
 
@@ -31,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: verify [--ranks N] [--schedules N] [--seed HEX] \
          [--graph grid:RxC|delaunay:N] [--replay HEX] [--skip-perturb] \
-         [--skip-passivity] [--self-test]"
+         [--skip-passivity] [--skip-parallel] [--self-test]"
     );
     std::process::exit(2)
 }
@@ -57,6 +62,7 @@ fn parse_cli() -> Cli {
         replay: None,
         skip_perturb: false,
         skip_passivity: false,
+        skip_parallel: false,
         self_test: false,
     };
     let mut args = std::env::args().skip(1);
@@ -75,6 +81,7 @@ fn parse_cli() -> Cli {
             "--replay" => cli.replay = Some(parse_u64(&val())),
             "--skip-perturb" => cli.skip_perturb = true,
             "--skip-passivity" => cli.skip_passivity = true,
+            "--skip-parallel" => cli.skip_parallel = true,
             "--self-test" => cli.self_test = true,
             "--help" | "-h" => usage(),
             other => {
@@ -200,6 +207,27 @@ fn main() -> ExitCode {
                      elapsed bits {:#x} vs {:#x}",
                     r.fp_off, r.fp_on, r.elapsed_bits_off, r.elapsed_bits_on
                 );
+            }
+        }
+    }
+
+    if !cli.skip_parallel {
+        let pcfg = ParallelFuzzConfig {
+            ranks: cli.ranks,
+            batches: vec![1, 4, cli.ranks],
+            ..ParallelFuzzConfig::default()
+        };
+        let report = run_parallel_campaign(&g, &pcfg);
+        if report.ok() {
+            println!(
+                "parallel: {} run(s) (serial baseline + batches {:?} × threads {:?}) \
+                 bit-identical, fingerprint {:#018x}",
+                report.runs, pcfg.batches, pcfg.threads, report.baseline_fingerprint
+            );
+        } else {
+            failed = true;
+            for f in &report.failures {
+                println!("parallel: FAILED at {f}");
             }
         }
     }

@@ -25,6 +25,7 @@
 
 pub mod fuzz;
 pub mod invariants;
+pub mod parallel;
 pub mod passive;
 pub mod perturb;
 pub mod rng;
@@ -33,6 +34,7 @@ pub use fuzz::{
     fingerprint_result, run_campaign, run_once, CampaignReport, Failure, FuzzConfig, RunOutcome,
 };
 pub use invariants::{InvariantChecker, Violation};
+pub use parallel::{run_parallel_campaign, ParallelFailure, ParallelFuzzConfig, ParallelReport};
 pub use passive::{run_passivity, PassivityReport, PassivityRun};
 pub use perturb::{run_perturbations, PerturbReport, ScenarioOutcome};
 pub use rng::{derive_seed, Fingerprint};

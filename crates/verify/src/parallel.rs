@@ -1,0 +1,197 @@
+//! Parallel-vs-serial determinism fuzz: the simulated machine may pack
+//! rank closures into host-task batches of any size and run them on any
+//! number of host threads, and none of it may be observable in the
+//! simulation. This module runs the **full pipeline** (coarsen → embed →
+//! partition → refine) once serially — every superstep inline on the
+//! calling thread — and then across a matrix of rank-batch sizes and
+//! pool widths, demanding the complete fingerprint (partition labels,
+//! coordinate bits, cut statistics, simulated-time bits) be identical on
+//! every run.
+//!
+//! Why this must hold: each rank closure touches only its own rank's
+//! state and writes its op count into its own rank's slot; clock charges
+//! and outbox merges always walk ranks in ascending order afterwards.
+//! Host scheduling decides only *when* a closure runs, never what it
+//! computes or where its result lands — the same argument that makes the
+//! `Schedule` fuzzer's permutations invisible (see DESIGN.md, "Host
+//! performance round 2").
+
+use scalapart::{scalapart_bisect, SpConfig};
+use sp_graph::Graph;
+use sp_machine::{CostModel, Machine};
+
+use crate::fuzz::fingerprint_result;
+
+/// Configuration of a parallel-execution fuzz campaign.
+#[derive(Clone, Debug)]
+pub struct ParallelFuzzConfig {
+    /// Simulated ranks.
+    pub ranks: usize,
+    /// Pipeline configuration shared by every run.
+    pub sp: SpConfig,
+    /// Rank-batch sizes to sweep (`ranks` itself degenerates to the
+    /// serial inline path; 1 is maximal fan-out).
+    pub batches: Vec<usize>,
+    /// Host pool widths to sweep (installed per run, the in-process
+    /// equivalent of `RAYON_NUM_THREADS`).
+    pub threads: Vec<usize>,
+}
+
+impl Default for ParallelFuzzConfig {
+    fn default() -> Self {
+        let ranks = 16;
+        ParallelFuzzConfig {
+            ranks,
+            sp: SpConfig::default(),
+            batches: vec![1, 4, ranks],
+            threads: vec![1, 4, 8],
+        }
+    }
+}
+
+/// One diverging run of the campaign.
+#[derive(Clone, Debug)]
+pub struct ParallelFailure {
+    pub batch: usize,
+    pub threads: usize,
+    pub detail: String,
+}
+
+impl std::fmt::Display for ParallelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch {} on {} host threads: {}",
+            self.batch, self.threads, self.detail
+        )
+    }
+}
+
+/// Result of a parallel-execution fuzz campaign.
+pub struct ParallelReport {
+    /// Fingerprint of the serial baseline (labels + coords + cut +
+    /// simulated-time bits).
+    pub baseline_fingerprint: u64,
+    /// Simulated elapsed time of the baseline.
+    pub baseline_elapsed: f64,
+    /// Total pipeline runs performed (baseline + matrix).
+    pub runs: usize,
+    pub failures: Vec<ParallelFailure>,
+}
+
+impl ParallelReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the pipeline once with the given rank batch, returning the full
+/// fingerprint and simulated elapsed time.
+fn run_pipeline(g: &Graph, cfg: &ParallelFuzzConfig, batch: usize) -> (u64, f64) {
+    let mut machine = Machine::new(cfg.ranks, CostModel::qdr_infiniband());
+    machine.set_rank_batch(batch);
+    let r = scalapart_bisect(g, &mut machine, &cfg.sp);
+    (fingerprint_result(g, &r, true), machine.elapsed())
+}
+
+/// Serial baseline plus the full `batches × threads` matrix. Every run
+/// must reproduce the baseline fingerprint bit-for-bit.
+pub fn run_parallel_campaign(g: &Graph, cfg: &ParallelFuzzConfig) -> ParallelReport {
+    // Baseline: one batch covering all ranks on a one-thread pool — the
+    // machine's inline serial path, no task dispatch anywhere.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool");
+    let (baseline_fp, baseline_elapsed) = pool.install(|| run_pipeline(g, cfg, cfg.ranks));
+
+    let mut runs = 1;
+    let mut failures = Vec::new();
+    for &threads in &cfg.threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        for &batch in &cfg.batches {
+            let (fp, elapsed) = pool.install(|| run_pipeline(g, cfg, batch));
+            runs += 1;
+            if fp != baseline_fp {
+                failures.push(ParallelFailure {
+                    batch,
+                    threads,
+                    detail: format!(
+                        "fingerprint {:#018x} != serial baseline {:#018x} \
+                         (simulated {} vs {})",
+                        fp, baseline_fp, elapsed, baseline_elapsed
+                    ),
+                });
+            }
+        }
+    }
+
+    ParallelReport {
+        baseline_fingerprint: baseline_fp,
+        baseline_elapsed,
+        runs,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::grid_2d;
+
+    fn small_cfg() -> ParallelFuzzConfig {
+        ParallelFuzzConfig {
+            ranks: 8,
+            batches: vec![1, 4, 8],
+            threads: vec![1, 4, 8],
+            ..ParallelFuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_is_batch_and_thread_invariant_on_grid() {
+        let g = grid_2d(24, 24);
+        let report = run_parallel_campaign(&g, &small_cfg());
+        assert_eq!(report.runs, 10, "baseline + 3×3 matrix");
+        for f in &report.failures {
+            eprintln!("{f}");
+        }
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn campaign_actually_exercises_distinct_batch_shapes() {
+        // Guard against the sweep silently collapsing to one shape: with 8
+        // ranks, batch 1 fans out to 8 tasks, batch 4 to 2, batch 8 runs
+        // inline. All must agree with each other, not just exist.
+        let g = grid_2d(16, 16);
+        let a = run_parallel_campaign(
+            &g,
+            &ParallelFuzzConfig {
+                ranks: 8,
+                batches: vec![1],
+                threads: vec![8],
+                ..ParallelFuzzConfig::default()
+            },
+        );
+        let b = run_parallel_campaign(
+            &g,
+            &ParallelFuzzConfig {
+                ranks: 8,
+                batches: vec![3],
+                threads: vec![2],
+                ..ParallelFuzzConfig::default()
+            },
+        );
+        assert!(a.ok() && b.ok());
+        assert_eq!(a.baseline_fingerprint, b.baseline_fingerprint);
+        assert_eq!(
+            a.baseline_elapsed.to_bits(),
+            b.baseline_elapsed.to_bits(),
+            "simulated time must not depend on host execution shape"
+        );
+    }
+}
