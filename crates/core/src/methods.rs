@@ -49,6 +49,23 @@ impl Method {
         }
     }
 
+    /// The canonical protocol token: `Method::parse(m.proto_name())`
+    /// always round-trips. This is the name that goes on the wire (cache
+    /// warming entries, routed requests), unlike [`Method::name`], whose
+    /// display forms (`"SP-PG7-NL"`) are not parseable.
+    pub fn proto_name(self) -> &'static str {
+        match self {
+            Method::ScalaPart => "sp",
+            Method::SpPg7Nl => "sp-pg7nl",
+            Method::ParMetisLike => "parmetis",
+            Method::PtScotchLike => "ptscotch",
+            Method::Rcb => "rcb",
+            Method::G30 => "g30",
+            Method::G7 => "g7",
+            Method::G7Nl => "g7nl",
+        }
+    }
+
     /// Parse a CLI/protocol method name (the `--method` values of the
     /// `scalapart` CLI, shared by the sp-serve request decoder).
     pub fn parse(s: &str) -> Option<Method> {
@@ -295,5 +312,21 @@ mod tests {
         assert!(Method::G30.needs_coords());
         assert!(!Method::ScalaPart.needs_coords());
         assert!(!Method::PtScotchLike.needs_coords());
+    }
+
+    #[test]
+    fn proto_names_round_trip_through_parse() {
+        for m in [
+            Method::ScalaPart,
+            Method::SpPg7Nl,
+            Method::ParMetisLike,
+            Method::PtScotchLike,
+            Method::Rcb,
+            Method::G30,
+            Method::G7,
+            Method::G7Nl,
+        ] {
+            assert_eq!(Method::parse(m.proto_name()), Some(m), "{:?}", m);
+        }
     }
 }

@@ -9,25 +9,30 @@
 //!                  [--chaco FILE]
 //! sp-serve stats   --addr 127.0.0.1:7070 [--prom]
 //! sp-serve shutdown --addr 127.0.0.1:7070
+//! sp-serve route   --addr 127.0.0.1:7071 --shard a=127.0.0.1:7070
+//!                  [--shard b=HOST:PORT ...] [--vnodes N] [--health-ms N]
+//!                  [--warm N] [--forward-timeout-ms N]
 //! ```
 
 use sp_serve::net::{Client, Server};
+use sp_serve::router::{Router, RouterConfig, RouterServer};
 use sp_serve::service::ServeConfig;
 use sp_trace::json::escape;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 
 const USAGE_HINT: &str =
-    "usage: sp-serve <serve|submit|stats|shutdown> --addr HOST:PORT [options]; see --help";
+    "usage: sp-serve <serve|submit|stats|shutdown|route> --addr HOST:PORT [options]; see --help";
 
 const HELP: &str = "\
 sp-serve: long-running partitioning service
 
 subcommands:
-  serve      run the daemon
+  serve      run the daemon (one shard)
   submit     submit one partitioning job and print the response
   stats      print service counters and latency percentiles
   shutdown   drain the queue and stop the daemon
+  route      run the distributed-serving router over backend shards
 
 serve options:
   --addr HOST:PORT     listen address (default 127.0.0.1:7070)
@@ -52,7 +57,21 @@ submit options:
 
 stats options:
   --prom               print Prometheus text exposition instead of the
-                       JSON stats snapshot (scrape-friendly)";
+                       JSON stats snapshot (scrape-friendly)
+
+route options:
+  --addr HOST:PORT     router listen address (default 127.0.0.1:7071)
+  --shard NAME=ADDR    a backend shard (repeat per shard; at least one)
+  --vnodes N           virtual nodes per shard on the hash ring (default 128)
+  --health-ms N        health-probe period, 0 disables (default 500)
+  --warm N             cache entries streamed per survivor on shard join
+                       (default 32)
+  --forward-timeout-ms N
+                       per-attempt shard socket timeout (default 30000)
+
+The router consistent-hashes each submit's cache key across live shards
+and relays responses byte-identically; submit/stats/shutdown work against
+the router address exactly as against a single shard.";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sp-serve: {msg}");
@@ -124,6 +143,7 @@ fn main() -> ExitCode {
         "submit" => cmd_submit(&mut args),
         "stats" => cmd_stats(&mut args),
         "shutdown" => cmd_roundtrip(&mut args, "{\"type\": \"shutdown\"}"),
+        "route" => cmd_route(&mut args),
         other => return fail(&format!("unknown subcommand {other:?}")),
     };
     match run {
@@ -169,6 +189,50 @@ fn cmd_serve(args: &mut Args) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot write metrics to {path:?}: {e}"))?;
         eprintln!("sp-serve: metrics written to {path}");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_route(args: &mut Args) -> Result<ExitCode, String> {
+    let addr = args
+        .take("--addr")?
+        .unwrap_or_else(|| "127.0.0.1:7071".into());
+    let mut shards: Vec<(String, String)> = Vec::new();
+    while let Some(spec) = args.take("--shard")? {
+        let (name, shard_addr) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--shard wants NAME=HOST:PORT, got {spec:?}"))?;
+        if name.is_empty() || shards.iter().any(|(n, _)| n == name) {
+            return Err(format!("shard name {name:?} is empty or repeated"));
+        }
+        shards.push((name.to_string(), shard_addr.to_string()));
+    }
+    if shards.is_empty() {
+        return Err("route needs at least one --shard NAME=ADDR".into());
+    }
+    let mut cfg = RouterConfig::default();
+    if let Some(v) = args.take_parsed("--vnodes")? {
+        cfg.vnodes = v;
+    }
+    if let Some(v) = args.take_parsed("--health-ms")? {
+        cfg.health_interval_ms = v;
+    }
+    if let Some(v) = args.take_parsed("--warm")? {
+        cfg.warm_limit = v;
+    }
+    if let Some(v) = args.take_parsed("--forward-timeout-ms")? {
+        cfg.forward_timeout_ms = v;
+    }
+    args_done(args)?;
+    let router = Router::new(cfg, &shards).map_err(|e| format!("cannot start router: {e}"))?;
+    let server =
+        RouterServer::bind(&addr, router).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+    eprintln!(
+        "sp-serve: routing on {} across {} shard(s)",
+        server.local_addr(),
+        shards.len()
+    );
+    server.wait();
+    eprintln!("sp-serve: router stopped");
     Ok(ExitCode::SUCCESS)
 }
 

@@ -5,14 +5,14 @@
 //! content — structure (`xadj`, `adjncy`), edge-weight bits, vertex-weight
 //! bits — plus the coordinate bits when the request supplies coordinates
 //! (the geometric methods consume them). Two graphs that differ only in
-//! edge weights therefore hash apart. Built on sp-verify's FNV-1a
-//! [`Fingerprint`], which is hand-rolled and platform-stable, so cache
-//! keys (and the `fingerprint` field echoed in responses) are
-//! reproducible across hosts.
+//! edge weights therefore hash apart. Built on sp-trace's FNV-1a
+//! [`Fingerprint`] (the same accumulator sp-verify uses), which is
+//! hand-rolled and platform-stable, so cache keys (and the `fingerprint`
+//! field echoed in responses) are reproducible across hosts.
 
 use sp_geometry::Point2;
 use sp_graph::Graph;
-use sp_verify::Fingerprint;
+use sp_trace::fnv::Fingerprint;
 
 /// Fingerprint a graph's full CSR content.
 pub fn fingerprint_graph(g: &Graph) -> u64 {

@@ -13,11 +13,15 @@
 //!   any embedding binary drive this API).
 //! - [`net::Server`]/[`net::Client`] — a TCP front end speaking
 //!   length-prefixed JSON frames ([`proto`]), built purely on `std::net`.
+//! - [`router::Router`]/[`router::RouterServer`] — distributed serving: a
+//!   coordinator that consistent-hashes jobs ([`ring`]) across backend
+//!   shards, with health checks, mid-stream failover replay, and cache
+//!   warming on shard join (`sp-serve route`).
 //!
 //! Everything is dependency-free by design, like the rest of the
 //! workspace: the wire format is parsed by the hand-rolled strict
 //! [`json`] parser and emitted through sp-trace's JSON helpers, and cache
-//! fingerprints reuse sp-verify's platform-stable FNV-1a.
+//! fingerprints reuse sp-trace's platform-stable FNV-1a.
 //!
 //! Determinism contract: a job's result depends only on
 //! `(input fingerprint, method, parts, simulated ranks, seed)` — the
@@ -30,12 +34,16 @@ pub mod json;
 pub mod metrics;
 pub mod net;
 pub mod proto;
+pub mod ring;
+pub mod router;
 pub mod service;
 
 pub use cache::{CacheKey, LruCache};
 pub use fingerprint::{fingerprint_graph, fingerprint_input};
 pub use metrics::ServiceMetrics;
 pub use net::{Client, Server};
+pub use ring::Ring;
+pub use router::{Router, RouterConfig, RouterServer};
 pub use service::{
     JobOutcome, JobSpec, PartitionOutput, ServeConfig, Service, ServiceStats, SubmitError, Ticket,
 };

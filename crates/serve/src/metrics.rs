@@ -14,6 +14,7 @@
 use scalapart::obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 
+#[derive(Clone)]
 pub struct ServiceMetrics {
     pub registry: Arc<Registry>,
 

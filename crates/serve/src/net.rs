@@ -14,13 +14,14 @@
 //! current request; submits racing the drain get a `shutting_down`
 //! rejection rather than a dropped socket.
 
+use crate::metrics::ServiceMetrics;
 use crate::proto::{
-    encode_error, encode_metrics, encode_outcome, encode_rejection, read_frame, write_frame,
-    Request, MAX_FRAME,
+    append_field, encode_cache_entries, encode_error, encode_metrics, encode_outcome, encode_pong,
+    encode_rejection, read_frame, write_frame, Request, WireCacheEntry, MAX_FRAME,
 };
 use crate::service::{JobSpec, ServeConfig, Service};
 use std::io::{Read, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -31,20 +32,35 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Clones of accepted connection streams, so [`Server::kill`] can
+    /// sever them abruptly (crash injection for the failover tests).
+    conns: Mutex<Vec<TcpStream>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) and
     /// start accepting.
     pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Arc<Server>> {
+        Server::bind_with_metrics(addr, cfg, ServiceMetrics::new())
+    }
+
+    /// [`bind`](Self::bind) against an existing metric registry — a shard
+    /// restarting on the same scrape endpoint keeps cumulative counters
+    /// monotone while run-scoped gauges (queue-depth high water) reset.
+    pub fn bind_with_metrics(
+        addr: &str,
+        cfg: ServeConfig,
+        metrics: ServiceMetrics,
+    ) -> std::io::Result<Arc<Server>> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let server = Arc::new(Server {
-            service: Service::start(cfg),
+            service: Service::start_with_metrics(cfg, metrics),
             addr,
             stop: Arc::new(AtomicBool::new(false)),
             accept_thread: Mutex::new(None),
+            conns: Mutex::new(Vec::new()),
         });
         let accept = {
             let server = server.clone();
@@ -70,6 +86,20 @@ impl Server {
         self.service.shutdown();
     }
 
+    /// SIGKILL-equivalent crash injection: stop accepting and sever every
+    /// open connection immediately — no drain, no goodbye frames. Peers
+    /// observe an abrupt EOF/reset exactly as if the shard process died.
+    /// The in-process worker pool is left to be reaped by a later
+    /// `service().shutdown()` (a real kill would take it too, but test
+    /// processes must not leak running threads unjoined).
+    pub fn kill(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in self.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.wait();
+    }
+
     /// Block until the accept loop has exited (after [`Server::shutdown`],
     /// from any thread or a `shutdown` frame).
     pub fn wait(&self) {
@@ -85,6 +115,15 @@ fn accept_loop(server: Arc<Server>, listener: TcpListener) {
     while !server.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if let Ok(clone) = stream.try_clone() {
+                    let mut conns = server.conns.lock().unwrap();
+                    conns.push(clone);
+                    // Stale entries accumulate one per connection; cap the
+                    // registry by dropping closed ones opportunistically.
+                    if conns.len() > 64 {
+                        conns.retain(|c| c.peer_addr().is_ok());
+                    }
+                }
                 let server = server.clone();
                 handlers.push(std::thread::spawn(move || {
                     let _ = handle_connection(server, stream);
@@ -107,7 +146,7 @@ fn accept_loop(server: Arc<Server>, listener: TcpListener) {
 /// connection. Without this, an idle keep-alive client would pin its
 /// handler thread in a blocking `read` forever and shutdown could never
 /// join it.
-fn read_frame_stoppable(
+pub(crate) fn read_frame_stoppable(
     stream: &mut TcpStream,
     stop: &AtomicBool,
 ) -> std::io::Result<Option<Vec<u8>>> {
@@ -214,6 +253,27 @@ fn handle_connection(server: Arc<Server>, mut stream: TcpStream) -> std::io::Res
                 server.shutdown();
                 return Ok(());
             }
+            Ok(Request::Ping) => encode_pong(),
+            Ok(Request::CacheDump { limit }) => {
+                let entries: Vec<WireCacheEntry> = server
+                    .service
+                    .cache_dump(limit)
+                    .into_iter()
+                    .map(|(key, out)| WireCacheEntry {
+                        key,
+                        sim_time: out.sim_time,
+                        result_json: out.result_json.clone(),
+                    })
+                    .collect();
+                encode_cache_entries("cache", &entries)
+            }
+            Ok(Request::CacheLoad { entries }) => {
+                let loaded = entries
+                    .into_iter()
+                    .filter(|e| server.service.cache_load(e.key, e.sim_time, &e.result_json))
+                    .count();
+                format!("{{\"type\": \"ok\", \"loaded\": {loaded}}}")
+            }
             Ok(Request::Submit {
                 graph,
                 coords,
@@ -221,6 +281,7 @@ fn handle_connection(server: Arc<Server>, mut stream: TcpStream) -> std::io::Res
                 parts,
                 seed,
                 deadline_ms,
+                route_tag,
             }) => {
                 let spec = JobSpec {
                     graph,
@@ -230,9 +291,17 @@ fn handle_connection(server: Arc<Server>, mut stream: TcpStream) -> std::io::Res
                     seed,
                     deadline_ms,
                 };
-                match server.service.submit_wait(spec) {
+                let body = match server.service.submit_wait(spec) {
                     Ok(outcome) => encode_outcome(&outcome),
                     Err(reject) => encode_rejection(&reject),
+                };
+                // Echo the router's correlation tag so it can pin this
+                // response to the job it forwarded — appended after the
+                // payload so the payload bytes stay identical to a
+                // directly-served response.
+                match route_tag {
+                    Some(tag) => append_field(&body, "route_tag", &tag.to_string()),
+                    None => body,
                 }
             }
         };

@@ -24,7 +24,22 @@
 //!   of the service's runtime metric registry, carried in the `body`
 //!   field of the response frame (`sp-serve stats --prom` unwraps it).
 //! - `{"type": "shutdown"}` — graceful drain, then the server exits.
+//!
+//! Distributed-serving extensions (see DESIGN.md "Distributed serving"):
+//!
+//! - Submit frames may carry `"route_tag": <u64>` — injected by the
+//!   router, echoed verbatim in the shard's response so the router can
+//!   detect a shard answering the wrong job. Clients must not set it.
+//! - `{"type": "ping"}` — health probe; answered with `{"type": "pong"}`.
+//! - `{"type": "cache_dump", "limit": N}` — the shard's hottest cache
+//!   entries as `{"type": "cache", "entries": [...]}`. Each entry carries
+//!   its `result` body as an *escaped JSON string*, not an embedded
+//!   object: the escape/unescape pair round-trips byte-exactly, so a
+//!   warmed cache replays bit-identical response bytes.
+//! - `{"type": "cache_load", "entries": [...]}` — install dumped entries
+//!   (cache warming on shard join); answered `{"type": "ok", "loaded": N}`.
 
+use crate::cache::CacheKey;
 use crate::json::Value;
 use crate::service::{JobOutcome, SubmitError};
 use scalapart::Method;
@@ -85,10 +100,20 @@ pub enum Request {
         parts: usize,
         seed: u64,
         deadline_ms: Option<u64>,
+        /// Router-injected correlation tag, echoed in the response. `None`
+        /// for direct clients.
+        route_tag: Option<u64>,
     },
     Stats,
     Metrics,
     Shutdown,
+    Ping,
+    CacheDump {
+        limit: usize,
+    },
+    CacheLoad {
+        entries: Vec<WireCacheEntry>,
+    },
 }
 
 impl Request {
@@ -105,6 +130,15 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
+            "ping" => Ok(Request::Ping),
+            "cache_dump" => {
+                let limit = v.get("limit").and_then(Value::as_usize).unwrap_or(32);
+                Ok(Request::CacheDump { limit })
+            }
+            "cache_load" => {
+                let entries = decode_cache_entries(&v)?;
+                Ok(Request::CacheLoad { entries })
+            }
             "submit" => Self::decode_submit(&v),
             other => Err(format!("unknown request type {other:?}")),
         }
@@ -148,6 +182,10 @@ impl Request {
                     .ok_or("\"deadline_ms\" must be a non-negative integer")?,
             ),
         };
+        let route_tag = match v.get("route_tag") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(t.as_u64().ok_or("\"route_tag\" must be a u64")?),
+        };
         Ok(Request::Submit {
             graph,
             coords,
@@ -155,6 +193,7 @@ impl Request {
             parts,
             seed,
             deadline_ms,
+            route_tag,
         })
     }
 }
@@ -210,6 +249,109 @@ fn parse_graph_spec(spec: &str) -> Result<GraphAndCoords, String> {
             "unknown graph spec {spec:?}; use gen:grid:WxH or suite:name[:scale]"
         )),
     }
+}
+
+/// One result-cache entry on the wire (cache warming). The `result` body
+/// travels as an escaped JSON *string*: `escape`/parse round-trips bytes
+/// exactly, so installing the entry on another shard reproduces responses
+/// byte-for-byte, and `sim_time` is emitted by `num` (shortest round-trip
+/// form), which std float parsing recovers bit-exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCacheEntry {
+    pub key: CacheKey,
+    pub sim_time: f64,
+    pub result_json: String,
+}
+
+/// Encode cache entries as a `{"type": "cache", "entries": [...]}` frame
+/// (also the body of a `cache_load` request, with the type re-labelled).
+pub fn encode_cache_entries(ty: &str, entries: &[WireCacheEntry]) -> String {
+    let mut out = format!("{{\"type\": \"{ty}\", \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"input\": \"{:016x}\", \"method\": \"{}\", \"parts\": {}, \"ranks\": {}, \"seed\": {}, \"sim_time\": {}, \"result\": \"{}\"}}",
+            e.key.input,
+            e.key.method.proto_name(),
+            e.key.parts,
+            e.key.ranks,
+            e.key.seed,
+            num(e.sim_time),
+            escape(&e.result_json)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Decode the `entries` array of a `cache` / `cache_load` frame.
+pub fn decode_cache_entries(v: &Value) -> Result<Vec<WireCacheEntry>, String> {
+    let arr = v
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"entries\" array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for e in arr {
+        let input_hex = e
+            .get("input")
+            .and_then(Value::as_str)
+            .ok_or("cache entry missing \"input\"")?;
+        let input = u64::from_str_radix(input_hex, 16)
+            .map_err(|_| format!("bad fingerprint {input_hex:?}"))?;
+        let method_name = e
+            .get("method")
+            .and_then(Value::as_str)
+            .ok_or("cache entry missing \"method\"")?;
+        let method =
+            Method::parse(method_name).ok_or_else(|| format!("unknown method {method_name:?}"))?;
+        let parts = e
+            .get("parts")
+            .and_then(Value::as_usize)
+            .ok_or("cache entry missing \"parts\"")?;
+        let ranks = e
+            .get("ranks")
+            .and_then(Value::as_usize)
+            .ok_or("cache entry missing \"ranks\"")?;
+        let seed = e
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("cache entry missing \"seed\"")?;
+        let sim_time = e
+            .get("sim_time")
+            .and_then(Value::as_f64)
+            .ok_or("cache entry missing \"sim_time\"")?;
+        let result_json = e
+            .get("result")
+            .and_then(Value::as_str)
+            .ok_or("cache entry missing \"result\"")?
+            .to_string();
+        out.push(WireCacheEntry {
+            key: CacheKey {
+                input,
+                method,
+                parts,
+                ranks,
+                seed,
+            },
+            sim_time,
+            result_json,
+        });
+    }
+    Ok(out)
+}
+
+/// Append `"key": <raw JSON value>` to an encoded JSON object, just before
+/// its closing brace. The router uses this to inject `route_tag` into
+/// submit frames and shards use it to echo the tag back — pure string
+/// surgery, so the rest of the payload's bytes are untouched (the
+/// determinism contract compares those bytes).
+pub fn append_field(obj: &str, key: &str, raw_value: &str) -> String {
+    let trimmed = obj.trim_end();
+    debug_assert!(trimmed.ends_with('}'), "not a JSON object: {obj:?}");
+    let body = &trimmed[..trimmed.len() - 1];
+    format!("{body}, \"{key}\": {raw_value}}}")
 }
 
 /// Encode a finished job as a response frame payload. `result_json` from
@@ -277,6 +419,85 @@ pub fn encode_error(message: &str) -> String {
     )
 }
 
+/// Encode a typed error: like [`encode_error`] but with a machine-readable
+/// `code` so router clients can distinguish `no_shards` (every replica of
+/// the keyspace is down) from `route_mismatch` (a shard answered with the
+/// wrong correlation tag — a protocol violation, never retried) and
+/// `shard_protocol` (a shard's reply frame was malformed).
+pub fn encode_typed_error(code: &str, message: &str) -> String {
+    format!(
+        "{{\"type\": \"error\", \"code\": \"{}\", \"message\": \"{}\"}}",
+        escape(code),
+        escape(message)
+    )
+}
+
+/// The health-probe response.
+pub fn encode_pong() -> String {
+    "{\"type\": \"pong\"}".to_string()
+}
+
+/// The raw byte span of a top-level field's value inside an encoded
+/// response — no re-serialization, so two responses can be compared for
+/// *byte* identity field by field (the determinism contract is stated in
+/// bytes, not parsed values). Handles object, string, and scalar values.
+pub fn extract_raw_field<'a>(resp: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\": ");
+    let start = resp.find(&needle)? + needle.len();
+    let bytes = resp.as_bytes();
+    match *bytes.get(start)? {
+        b'{' | b'[' => {
+            let (open, close) = if bytes[start] == b'{' {
+                (b'{', b'}')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0i32;
+            let mut in_str = false;
+            let mut esc = false;
+            for (i, &b) in bytes.iter().enumerate().skip(start) {
+                if esc {
+                    esc = false;
+                    continue;
+                }
+                match b {
+                    b'\\' if in_str => esc = true,
+                    b'"' => in_str = !in_str,
+                    _ if in_str => {}
+                    b if b == open => depth += 1,
+                    b if b == close => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(&resp[start..=i]);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        b'"' => {
+            let mut esc = false;
+            for (i, &b) in bytes.iter().enumerate().skip(start + 1) {
+                if esc {
+                    esc = false;
+                } else if b == b'\\' {
+                    esc = true;
+                } else if b == b'"' {
+                    return Some(&resp[start..=i]);
+                }
+            }
+            None
+        }
+        _ => {
+            let end = bytes[start..]
+                .iter()
+                .position(|&b| b == b',' || b == b'}' || b == b']')?;
+            Some(resp[start..start + end].trim_end())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,11 +549,13 @@ mod tests {
                 parts,
                 seed,
                 deadline_ms,
+                route_tag,
             } => {
                 assert_eq!(graph.n(), 48);
                 assert_eq!(coords.unwrap().len(), 48);
                 assert_eq!(method, Method::Rcb);
                 assert_eq!((parts, seed, deadline_ms), (4, 7, None));
+                assert_eq!(route_tag, None);
             }
             _ => panic!("expected Submit"),
         }
@@ -406,5 +629,88 @@ mod tests {
             v.get("message").unwrap().as_str().unwrap(),
             "tab\there \"quoted\""
         );
+        let t = encode_typed_error("no_shards", "all 3 shards down");
+        let v = Value::parse(&t).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str().unwrap(), "no_shards");
+    }
+
+    #[test]
+    fn route_tag_decodes_and_append_field_injects_it() {
+        let req = r#"{"type": "submit", "graph": "gen:grid:4x4", "method": "sp", "parts": 2}"#;
+        let tagged = append_field(req, "route_tag", "99");
+        match decode(&tagged).unwrap() {
+            Request::Submit { route_tag, .. } => assert_eq!(route_tag, Some(99)),
+            _ => panic!("expected Submit"),
+        }
+        // Injection is pure suffix surgery: the original bytes survive.
+        assert!(tagged.starts_with(&req[..req.len() - 1]));
+        assert!(tagged.ends_with(", \"route_tag\": 99}"));
+    }
+
+    #[test]
+    fn cache_entries_round_trip_byte_exactly() {
+        let entries = vec![
+            WireCacheEntry {
+                key: CacheKey {
+                    input: 0xDEAD_BEEF_0123_4567,
+                    method: Method::ScalaPart,
+                    parts: 4,
+                    ranks: 8,
+                    seed: 7,
+                },
+                sim_time: 0.1 + 0.2, // a value whose shortest form exercises round-trip
+                result_json: "{\"schema\": \"sp-partition-v1\", \"part\": [0,1]}".to_string(),
+            },
+            WireCacheEntry {
+                key: CacheKey {
+                    input: 1,
+                    method: Method::Rcb,
+                    parts: 2,
+                    ranks: 4,
+                    seed: 0,
+                },
+                sim_time: 3.0,
+                result_json: "{\"x\": \"with \\\"quotes\\\" and\\ttabs\"}".to_string(),
+            },
+        ];
+        let encoded = encode_cache_entries("cache", &entries);
+        let v = Value::parse(&encoded).unwrap();
+        let back = decode_cache_entries(&v).unwrap();
+        assert_eq!(back, entries, "wire round-trip must preserve every byte");
+        match Request::decode(encode_cache_entries("cache_load", &entries).as_bytes()).unwrap() {
+            Request::CacheLoad { entries: got } => assert_eq!(got, entries),
+            _ => panic!("expected CacheLoad"),
+        }
+    }
+
+    #[test]
+    fn raw_field_extraction_preserves_bytes() {
+        let resp = r#"{"type": "result", "sim_time": 0.30000000000000004, "fingerprint": "00ab", "result": {"part": [0,1], "s": "br}ace"}}"#;
+        assert_eq!(
+            extract_raw_field(resp, "sim_time"),
+            Some("0.30000000000000004")
+        );
+        assert_eq!(extract_raw_field(resp, "fingerprint"), Some("\"00ab\""));
+        assert_eq!(
+            extract_raw_field(resp, "result"),
+            Some(r#"{"part": [0,1], "s": "br}ace"}"#)
+        );
+        assert_eq!(extract_raw_field(resp, "missing"), None);
+    }
+
+    #[test]
+    fn ping_and_cache_dump_decode() {
+        assert!(matches!(
+            decode(r#"{"type": "ping"}"#).unwrap(),
+            Request::Ping
+        ));
+        match decode(r#"{"type": "cache_dump", "limit": 5}"#).unwrap() {
+            Request::CacheDump { limit } => assert_eq!(limit, 5),
+            _ => panic!("expected CacheDump"),
+        }
+        match decode(r#"{"type": "cache_dump"}"#).unwrap() {
+            Request::CacheDump { limit } => assert_eq!(limit, 32),
+            _ => panic!("expected CacheDump"),
+        }
     }
 }

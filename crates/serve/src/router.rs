@@ -1,0 +1,774 @@
+//! Distributed serving: a coordinator that consistent-hashes jobs across
+//! backend shards over the framed-JSON protocol.
+//!
+//! The router owns no partitioning code. It decodes each submit just far
+//! enough to compute a **routing key** — a fingerprint of the job's cache
+//! key `(input fp, method, parts, seed)` — places the key on the
+//! consistent-hash [`Ring`](crate::ring::Ring) of *alive* shards, and
+//! forwards the client's original frame bytes with one injected field
+//! (`route_tag`, a correlation tag the shard echoes back). The response,
+//! minus the echoed tag, is relayed verbatim.
+//!
+//! Determinism is the contract that makes all of this safe (DESIGN.md
+//! "Distributed serving"): a shard's response bytes are a pure function of
+//! the job's cache key, so **hash→shard is placement, never semantics**.
+//! Consequences the router exploits:
+//!
+//! - **Failover replay**: when a forward fails mid-stream, the shard is
+//!   marked dead and the *same* frame is replayed to the next owner on the
+//!   survivor ring. The client cannot distinguish the replayed response
+//!   from the original — they are bit-identical by construction.
+//! - **Cache warming**: on shard join, hot cache entries stream from
+//!   survivors to the joiner byte-exactly, so a post-join cache hit
+//!   replays the same bytes the donor would have served.
+//!
+//! Health checks ping shards in the background; a dead shard's keyspace
+//! re-hashes to survivors (only its keys move — the ring property), and a
+//! recovered shard is warmed before taking traffic again.
+
+use crate::json::Value;
+use crate::proto::{
+    append_field, encode_cache_entries, encode_metrics, encode_pong, encode_typed_error,
+    read_frame, write_frame, Request, WireCacheEntry,
+};
+use crate::ring::{Ring, DEFAULT_VNODES};
+use scalapart::obs::{Counter, Gauge, Registry};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Background health-probe period. `0` disables the probe thread
+    /// (tests drive failure detection through the forward path instead).
+    pub health_interval_ms: u64,
+    /// Per-attempt socket timeout for forwarded requests. Generous: a
+    /// shard legitimately computes for seconds on large jobs.
+    pub forward_timeout_ms: u64,
+    /// Cache entries streamed per survivor when warming a joining shard.
+    pub warm_limit: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            vnodes: DEFAULT_VNODES,
+            health_interval_ms: 500,
+            forward_timeout_ms: 30_000,
+            warm_limit: 32,
+        }
+    }
+}
+
+struct ShardState {
+    name: String,
+    addr: SocketAddr,
+    up: bool,
+    up_gauge: Arc<Gauge>,
+    forwards: Arc<Counter>,
+}
+
+struct RouterMetrics {
+    registry: Arc<Registry>,
+    shards: Arc<Gauge>,
+    shards_up: Arc<Gauge>,
+    failovers: Arc<Counter>,
+    joins: Arc<Counter>,
+    replays: Arc<Counter>,
+    warm_entries: Arc<Counter>,
+    errors_no_shards: Arc<Counter>,
+    errors_route_mismatch: Arc<Counter>,
+    errors_shard_protocol: Arc<Counter>,
+}
+
+impl RouterMetrics {
+    fn new() -> RouterMetrics {
+        let r = Arc::new(Registry::new());
+        RouterMetrics {
+            shards: r.gauge("sp_shards", "Shards registered with the router"),
+            shards_up: r.gauge("sp_shards_up", "Shards currently believed alive"),
+            failovers: r.counter(
+                "sp_shard_failovers_total",
+                "Up-to-down shard transitions (keyspace re-hashed to survivors)",
+            ),
+            joins: r.counter(
+                "sp_shard_joins_total",
+                "Shard joins and rejoins (cache warmed before traffic)",
+            ),
+            replays: r.counter(
+                "sp_route_replays_total",
+                "Forwards replayed to a different shard after a failure",
+            ),
+            warm_entries: r.counter(
+                "sp_warm_entries_total",
+                "Cache entries streamed to joining shards",
+            ),
+            errors_no_shards: r.counter_with(
+                "sp_route_errors_total",
+                "Typed errors returned to clients",
+                &[("code", "no_shards")],
+            ),
+            errors_route_mismatch: r.counter_with(
+                "sp_route_errors_total",
+                "Typed errors returned to clients",
+                &[("code", "route_mismatch")],
+            ),
+            errors_shard_protocol: r.counter_with(
+                "sp_route_errors_total",
+                "Typed errors returned to clients",
+                &[("code", "shard_protocol")],
+            ),
+            registry: r,
+        }
+    }
+}
+
+/// What the connection loop should do after sending a reply.
+pub enum Handled {
+    Reply(String),
+    /// Reply, then stop the router (shutdown was requested and forwarded).
+    ReplyThenStop(String),
+}
+
+/// The routing coordinator. Cheap to clone via `Arc`; see module docs.
+pub struct Router {
+    cfg: RouterConfig,
+    shards: Mutex<Vec<ShardState>>,
+    metrics: RouterMetrics,
+    next_tag: AtomicU64,
+    stop: Arc<AtomicBool>,
+    health_thread: Mutex<Option<JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl Router {
+    /// Build a router over `(name, addr)` shard pairs. All start alive;
+    /// the first failed forward or health probe demotes them.
+    pub fn new(cfg: RouterConfig, shards: &[(String, String)]) -> std::io::Result<Arc<Router>> {
+        let metrics = RouterMetrics::new();
+        let mut states = Vec::with_capacity(shards.len());
+        for (name, addr) in shards {
+            let addr = resolve(addr)?;
+            states.push(ShardState {
+                up_gauge: metrics.registry.gauge_with(
+                    "sp_shard_up",
+                    "1 while the shard answers, 0 after a failure",
+                    &[("shard", name)],
+                ),
+                forwards: metrics.registry.counter_with(
+                    "sp_route_forwards_total",
+                    "Requests forwarded per shard (including replays)",
+                    &[("shard", name)],
+                ),
+                name: name.clone(),
+                addr,
+                up: true,
+            });
+            states.last().unwrap().up_gauge.set(1);
+        }
+        metrics.shards.set(states.len() as i64);
+        metrics.shards_up.set(states.len() as i64);
+        let router = Arc::new(Router {
+            cfg: cfg.clone(),
+            shards: Mutex::new(states),
+            metrics,
+            next_tag: AtomicU64::new(1),
+            stop: Arc::new(AtomicBool::new(false)),
+            health_thread: Mutex::new(None),
+            started: Instant::now(),
+        });
+        if cfg.health_interval_ms > 0 {
+            let r = router.clone();
+            *router.health_thread.lock().unwrap() =
+                Some(std::thread::spawn(move || health_loop(r)));
+        }
+        Ok(router)
+    }
+
+    /// Stop the health thread. Does not contact shards.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.health_thread.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Prometheus exposition of the router's own registry.
+    pub fn prometheus(&self) -> String {
+        scalapart::obs::prom::render(&self.metrics.registry)
+    }
+
+    /// Current up→down transition count (the failover e2e asserts on it).
+    pub fn failovers(&self) -> u64 {
+        self.metrics.failovers.get()
+    }
+
+    /// Re-register a shard (same or new address) and warm its cache from
+    /// the survivors before it takes traffic. Returns the number of cache
+    /// entries streamed.
+    pub fn rejoin(&self, name: &str, addr: &str) -> std::io::Result<usize> {
+        let addr = resolve(addr)?;
+        let donors: Vec<SocketAddr> = {
+            let shards = self.shards.lock().unwrap();
+            shards
+                .iter()
+                .filter(|s| s.up && s.name != name)
+                .map(|s| s.addr)
+                .collect()
+        };
+        let warmed = self.warm(addr, &donors);
+        let mut shards = self.shards.lock().unwrap();
+        match shards.iter_mut().find(|s| s.name == name) {
+            Some(s) => {
+                s.addr = addr;
+                if !s.up {
+                    s.up = true;
+                    s.up_gauge.set(1);
+                }
+            }
+            None => {
+                shards.push(ShardState {
+                    up_gauge: self.metrics.registry.gauge_with(
+                        "sp_shard_up",
+                        "1 while the shard answers, 0 after a failure",
+                        &[("shard", name)],
+                    ),
+                    forwards: self.metrics.registry.counter_with(
+                        "sp_route_forwards_total",
+                        "Requests forwarded per shard (including replays)",
+                        &[("shard", name)],
+                    ),
+                    name: name.to_string(),
+                    addr,
+                    up: true,
+                });
+                shards.last().unwrap().up_gauge.set(1);
+                self.metrics.shards.set(shards.len() as i64);
+            }
+        }
+        self.metrics
+            .shards_up
+            .set(shards.iter().filter(|s| s.up).count() as i64);
+        drop(shards);
+        self.metrics.joins.inc();
+        Ok(warmed)
+    }
+
+    /// Stream hot cache entries from `donors` to the shard at `addr`.
+    /// Byte-exact by construction (see `proto::WireCacheEntry`); failures
+    /// are non-fatal — a cold joiner is merely slower, never wrong.
+    fn warm(&self, addr: SocketAddr, donors: &[SocketAddr]) -> usize {
+        let mut entries: Vec<WireCacheEntry> = Vec::new();
+        for donor in donors {
+            let dump = format!(
+                "{{\"type\": \"cache_dump\", \"limit\": {}}}",
+                self.cfg.warm_limit
+            );
+            let Ok(resp) = self.forward_once(*donor, &dump) else {
+                continue;
+            };
+            let Ok(v) = Value::parse(&resp) else { continue };
+            if let Ok(mut got) = crate::proto::decode_cache_entries(&v) {
+                got.retain(|e| !entries.iter().any(|have| have.key == e.key));
+                entries.append(&mut got);
+            }
+        }
+        if entries.is_empty() {
+            return 0;
+        }
+        let load = encode_cache_entries("cache_load", &entries);
+        match self.forward_once(addr, &load) {
+            Ok(resp) => {
+                let loaded = Value::parse(&resp)
+                    .ok()
+                    .and_then(|v| v.get("loaded").and_then(Value::as_usize))
+                    .unwrap_or(0);
+                self.metrics.warm_entries.add(loaded as u64);
+                loaded
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Handle one client frame: route, forward, relay.
+    pub fn handle(&self, payload: &[u8]) -> Handled {
+        let req = match Request::decode(payload) {
+            Ok(r) => r,
+            Err(msg) => return Handled::Reply(crate::proto::encode_error(&msg)),
+        };
+        match req {
+            Request::Ping => Handled::Reply(encode_pong()),
+            Request::Metrics => Handled::Reply(encode_metrics(&self.prometheus())),
+            Request::Stats => Handled::Reply(self.merged_stats()),
+            Request::Shutdown => {
+                // Forward the drain to every live shard, then stop.
+                let targets: Vec<SocketAddr> = {
+                    let shards = self.shards.lock().unwrap();
+                    shards.iter().filter(|s| s.up).map(|s| s.addr).collect()
+                };
+                for addr in targets {
+                    let _ = self.forward_once(addr, "{\"type\": \"shutdown\"}");
+                }
+                self.stop.store(true, Ordering::SeqCst);
+                Handled::ReplyThenStop("{\"type\": \"ok\", \"draining\": true}".to_string())
+            }
+            Request::CacheDump { .. } | Request::CacheLoad { .. } => Handled::Reply(
+                crate::proto::encode_error("cache requests go to shards, not the router"),
+            ),
+            Request::Submit {
+                ref graph,
+                ref coords,
+                method,
+                parts,
+                seed,
+                route_tag,
+                ..
+            } => {
+                if route_tag.is_some() {
+                    // A client frame must not impersonate routed traffic.
+                    return Handled::Reply(encode_typed_error(
+                        "route_mismatch",
+                        "route_tag is router-internal; clients must not set it",
+                    ));
+                }
+                // Routing key = fingerprint of the job's cache key (sans
+                // ranks, which is shard config, identical across shards).
+                let input_fp = crate::fingerprint::fingerprint_input(
+                    graph,
+                    coords.as_ref().map(|c| c.as_slice()),
+                );
+                let mut fp = sp_trace::fnv::Fingerprint::new();
+                fp.u64(input_fp);
+                fp.bytes(method.proto_name().as_bytes());
+                fp.u64(parts as u64);
+                fp.u64(seed);
+                let key = fp.finish();
+                let text = match std::str::from_utf8(payload) {
+                    Ok(t) => t,
+                    Err(_) => return Handled::Reply(crate::proto::encode_error("not UTF-8")),
+                };
+                Handled::Reply(self.route_submit(text, key))
+            }
+        }
+    }
+
+    /// Forward a submit to the ring owner of `key`, failing over along the
+    /// survivor ring until a shard answers or none are left.
+    fn route_submit(&self, frame: &str, key: u64) -> String {
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let tagged = append_field(frame, "route_tag", &tag.to_string());
+        let echo_suffix = format!(", \"route_tag\": {tag}}}");
+        let mut attempts = 0usize;
+        loop {
+            let Some((name, addr)) = self.owner_of(key) else {
+                self.metrics.errors_no_shards.inc();
+                return encode_typed_error(
+                    "no_shards",
+                    "no live shard owns this keyspace; all replicas are down",
+                );
+            };
+            attempts += 1;
+            if attempts > 1 {
+                self.metrics.replays.inc();
+            }
+            match self.forward_once(addr, &tagged) {
+                Ok(resp) => {
+                    // The happy path: the shard echoed our tag as the
+                    // final field. Strip it and relay the exact bytes.
+                    if let Some(body) = resp.strip_suffix(echo_suffix.as_str()) {
+                        self.count_forward(&name);
+                        return format!("{body}}}");
+                    }
+                    // No echo. A parseable reply with a *different* tag is
+                    // a shard answering the wrong job — protocol
+                    // violation, never retried (retrying could double-run
+                    // a job elsewhere while the confused shard still
+                    // works).
+                    match Value::parse(&resp) {
+                        Ok(v) if v.get("route_tag").and_then(Value::as_u64) != Some(tag) => {
+                            self.metrics.errors_route_mismatch.inc();
+                            return encode_typed_error(
+                                "route_mismatch",
+                                &format!("shard {name} answered with a mismatched route tag"),
+                            );
+                        }
+                        Ok(v) if v.get("type").and_then(Value::as_str) == Some("error") => {
+                            // Deterministic decode error — same answer
+                            // from every shard; relay it.
+                            self.count_forward(&name);
+                            return resp;
+                        }
+                        _ => {
+                            self.metrics.errors_shard_protocol.inc();
+                            return encode_typed_error(
+                                "shard_protocol",
+                                &format!("shard {name} sent an unintelligible reply"),
+                            );
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Connection-level failure anywhere in the exchange:
+                    // mark the shard dead (once) and replay on the next
+                    // owner. Replay is safe because responses are
+                    // bit-identical wherever the job runs.
+                    self.mark_down(&name);
+                }
+            }
+        }
+    }
+
+    fn count_forward(&self, name: &str) {
+        let shards = self.shards.lock().unwrap();
+        if let Some(s) = shards.iter().find(|s| s.name == name) {
+            s.forwards.inc();
+        }
+    }
+
+    /// The live ring owner for `key`, with its address.
+    fn owner_of(&self, key: u64) -> Option<(String, SocketAddr)> {
+        let shards = self.shards.lock().unwrap();
+        let alive: Vec<&ShardState> = shards.iter().filter(|s| s.up).collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let names: Vec<&str> = alive.iter().map(|s| s.name.as_str()).collect();
+        let ring = Ring::new(&names, self.cfg.vnodes);
+        let owner = ring.owner(key)?;
+        alive
+            .iter()
+            .find(|s| s.name == owner)
+            .map(|s| (s.name.clone(), s.addr))
+    }
+
+    /// Demote a shard. The failover counter increments only on the
+    /// up→down *transition* (under the shard-table lock), so concurrent
+    /// detectors — eight clients and the health probe all seeing the same
+    /// crash — count one failover, not nine.
+    fn mark_down(&self, name: &str) {
+        let mut shards = self.shards.lock().unwrap();
+        if let Some(s) = shards.iter_mut().find(|s| s.name == name && s.up) {
+            s.up = false;
+            s.up_gauge.set(0);
+            self.metrics.failovers.inc();
+            self.metrics
+                .shards_up
+                .set(shards.iter().filter(|s| s.up).count() as i64);
+        }
+    }
+
+    /// One round-trip to a shard: connect, send, read one frame.
+    fn forward_once(&self, addr: SocketAddr, frame: &str) -> std::io::Result<String> {
+        let timeout = Duration::from_millis(self.cfg.forward_timeout_ms.max(1));
+        let mut stream = TcpStream::connect_timeout(&addr, timeout.min(Duration::from_secs(2)))?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        write_frame(&mut stream, frame.as_bytes())?;
+        stream.flush()?;
+        match read_frame(&mut stream)? {
+            Some(payload) => String::from_utf8(payload).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "reply is not UTF-8")
+            }),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "shard closed before replying",
+            )),
+        }
+    }
+
+    /// `{"type": "stats"}` merged across the fleet: the router's own view
+    /// plus each shard's stats object (fetched live; `null` when down).
+    fn merged_stats(&self) -> String {
+        let snapshot: Vec<(String, SocketAddr, bool)> = {
+            let shards = self.shards.lock().unwrap();
+            shards
+                .iter()
+                .map(|s| (s.name.clone(), s.addr, s.up))
+                .collect()
+        };
+        let alive = snapshot.iter().filter(|(_, _, up)| *up).count();
+        let mut out = format!(
+            "{{\"type\": \"stats\", \"router\": {{\"schema\": \"sp-router-stats-v1\", \"shards\": {}, \"shards_up\": {}, \"failovers\": {}, \"joins\": {}, \"replays\": {}, \"uptime_s\": {}}}, \"shards\": [",
+            snapshot.len(),
+            alive,
+            self.metrics.failovers.get(),
+            self.metrics.joins.get(),
+            self.metrics.replays.get(),
+            self.started.elapsed().as_secs()
+        );
+        for (i, (name, addr, up)) in snapshot.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let stats = if *up {
+                self.forward_once(*addr, "{\"type\": \"stats\"}")
+                    .ok()
+                    .and_then(|resp| extract_stats_object(&resp))
+            } else {
+                None
+            };
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"up\": {}, \"stats\": {}}}",
+                sp_trace::json::escape(name),
+                up,
+                stats.as_deref().unwrap_or("null")
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Pull the raw `stats` object out of a shard's stats response without
+/// re-serializing (there is no Value serializer, and byte-preservation is
+/// the house style anyway).
+fn extract_stats_object(resp: &str) -> Option<String> {
+    let v = Value::parse(resp).ok()?;
+    v.get("stats")?;
+    let start = resp.find("\"stats\": ")? + "\"stats\": ".len();
+    let bytes = resp.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => esc = true,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => depth += 1,
+            b'}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(resp[start..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("cannot resolve {addr}"),
+        )
+    })
+}
+
+fn health_loop(router: Arc<Router>) {
+    let period = Duration::from_millis(router.cfg.health_interval_ms.max(10));
+    while !router.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(period);
+        let snapshot: Vec<(String, SocketAddr, bool)> = {
+            let shards = router.shards.lock().unwrap();
+            shards
+                .iter()
+                .map(|s| (s.name.clone(), s.addr, s.up))
+                .collect()
+        };
+        for (name, addr, was_up) in snapshot {
+            if router.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let alive = probe(addr);
+            if was_up && !alive {
+                router.mark_down(&name);
+            } else if !was_up && alive {
+                // Recovered at its old address: warm before re-admitting.
+                let _ = router.rejoin(&name, &addr.to_string());
+            }
+        }
+    }
+}
+
+/// A short-deadline ping, independent of the forward timeout: health
+/// probes must detect death fast even while forwards allow long compute.
+fn probe(addr: SocketAddr) -> bool {
+    let timeout = Duration::from_millis(250);
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    if write_frame(&mut stream, b"{\"type\": \"ping\"}").is_err() {
+        return false;
+    }
+    matches!(read_frame(&mut stream), Ok(Some(p)) if p == b"{\"type\": \"pong\"}")
+}
+
+/// TCP front end for the router: same accept-loop shape as
+/// [`net::Server`](crate::net::Server), but handlers delegate to
+/// [`Router::handle`].
+pub struct RouterServer {
+    router: Arc<Router>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RouterServer {
+    pub fn bind(addr: &str, router: Arc<Router>) -> std::io::Result<Arc<RouterServer>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(RouterServer {
+            router,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            accept_thread: Mutex::new(None),
+        });
+        let accept = {
+            let server = server.clone();
+            std::thread::spawn(move || accept_loop(server, listener))
+        };
+        *server.accept_thread.lock().unwrap() = Some(accept);
+        Ok(server)
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.router.shutdown();
+    }
+
+    pub fn wait(&self) {
+        let handle = self.accept_thread.lock().unwrap().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(server: Arc<RouterServer>, listener: TcpListener) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !server.stop.load(Ordering::SeqCst) && !server.router.is_stopped() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = server.clone();
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(server, stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(server: Arc<RouterServer>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok();
+    loop {
+        let payload = match crate::net::read_frame_stoppable(&mut stream, &server.stop) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = write_frame(
+                    &mut stream,
+                    crate::proto::encode_error(&e.to_string()).as_bytes(),
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        match server.router.handle(&payload) {
+            Handled::Reply(resp) => write_frame(&mut stream, resp.as_bytes())?,
+            Handled::ReplyThenStop(resp) => {
+                write_frame(&mut stream, resp.as_bytes())?;
+                stream.flush()?;
+                server.stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_object_extraction_is_balanced_and_string_safe() {
+        let resp =
+            r#"{"type": "stats", "stats": {"a": {"b": "has } brace and \" quote"}, "c": 1}}"#;
+        let got = extract_stats_object(resp).unwrap();
+        assert_eq!(got, r#"{"a": {"b": "has } brace and \" quote"}, "c": 1}"#);
+        assert!(extract_stats_object("{\"type\": \"stats\"}").is_none());
+    }
+
+    #[test]
+    fn routing_is_stable_across_router_instances() {
+        // Placement-only determinism: two routers over the same shard set
+        // place every key identically (no per-process salt).
+        let shards = vec![
+            ("a".to_string(), "127.0.0.1:1".to_string()),
+            ("b".to_string(), "127.0.0.1:2".to_string()),
+            ("c".to_string(), "127.0.0.1:3".to_string()),
+        ];
+        let cfg = RouterConfig {
+            health_interval_ms: 0,
+            ..Default::default()
+        };
+        let r1 = Router::new(cfg.clone(), &shards).unwrap();
+        let r2 = Router::new(cfg, &shards).unwrap();
+        for key in [0u64, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(
+                r1.owner_of(key).map(|(n, _)| n),
+                r2.owner_of(key).map(|(n, _)| n)
+            );
+        }
+        r1.shutdown();
+        r2.shutdown();
+    }
+
+    #[test]
+    fn all_shards_down_yields_no_owner() {
+        let shards = vec![("solo".to_string(), "127.0.0.1:1".to_string())];
+        let r = Router::new(
+            RouterConfig {
+                health_interval_ms: 0,
+                ..Default::default()
+            },
+            &shards,
+        )
+        .unwrap();
+        assert!(r.owner_of(7).is_some());
+        r.mark_down("solo");
+        assert!(r.owner_of(7).is_none());
+        assert_eq!(r.failovers(), 1);
+        r.mark_down("solo"); // idempotent: no double count
+        assert_eq!(r.failovers(), 1);
+        r.shutdown();
+    }
+}

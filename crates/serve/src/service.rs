@@ -199,8 +199,6 @@ struct Counters {
 
 struct State {
     queue: VecDeque<Arc<Job>>,
-    /// Deepest the queue has been since start.
-    queue_hwm: usize,
     active: usize,
     closed: bool,
     cache: LruCache<PartitionOutput>,
@@ -231,17 +229,29 @@ pub struct Service {
 }
 
 impl Service {
-    /// Start the worker pool.
+    /// Start the worker pool with a fresh metric registry.
     pub fn start(cfg: ServeConfig) -> Service {
+        Service::start_with_metrics(cfg, ServiceMetrics::new())
+    }
+
+    /// Start the worker pool against an existing metric registry (a
+    /// restarted shard keeps its scrape endpoint's counters monotone
+    /// across drain/restart). Point-in-time gauges — queue depth, its
+    /// high-water mark, active workers — describe *this* run only, so
+    /// they are reset here: a drained shard that restarts must not
+    /// report the previous run's queue-depth high water as its own.
+    pub fn start_with_metrics(cfg: ServeConfig, metrics: ServiceMetrics) -> Service {
         let cfg = ServeConfig {
             workers: cfg.workers.max(1),
             queue_capacity: cfg.queue_capacity.max(1),
             ranks: cfg.ranks.max(1),
             ..cfg
         };
-        let metrics = ServiceMetrics::new();
         metrics.workers.set(cfg.workers as i64);
         metrics.queue_capacity.set(cfg.queue_capacity as i64);
+        metrics.queue_depth.set(0);
+        metrics.queue_depth_highwater.set(0);
+        metrics.workers_active.set(0);
         // A broken log path degrades to "no log" with a warning — the
         // service must come up regardless.
         let obs_log = cfg.obs_log.as_ref().and_then(|p| match JsonlLog::open(p) {
@@ -254,7 +264,6 @@ impl Service {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
-                queue_hwm: 0,
                 active: 0,
                 closed: false,
                 cache: LruCache::new(cfg.cache_capacity),
@@ -380,9 +389,9 @@ impl Service {
         });
         st.queue.push_back(job.clone());
         let depth = st.queue.len();
-        st.queue_hwm = st.queue_hwm.max(depth);
         // Gauge writes stay under the state lock so concurrent pops can't
-        // interleave and publish a stale depth.
+        // interleave and publish a stale depth. The high-water gauge is
+        // the single source of truth for `queue_depth_hwm` in stats.
         m.queue_depth.set(depth as i64);
         m.queue_depth_highwater.set_max(depth as i64);
         drop(st);
@@ -436,7 +445,7 @@ impl Service {
             workers: self.inner.cfg.workers,
             queue_capacity: self.inner.cfg.queue_capacity,
             queue_depth: st.queue.len(),
-            queue_depth_hwm: st.queue_hwm,
+            queue_depth_hwm: self.inner.metrics.queue_depth_highwater.get().max(0) as usize,
             active: st.active,
             draining: st.closed,
             submitted: c.submitted,
@@ -492,6 +501,89 @@ impl Service {
     /// Has shutdown been requested?
     pub fn is_closed(&self) -> bool {
         self.inner.state.lock().unwrap().closed
+    }
+
+    /// The service's metric registry (shared with
+    /// [`start_with_metrics`](Self::start_with_metrics) callers).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.inner.metrics
+    }
+
+    /// The hottest `limit` cache entries, most recently used first —
+    /// the donor side of cache warming. Reading does not disturb
+    /// recency.
+    pub fn cache_dump(&self, limit: usize) -> Vec<(CacheKey, Arc<PartitionOutput>)> {
+        let st = self.inner.state.lock().unwrap();
+        st.cache.dump(limit)
+    }
+
+    /// Install a warmed entry (the recipient side of cache warming).
+    /// Returns `false` without installing when the entry cannot be valid
+    /// here: a different simulated-rank count (this shard would compute a
+    /// different result for the same key), an unparseable result body, or
+    /// labels inconsistent with the advertised `k`. Determinism is
+    /// preserved because the stored body is the donor's exact bytes — a
+    /// later hit replays them verbatim.
+    pub fn cache_load(&self, key: CacheKey, sim_time: f64, result_json: &str) -> bool {
+        if key.ranks != self.inner.cfg.ranks {
+            return false;
+        }
+        let Ok(v) = crate::json::Value::parse(result_json) else {
+            return false;
+        };
+        let (Some(n), Some(k), Some(arr)) = (
+            v.get("n").and_then(crate::json::Value::as_usize),
+            v.get("k").and_then(crate::json::Value::as_usize),
+            v.get("part").and_then(crate::json::Value::as_arr),
+        ) else {
+            return false;
+        };
+        if arr.len() != n || k == 0 {
+            return false;
+        }
+        let mut part = Vec::with_capacity(arr.len());
+        for p in arr {
+            let Some(p) = p.as_u64() else { return false };
+            if p >= k as u64 {
+                return false;
+            }
+            part.push(p as u32);
+        }
+        let summary = PartitionSummary {
+            n,
+            k,
+            edge_cut: v
+                .get("edge_cut")
+                .and_then(crate::json::Value::as_f64)
+                .unwrap_or(0.0),
+            cut_edges: v
+                .get("cut_edges")
+                .and_then(crate::json::Value::as_usize)
+                .unwrap_or(0),
+            imbalance: v
+                .get("imbalance")
+                .and_then(crate::json::Value::as_f64)
+                .unwrap_or(0.0),
+            comm_volume: v
+                .get("comm_volume")
+                .and_then(crate::json::Value::as_usize)
+                .unwrap_or(0),
+        };
+        let output = Arc::new(PartitionOutput {
+            part,
+            k,
+            summary,
+            sim_time,
+            input_fp: key.input,
+            result_json: result_json.to_string(),
+        });
+        let mut st = self.inner.state.lock().unwrap();
+        if st.cache.insert(key, output).is_some() {
+            st.counters.evictions += 1;
+            self.inner.metrics.cache_evictions.inc();
+        }
+        self.inner.metrics.cache_entries.set(st.cache.len() as i64);
+        true
     }
 }
 
@@ -990,6 +1082,47 @@ mod tests {
             svc.submit(spec(8, Method::Rcb, 1)),
             Err(SubmitError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn restart_resets_queue_hwm_but_keeps_counters_monotone() {
+        // Regression: a drained shard restarting on the same metric
+        // registry used to report the previous run's queue-depth high
+        // water in its stats JSON.
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            ..small_cfg()
+        });
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| svc.submit(spec(20, Method::Rcb, 200 + i)).unwrap())
+            .collect();
+        for t in tickets {
+            svc.wait(t);
+        }
+        let first = svc.stats();
+        assert!(first.queue_depth_hwm >= 1, "queue never got deep");
+        let completed_before = first.completed;
+        svc.shutdown();
+
+        let metrics = svc.inner.metrics.clone();
+        let svc2 = Service::start_with_metrics(
+            ServeConfig {
+                workers: 1,
+                ..small_cfg()
+            },
+            metrics.clone(),
+        );
+        let st = svc2.stats();
+        assert_eq!(
+            st.queue_depth_hwm, 0,
+            "restart must not inherit the previous run's high water"
+        );
+        assert!(st.to_json().contains("\"queue_depth_hwm\": 0"));
+        // The shared registry keeps cumulative counters monotone.
+        assert!(metrics.jobs_completed.get() >= completed_before);
+        svc2.submit_wait(spec(12, Method::Rcb, 300)).unwrap();
+        assert!(svc2.stats().queue_depth_hwm <= 1);
+        svc2.shutdown();
     }
 
     #[test]

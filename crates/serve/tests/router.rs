@@ -1,0 +1,328 @@
+//! Distributed-serving tests over real loopback sockets: failover under
+//! concurrent load, adversarial shard behaviour, cache warming, and the
+//! determinism contract — a response's result bytes must not depend on
+//! which shard served it, whether it was a cache hit, or whether the job
+//! was replayed after a mid-stream shard kill.
+
+use sp_serve::json::Value;
+use sp_serve::net::{Client, Server};
+use sp_serve::proto::{extract_raw_field, read_frame};
+use sp_serve::router::{Router, RouterConfig, RouterServer};
+use sp_serve::service::ServeConfig;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn shard_cfg(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity: 32,
+        cache_capacity: 32,
+        ranks: 4,
+        ..Default::default()
+    }
+}
+
+fn start_shard(workers: usize) -> Arc<Server> {
+    Server::bind("127.0.0.1:0", shard_cfg(workers)).expect("bind shard")
+}
+
+/// Router over the given shards, health probing off — the tests drive
+/// failure detection deterministically through the forward path.
+fn start_router(shards: &[(&str, &Arc<Server>)]) -> Arc<RouterServer> {
+    let spec: Vec<(String, String)> = shards
+        .iter()
+        .map(|(n, s)| (n.to_string(), s.local_addr().to_string()))
+        .collect();
+    let router = Router::new(
+        RouterConfig {
+            health_interval_ms: 0,
+            forward_timeout_ms: 60_000,
+            ..Default::default()
+        },
+        &spec,
+    )
+    .expect("router");
+    RouterServer::bind("127.0.0.1:0", router).expect("bind router")
+}
+
+fn submit_req(graph: &str, method: &str, parts: usize, seed: u64) -> String {
+    format!(
+        "{{\"type\": \"submit\", \"graph\": \"{graph}\", \"method\": \"{method}\", \"parts\": {parts}, \"seed\": {seed}}}"
+    )
+}
+
+/// The determinism-relevant spans of an ok response, as raw bytes.
+fn identity_spans(resp: &str) -> (String, String, String) {
+    let get = |f: &str| {
+        extract_raw_field(resp, f)
+            .unwrap_or_else(|| panic!("response lacks {f}: {resp}"))
+            .to_string()
+    };
+    (get("result"), get("sim_time"), get("fingerprint"))
+}
+
+#[test]
+fn failover_midstream_is_invisible_to_all_eight_clients() {
+    // One slow worker per shard so the kill lands while jobs are queued.
+    let a = start_shard(1);
+    let b = start_shard(1);
+    let rs = start_router(&[("a", &a), ("b", &b)]);
+    let raddr = rs.local_addr();
+
+    // Oracle: a single standalone shard with the same rank count serves
+    // the same jobs; its result bytes are the expectation.
+    let oracle = start_shard(2);
+    let jobs: Vec<String> = (0..8)
+        .map(|i| {
+            submit_req(
+                "gen:grid:26x26",
+                if i % 2 == 0 { "sp" } else { "rcb" },
+                4,
+                i,
+            )
+        })
+        .collect();
+    let expected: Vec<(String, String, String)> = jobs
+        .iter()
+        .map(|req| {
+            let mut c = Client::connect(&oracle.local_addr()).unwrap();
+            let resp = c.request(req).unwrap();
+            assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+            identity_spans(&resp)
+        })
+        .collect();
+
+    // Eight concurrent clients through the router…
+    let clients: Vec<_> = jobs
+        .iter()
+        .cloned()
+        .map(|req| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&raddr).unwrap();
+                c.request(&req).unwrap()
+            })
+        })
+        .collect();
+    // …and a SIGKILL-equivalent on shard a while the queue is busy.
+    std::thread::sleep(Duration::from_millis(150));
+    a.kill();
+
+    for (i, h) in clients.into_iter().enumerate() {
+        let resp = h.join().expect("client thread");
+        assert!(
+            resp.contains("\"status\": \"ok\""),
+            "client {i} did not get a result: {resp}"
+        );
+        assert!(
+            !resp.contains("route_tag"),
+            "router must strip its internal tag: {resp}"
+        );
+        assert_eq!(
+            identity_spans(&resp),
+            expected[i],
+            "client {i}: response bytes depend on serving shard"
+        );
+    }
+
+    // The up→down transition was observed by up to eight clients and
+    // counted exactly once.
+    let router = rs.router();
+    assert_eq!(router.failovers(), 1, "failovers must count transitions");
+    let prom = router.prometheus();
+    assert!(
+        prom.contains("sp_shard_failovers_total 1"),
+        "exposition: {prom}"
+    );
+    assert!(prom.contains("sp_shard_up{shard=\"a\"} 0"), "{prom}");
+    assert!(prom.contains("sp_shard_up{shard=\"b\"} 1"), "{prom}");
+
+    rs.shutdown();
+    a.service().shutdown();
+    b.shutdown();
+    oracle.shutdown();
+}
+
+/// A fake shard: accepts connections and answers every frame with
+/// whatever `reply` produces (raw bytes, written as-is).
+fn fake_shard(reply: impl Fn(&[u8]) -> Vec<u8> + Send + 'static) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            let Ok(Some(req)) = read_frame(&mut stream) else {
+                continue;
+            };
+            use std::io::Write as _;
+            let bytes = reply(&req);
+            let _ = stream.write_all(&bytes);
+            let _ = stream.flush();
+        }
+    });
+    addr
+}
+
+fn router_over(addr: std::net::SocketAddr) -> Arc<RouterServer> {
+    let router = Router::new(
+        RouterConfig {
+            health_interval_ms: 0,
+            forward_timeout_ms: 2_000,
+            ..Default::default()
+        },
+        &[("fake".to_string(), addr.to_string())],
+    )
+    .unwrap();
+    RouterServer::bind("127.0.0.1:0", router).unwrap()
+}
+
+fn typed_code(resp: &str) -> String {
+    let v = Value::parse(resp).unwrap_or_else(|e| panic!("unparseable {resp:?}: {e}"));
+    assert_eq!(
+        v.get("type").and_then(Value::as_str),
+        Some("error"),
+        "{resp}"
+    );
+    v.get("code")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("error lacks code: {resp}"))
+        .to_string()
+}
+
+#[test]
+fn shard_with_oversized_length_prefix_yields_typed_error_not_hang() {
+    // 4 GiB length prefix: the router must refuse to allocate, demote the
+    // shard, and (with no survivors) answer a typed error promptly.
+    let addr = fake_shard(|_| 0xFFFF_FFFFu32.to_be_bytes().to_vec());
+    let rs = router_over(addr);
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let resp = c.request(&submit_req("gen:grid:8x8", "rcb", 2, 1)).unwrap();
+    assert_eq!(typed_code(&resp), "no_shards");
+    rs.shutdown();
+}
+
+#[test]
+fn shard_truncating_its_frame_yields_typed_error_not_hang() {
+    // Promise 64 bytes, deliver 9, close: mid-frame EOF on the router's
+    // side of the forward.
+    let addr = fake_shard(|_| {
+        let mut b = 64u32.to_be_bytes().to_vec();
+        b.extend_from_slice(b"{\"half\":");
+        b
+    });
+    let rs = router_over(addr);
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let resp = c.request(&submit_req("gen:grid:8x8", "rcb", 2, 2)).unwrap();
+    assert_eq!(typed_code(&resp), "no_shards");
+    rs.shutdown();
+}
+
+#[test]
+fn shard_answering_wrong_route_tag_yields_route_mismatch() {
+    // A well-formed result frame for the wrong job: protocol violation,
+    // answered with a typed error and never replayed.
+    let addr = fake_shard(|_| {
+        let body = "{\"type\": \"result\", \"status\": \"ok\", \"job\": 1, \"route_tag\": 424242}";
+        let mut b = (body.len() as u32).to_be_bytes().to_vec();
+        b.extend_from_slice(body.as_bytes());
+        b
+    });
+    let rs = router_over(addr);
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let resp = c.request(&submit_req("gen:grid:8x8", "rcb", 2, 3)).unwrap();
+    assert_eq!(typed_code(&resp), "route_mismatch");
+    let prom = rs.router().prometheus();
+    assert!(
+        prom.contains("sp_route_errors_total{code=\"route_mismatch\"} 1"),
+        "{prom}"
+    );
+    rs.shutdown();
+}
+
+#[test]
+fn clients_may_not_set_route_tag_themselves() {
+    let shard = start_shard(1);
+    let rs = start_router(&[("s", &shard)]);
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let mut req = submit_req("gen:grid:8x8", "rcb", 2, 4);
+    req.truncate(req.len() - 1);
+    req.push_str(", \"route_tag\": 7}");
+    let resp = c.request(&req).unwrap();
+    assert_eq!(typed_code(&resp), "route_mismatch");
+    rs.shutdown();
+    shard.shutdown();
+}
+
+#[test]
+fn joining_shard_is_warmed_and_replays_identical_bytes() {
+    let a = start_shard(2);
+    let rs = start_router(&[("a", &a)]);
+    let raddr = rs.local_addr();
+
+    // Populate shard a's cache through the router.
+    let req = submit_req("gen:grid:16x16", "sp", 4, 11);
+    let original = {
+        let mut c = Client::connect(&raddr).unwrap();
+        let resp = c.request(&req).unwrap();
+        assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+        identity_spans(&resp)
+    };
+
+    // A fresh shard joins; the router streams hot entries from survivors.
+    let b = start_shard(2);
+    let warmed = rs
+        .router()
+        .rejoin("b", &b.local_addr().to_string())
+        .expect("rejoin");
+    assert!(warmed >= 1, "no cache entries streamed to the joiner");
+
+    // The joiner now answers the same job from its warmed cache with the
+    // donor's exact bytes.
+    let mut direct = Client::connect(&b.local_addr()).unwrap();
+    let resp = direct.request(&req).unwrap();
+    let v = Value::parse(&resp).unwrap();
+    assert_eq!(
+        v.get("cache_hit").and_then(Value::as_bool),
+        Some(true),
+        "warmed entry must hit: {resp}"
+    );
+    assert_eq!(identity_spans(&resp), original);
+    let prom = rs.router().prometheus();
+    assert!(prom.contains("sp_shard_joins_total 1"), "{prom}");
+
+    rs.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn router_stats_merge_router_and_shard_views() {
+    let a = start_shard(2);
+    let b = start_shard(2);
+    let rs = start_router(&[("a", &a), ("b", &b)]);
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let ok = c
+        .request(&submit_req("gen:grid:10x10", "rcb", 2, 5))
+        .unwrap();
+    assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+    let resp = c.request("{\"type\": \"stats\"}").unwrap();
+    let v = Value::parse(&resp).unwrap_or_else(|e| panic!("bad stats {resp:?}: {e}"));
+    let router = v.get("router").expect("router section");
+    assert_eq!(router.get("shards").and_then(Value::as_u64), Some(2));
+    assert_eq!(router.get("shards_up").and_then(Value::as_u64), Some(2));
+    let shards = v.get("shards").and_then(Value::as_arr).expect("shard list");
+    assert_eq!(shards.len(), 2);
+    let submitted: u64 = shards
+        .iter()
+        .map(|s| {
+            assert_eq!(s.get("up").and_then(Value::as_bool), Some(true));
+            s.get("stats")
+                .and_then(|st| st.get("submitted"))
+                .and_then(Value::as_u64)
+                .expect("per-shard stats")
+        })
+        .sum();
+    assert_eq!(submitted, 1, "exactly one shard saw the job");
+    rs.shutdown();
+    a.shutdown();
+    b.shutdown();
+}

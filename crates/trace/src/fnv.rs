@@ -1,0 +1,88 @@
+//! Incremental FNV-1a (64-bit) fingerprinting.
+//!
+//! Hand-rolled and dependency-free so fingerprints are stable across
+//! platforms, `rand` versions, and compiler releases: cache keys, verify
+//! replay reports, and the `fingerprint` field echoed in sp-serve
+//! responses must mean the same bits everywhere. Lives in sp-trace (the
+//! workspace's dependency-free leaf) so both the serving layer and the
+//! verification harness can share one definition without a dependency
+//! cycle; sp-verify re-exports it as `sp_verify::Fingerprint`.
+
+/// Incremental FNV-1a (64-bit) over explicit words/bytes.
+pub struct Fingerprint {
+    h: u64,
+}
+
+impl Fingerprint {
+    pub fn new() -> Self {
+        Fingerprint {
+            h: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    #[inline]
+    pub fn byte(&mut self, b: u8) {
+        self.h ^= b as u64;
+        self.h = self.h.wrapping_mul(0x100_0000_01B3);
+    }
+
+    #[inline]
+    pub fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    #[inline]
+    pub fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    #[inline]
+    pub fn f64_bits(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.u64(1);
+        a.u64(2);
+        let mut b = Fingerprint::new();
+        b.u64(2);
+        b.u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn matches_reference_fnv1a() {
+        // Independent straight-line FNV-1a over the same bytes, so the
+        // incremental accumulator cannot drift from the standard constants.
+        let data = b"scalapart";
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        let mut f = Fingerprint::new();
+        f.bytes(data);
+        assert_eq!(f.finish(), h);
+    }
+}

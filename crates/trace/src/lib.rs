@@ -31,6 +31,7 @@
 
 pub mod check;
 pub mod chrome;
+pub mod fnv;
 pub mod json;
 pub mod metrics;
 pub mod phase;

@@ -6,6 +6,7 @@
 //! ```text
 //! verify [--ranks N] [--schedules N] [--seed HEX] [--graph grid:RxC|delaunay:N]
 //!        [--replay HEX] [--skip-perturb] [--skip-passivity] [--skip-parallel]
+//!        [--skip-multinode] [--multinode-requests N] [--multinode-shards N]
 //!        [--self-test]
 //! ```
 
@@ -16,8 +17,8 @@ use rand::SeedableRng;
 use sp_graph::gen::{delaunay_graph, grid_2d};
 use sp_graph::Graph;
 use sp_verify::{
-    run_campaign, run_once, run_parallel_campaign, run_passivity, run_perturbations, FuzzConfig,
-    ParallelFuzzConfig,
+    run_campaign, run_multinode_campaign, run_once, run_parallel_campaign, run_passivity,
+    run_perturbations, FuzzConfig, MultinodeFuzzConfig, ParallelFuzzConfig,
 };
 
 struct Cli {
@@ -29,6 +30,9 @@ struct Cli {
     skip_perturb: bool,
     skip_passivity: bool,
     skip_parallel: bool,
+    skip_multinode: bool,
+    multinode_requests: usize,
+    multinode_shards: usize,
     self_test: bool,
 }
 
@@ -36,7 +40,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: verify [--ranks N] [--schedules N] [--seed HEX] \
          [--graph grid:RxC|delaunay:N] [--replay HEX] [--skip-perturb] \
-         [--skip-passivity] [--skip-parallel] [--self-test]"
+         [--skip-passivity] [--skip-parallel] [--skip-multinode] \
+         [--multinode-requests N] [--multinode-shards N] [--self-test]"
     );
     std::process::exit(2)
 }
@@ -63,6 +68,9 @@ fn parse_cli() -> Cli {
         skip_perturb: false,
         skip_passivity: false,
         skip_parallel: false,
+        skip_multinode: false,
+        multinode_requests: MultinodeFuzzConfig::default().requests,
+        multinode_shards: MultinodeFuzzConfig::default().shards,
         self_test: false,
     };
     let mut args = std::env::args().skip(1);
@@ -82,6 +90,9 @@ fn parse_cli() -> Cli {
             "--skip-perturb" => cli.skip_perturb = true,
             "--skip-passivity" => cli.skip_passivity = true,
             "--skip-parallel" => cli.skip_parallel = true,
+            "--skip-multinode" => cli.skip_multinode = true,
+            "--multinode-requests" => cli.multinode_requests = parse_u64(&val()) as usize,
+            "--multinode-shards" => cli.multinode_shards = parse_u64(&val()) as usize,
             "--self-test" => cli.self_test = true,
             "--help" | "-h" => usage(),
             other => {
@@ -228,6 +239,25 @@ fn main() -> ExitCode {
             failed = true;
             for f in &report.failures {
                 println!("parallel: FAILED at {f}");
+            }
+        }
+    }
+
+    if !cli.skip_multinode {
+        let mcfg = MultinodeFuzzConfig {
+            shards: cli.multinode_shards,
+            requests: cli.multinode_requests,
+            master_seed: cli.seed,
+            ..MultinodeFuzzConfig::default()
+        };
+        let report = run_multinode_campaign(&mcfg);
+        if report.passed() {
+            println!("multinode: OK — {report}");
+        } else {
+            failed = true;
+            println!("multinode: FAILED — {report}");
+            for f in &report.failures {
+                println!("multinode:   {f}");
             }
         }
     }

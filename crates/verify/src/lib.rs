@@ -18,13 +18,20 @@
 //! - an **observability passivity fuzz** ([`passive`]) that runs each
 //!   fuzzed schedule with sp-obs profiling off and on and demands
 //!   bit-identical partitions, coordinates, and simulated times —
-//!   instrumentation must never perturb the run it watches.
+//!   instrumentation must never perturb the run it watches;
+//! - a **multinode determinism fuzz** ([`multinode`]) that routes a seeded
+//!   request stream through 2–4 loopback sp-serve shards behind the
+//!   consistent-hash router, kills and rejoins a shard mid-run, and demands
+//!   byte-identical responses (and an identical full-stream fingerprint)
+//!   against a single-node oracle — shard placement, cache hits, and
+//!   mid-stream failover may never leak into response bytes.
 //!
 //! The checker *collects* violations rather than panicking, so a campaign
 //! reports every failure together with the seed that reproduces it.
 
 pub mod fuzz;
 pub mod invariants;
+pub mod multinode;
 pub mod parallel;
 pub mod passive;
 pub mod perturb;
@@ -34,6 +41,9 @@ pub use fuzz::{
     fingerprint_result, run_campaign, run_once, CampaignReport, Failure, FuzzConfig, RunOutcome,
 };
 pub use invariants::{InvariantChecker, Violation};
+pub use multinode::{
+    run_multinode_campaign, MultinodeFailure, MultinodeFuzzConfig, MultinodeReport,
+};
 pub use parallel::{run_parallel_campaign, ParallelFailure, ParallelFuzzConfig, ParallelReport};
 pub use passive::{run_passivity, PassivityReport, PassivityRun};
 pub use perturb::{run_perturbations, PerturbReport, ScenarioOutcome};

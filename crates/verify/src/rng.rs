@@ -1,6 +1,13 @@
 //! Seed derivation and result fingerprinting. Both are hand-rolled and
 //! dependency-free so fingerprints and replay seeds are stable across rand
 //! versions and platforms.
+//!
+//! The FNV-1a accumulator itself lives in `sp_trace::fnv` (the
+//! dependency-free leaf crate) so sp-serve can share it for cache keys
+//! without depending on this crate; it is re-exported here under its
+//! historical name.
+
+pub use sp_trace::fnv::Fingerprint;
 
 /// splitmix64 step.
 pub fn splitmix64(state: &mut u64) -> u64 {
@@ -17,47 +24,6 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 pub fn derive_seed(master: u64, i: u64) -> u64 {
     let mut s = master ^ i.wrapping_mul(0xA076_1D64_78BD_642F);
     splitmix64(&mut s)
-}
-
-/// Incremental FNV-1a (64-bit) over explicit words/bytes.
-pub struct Fingerprint {
-    h: u64,
-}
-
-impl Fingerprint {
-    pub fn new() -> Self {
-        Fingerprint {
-            h: 0xCBF2_9CE4_8422_2325,
-        }
-    }
-
-    #[inline]
-    pub fn byte(&mut self, b: u8) {
-        self.h ^= b as u64;
-        self.h = self.h.wrapping_mul(0x100_0000_01B3);
-    }
-
-    #[inline]
-    pub fn u64(&mut self, x: u64) {
-        for b in x.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    #[inline]
-    pub fn f64_bits(&mut self, x: f64) {
-        self.u64(x.to_bits());
-    }
-
-    pub fn finish(&self) -> u64 {
-        self.h
-    }
-}
-
-impl Default for Fingerprint {
-    fn default() -> Self {
-        Self::new()
-    }
 }
 
 #[cfg(test)]
