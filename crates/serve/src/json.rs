@@ -223,12 +223,22 @@ impl<'a> Parser<'a> {
                 }
                 c if c < 0x20 => return Err("raw control character in string".into()),
                 _ => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8 by construction).
-                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.i += c.len_utf8();
+                    // Consume the longest run of plain bytes in one go.
+                    // The input is a &str, so the run is valid UTF-8, and
+                    // every delimiter we stop at is ASCII — always a char
+                    // boundary. (Validating per character would re-scan
+                    // the whole tail each step: quadratic on the
+                    // multi-MiB strings MAX_FRAME allows.)
+                    let start = self.i;
+                    while let Some(&c) = self.b.get(self.i) {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    let run =
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+                    out.push_str(run);
                 }
             }
         }
@@ -375,6 +385,19 @@ mod tests {
         assert!(Value::parse(&deep).is_err());
         let ok = "[".repeat(40) + "1" + &"]".repeat(40);
         assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn multi_mib_strings_parse_in_linear_time() {
+        // A string near the MAX_FRAME scale must parse as one run, not
+        // char-by-char with a full-tail UTF-8 validation per step (that
+        // regression turned a 16 MiB frame into an hours-long spin).
+        let body = "x".repeat(4 * 1024 * 1024);
+        let doc = format!("{{\"pad\": \"{body}é\\n\"}}");
+        let v = Value::parse(&doc).unwrap();
+        let got = v.get("pad").and_then(Value::as_str).unwrap();
+        assert_eq!(got.len(), body.len() + 'é'.len_utf8() + 1);
+        assert!(got.ends_with("é\n"));
     }
 
     #[test]

@@ -32,9 +32,12 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
-    /// Clones of accepted connection streams, so [`Server::kill`] can
-    /// sever them abruptly (crash injection for the failover tests).
-    conns: Mutex<Vec<TcpStream>>,
+    /// Clones of accepted connection streams keyed by connection id, so
+    /// [`Server::kill`] can sever them abruptly (crash injection for the
+    /// failover tests). Each handler removes its own entry on exit —
+    /// holding a clone keeps the socket (and its fd) open even after the
+    /// peer closes, so the registry must never outlive the handler.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
 }
 
 impl Server {
@@ -87,17 +90,27 @@ impl Server {
     }
 
     /// SIGKILL-equivalent crash injection: stop accepting and sever every
-    /// open connection immediately — no drain, no goodbye frames. Peers
-    /// observe an abrupt EOF/reset exactly as if the shard process died.
-    /// The in-process worker pool is left to be reaped by a later
-    /// `service().shutdown()` (a real kill would take it too, but test
-    /// processes must not leak running threads unjoined).
+    /// open connection immediately — no drain, no goodbye frames, no
+    /// waiting on in-flight compute. Peers observe an abrupt EOF/reset
+    /// exactly as if the shard process died, and `kill` returns without
+    /// joining handler threads (a handler blocked in `submit_wait` on a
+    /// long job would otherwise stall the "crash" for the job's full
+    /// duration). The in-process worker pool is left to be reaped by a
+    /// later `service().shutdown()` + [`Server::wait`] (a real kill would
+    /// take it too, but test processes must not leak running threads
+    /// unjoined).
     pub fn kill(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        for conn in self.conns.lock().unwrap().drain(..) {
+        for (_, conn) in self.conns.lock().unwrap().drain(..) {
             let _ = conn.shutdown(Shutdown::Both);
         }
-        self.wait();
+    }
+
+    /// Connections currently tracked for [`Server::kill`] — one entry per
+    /// live handler. Exposed so tests can pin that closed connections are
+    /// pruned (a leak here is an fd leak).
+    pub fn open_connections(&self) -> usize {
+        self.conns.lock().unwrap().len()
     }
 
     /// Block until the accept loop has exited (after [`Server::shutdown`],
@@ -112,27 +125,38 @@ impl Server {
 
 fn accept_loop(server: Arc<Server>, listener: TcpListener) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn_id: u64 = 0;
     while !server.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
                 if let Ok(clone) = stream.try_clone() {
-                    let mut conns = server.conns.lock().unwrap();
-                    conns.push(clone);
-                    // Stale entries accumulate one per connection; cap the
-                    // registry by dropping closed ones opportunistically.
-                    if conns.len() > 64 {
-                        conns.retain(|c| c.peer_addr().is_ok());
-                    }
+                    server.conns.lock().unwrap().push((conn_id, clone));
                 }
                 let server = server.clone();
                 handlers.push(std::thread::spawn(move || {
-                    let _ = handle_connection(server, stream);
+                    let _ = handle_connection(server.clone(), stream);
+                    // Drop the registry clone with the handler: keeping it
+                    // would hold the socket open (CLOSE_WAIT) and leak one
+                    // fd per connection ever accepted.
+                    server
+                        .conns
+                        .lock()
+                        .unwrap()
+                        .retain(|(id, _)| *id != conn_id);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
-            Err(_) => break,
+            Err(_) => {
+                // Transient accept failures (EMFILE/ENFILE under fd
+                // pressure, ECONNABORTED) must not kill the accept loop —
+                // a shard that silently stops serving is worse than one
+                // that briefly backs off. Only the stop flag ends accept.
+                std::thread::sleep(Duration::from_millis(20));
+            }
         }
         handlers.retain(|h| !h.is_finished());
     }

@@ -422,8 +422,12 @@ pub fn encode_error(message: &str) -> String {
 /// Encode a typed error: like [`encode_error`] but with a machine-readable
 /// `code` so router clients can distinguish `no_shards` (every replica of
 /// the keyspace is down) from `route_mismatch` (a shard answered with the
-/// wrong correlation tag — a protocol violation, never retried) and
-/// `shard_protocol` (a shard's reply frame was malformed).
+/// wrong correlation tag — a protocol violation, never retried),
+/// `shard_protocol` (a shard's reply frame was malformed),
+/// `forward_timeout` (the shard took the job but exceeded the forward
+/// budget — it is *not* demoted; it may still be computing), and
+/// `frame_too_large` (the submit frame leaves no room for the injected
+/// routing tag — rejected locally, never forwarded).
 pub fn encode_typed_error(code: &str, message: &str) -> String {
     format!(
         "{{\"type\": \"error\", \"code\": \"{}\", \"message\": \"{}\"}}",

@@ -29,7 +29,7 @@
 use crate::json::Value;
 use crate::proto::{
     append_field, encode_cache_entries, encode_metrics, encode_pong, encode_typed_error,
-    read_frame, write_frame, Request, WireCacheEntry,
+    read_frame, write_frame, Request, WireCacheEntry, MAX_FRAME,
 };
 use crate::ring::{Ring, DEFAULT_VNODES};
 use scalapart::obs::{Counter, Gauge, Registry};
@@ -74,6 +74,28 @@ struct ShardState {
     forwards: Arc<Counter>,
 }
 
+/// The shard list plus the consistent-hash ring over its *alive* members.
+/// The ring is rebuilt only on membership transitions (`mark_down`,
+/// `rejoin`) — the per-request owner lookup is a pure O(log points)
+/// search under the lock, not an O(shards · vnodes · log) rebuild that
+/// would serialize every concurrent forward.
+struct ShardTable {
+    shards: Vec<ShardState>,
+    ring: Ring,
+}
+
+impl ShardTable {
+    fn rebuild_ring(&mut self, vnodes: usize) {
+        let alive: Vec<&str> = self
+            .shards
+            .iter()
+            .filter(|s| s.up)
+            .map(|s| s.name.as_str())
+            .collect();
+        self.ring = Ring::new(&alive, vnodes);
+    }
+}
+
 struct RouterMetrics {
     registry: Arc<Registry>,
     shards: Arc<Gauge>,
@@ -85,6 +107,8 @@ struct RouterMetrics {
     errors_no_shards: Arc<Counter>,
     errors_route_mismatch: Arc<Counter>,
     errors_shard_protocol: Arc<Counter>,
+    errors_forward_timeout: Arc<Counter>,
+    errors_frame_too_large: Arc<Counter>,
 }
 
 impl RouterMetrics {
@@ -124,9 +148,43 @@ impl RouterMetrics {
                 "Typed errors returned to clients",
                 &[("code", "shard_protocol")],
             ),
+            errors_forward_timeout: r.counter_with(
+                "sp_route_errors_total",
+                "Typed errors returned to clients",
+                &[("code", "forward_timeout")],
+            ),
+            errors_frame_too_large: r.counter_with(
+                "sp_route_errors_total",
+                "Typed errors returned to clients",
+                &[("code", "frame_too_large")],
+            ),
             registry: r,
         }
     }
+}
+
+/// How a forward attempt failed — the distinction failover hinges on.
+///
+/// Only [`ForwardFail::Dead`] may demote a shard and trigger replay. A
+/// timeout is *not* death: the shard accepted the connection and may
+/// legitimately still be computing (jobs run for seconds), so replaying
+/// elsewhere could double-run the job, and demoting on every slow reply
+/// would cascade a healthy fleet into `no_shards` — permanently so when
+/// `health_interval_ms: 0` disables the probe that could re-admit them.
+enum ForwardFail {
+    /// Connection-level failure: refused, reset, mid-frame EOF, garbage
+    /// framing. The shard is gone or unintelligible — demote and replay.
+    Dead(std::io::Error),
+    /// The shard took the request but no reply arrived within the forward
+    /// budget. Report to the client; leave liveness to the health probe.
+    Timeout,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
 }
 
 /// What the connection loop should do after sending a reply.
@@ -139,7 +197,7 @@ pub enum Handled {
 /// The routing coordinator. Cheap to clone via `Arc`; see module docs.
 pub struct Router {
     cfg: RouterConfig,
-    shards: Mutex<Vec<ShardState>>,
+    shards: Mutex<ShardTable>,
     metrics: RouterMetrics,
     next_tag: AtomicU64,
     stop: Arc<AtomicBool>,
@@ -174,9 +232,14 @@ impl Router {
         }
         metrics.shards.set(states.len() as i64);
         metrics.shards_up.set(states.len() as i64);
+        let mut table = ShardTable {
+            shards: states,
+            ring: Ring::new::<&str>(&[], cfg.vnodes),
+        };
+        table.rebuild_ring(cfg.vnodes);
         let router = Arc::new(Router {
             cfg: cfg.clone(),
-            shards: Mutex::new(states),
+            shards: Mutex::new(table),
             metrics,
             next_tag: AtomicU64::new(1),
             stop: Arc::new(AtomicBool::new(false)),
@@ -219,16 +282,17 @@ impl Router {
     pub fn rejoin(&self, name: &str, addr: &str) -> std::io::Result<usize> {
         let addr = resolve(addr)?;
         let donors: Vec<SocketAddr> = {
-            let shards = self.shards.lock().unwrap();
-            shards
+            let table = self.shards.lock().unwrap();
+            table
+                .shards
                 .iter()
                 .filter(|s| s.up && s.name != name)
                 .map(|s| s.addr)
                 .collect()
         };
         let warmed = self.warm(addr, &donors);
-        let mut shards = self.shards.lock().unwrap();
-        match shards.iter_mut().find(|s| s.name == name) {
+        let mut table = self.shards.lock().unwrap();
+        match table.shards.iter_mut().find(|s| s.name == name) {
             Some(s) => {
                 s.addr = addr;
                 if !s.up {
@@ -237,7 +301,7 @@ impl Router {
                 }
             }
             None => {
-                shards.push(ShardState {
+                table.shards.push(ShardState {
                     up_gauge: self.metrics.registry.gauge_with(
                         "sp_shard_up",
                         "1 while the shard answers, 0 after a failure",
@@ -252,14 +316,15 @@ impl Router {
                     addr,
                     up: true,
                 });
-                shards.last().unwrap().up_gauge.set(1);
-                self.metrics.shards.set(shards.len() as i64);
+                table.shards.last().unwrap().up_gauge.set(1);
+                self.metrics.shards.set(table.shards.len() as i64);
             }
         }
+        table.rebuild_ring(self.cfg.vnodes);
         self.metrics
             .shards_up
-            .set(shards.iter().filter(|s| s.up).count() as i64);
-        drop(shards);
+            .set(table.shards.iter().filter(|s| s.up).count() as i64);
+        drop(table);
         self.metrics.joins.inc();
         Ok(warmed)
     }
@@ -313,8 +378,13 @@ impl Router {
             Request::Shutdown => {
                 // Forward the drain to every live shard, then stop.
                 let targets: Vec<SocketAddr> = {
-                    let shards = self.shards.lock().unwrap();
-                    shards.iter().filter(|s| s.up).map(|s| s.addr).collect()
+                    let table = self.shards.lock().unwrap();
+                    table
+                        .shards
+                        .iter()
+                        .filter(|s| s.up)
+                        .map(|s| s.addr)
+                        .collect()
                 };
                 for addr in targets {
                     let _ = self.forward_once(addr, "{\"type\": \"shutdown\"}");
@@ -363,10 +433,25 @@ impl Router {
     }
 
     /// Forward a submit to the ring owner of `key`, failing over along the
-    /// survivor ring until a shard answers or none are left.
+    /// survivor ring until a shard answers or none are left. Only
+    /// *connection-level* failures demote a shard; a slow reply or a local
+    /// framing problem must not cascade the fleet down (see
+    /// [`ForwardFail`]).
     fn route_submit(&self, frame: &str, key: u64) -> String {
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
         let tagged = append_field(frame, "route_tag", &tag.to_string());
+        if tagged.len() > MAX_FRAME as usize {
+            // The injected tag pushed a near-limit client frame over
+            // MAX_FRAME. That is a local condition — forwarding would die
+            // in our own write_frame, and treating it as shard death
+            // would mark every owner down in turn until the whole fleet
+            // reads as dead.
+            self.metrics.errors_frame_too_large.inc();
+            return encode_typed_error(
+                "frame_too_large",
+                "submit frame leaves no room for routing metadata; shrink the payload",
+            );
+        }
         let echo_suffix = format!(", \"route_tag\": {tag}}}");
         let mut attempts = 0usize;
         loop {
@@ -381,7 +466,7 @@ impl Router {
             if attempts > 1 {
                 self.metrics.replays.inc();
             }
-            match self.forward_once(addr, &tagged) {
+            match self.forward_classified(addr, &tagged) {
                 Ok(resp) => {
                     // The happy path: the shard echoed our tag as the
                     // final field. Strip it and relay the exact bytes.
@@ -389,39 +474,68 @@ impl Router {
                         self.count_forward(&name);
                         return format!("{body}}}");
                     }
-                    // No echo. A parseable reply with a *different* tag is
-                    // a shard answering the wrong job — protocol
-                    // violation, never retried (retrying could double-run
-                    // a job elsewhere while the confused shard still
-                    // works).
-                    match Value::parse(&resp) {
-                        Ok(v) if v.get("route_tag").and_then(Value::as_u64) != Some(tag) => {
+                    // No trailing echo. Classify by what the shard sent.
+                    let Ok(v) = Value::parse(&resp) else {
+                        self.metrics.errors_shard_protocol.inc();
+                        return encode_typed_error(
+                            "shard_protocol",
+                            &format!("shard {name} sent an unintelligible reply"),
+                        );
+                    };
+                    let echoed = v.get("route_tag").and_then(Value::as_u64);
+                    let is_error = v.get("type").and_then(Value::as_str) == Some("error");
+                    return match echoed {
+                        // The shard's frame-decode error path replies
+                        // without echoing the tag — deterministic (every
+                        // shard would say the same); relay it.
+                        None if is_error => {
+                            self.count_forward(&name);
+                            resp
+                        }
+                        // A present-but-different tag is a shard
+                        // answering the wrong job — protocol violation,
+                        // never retried (retrying could double-run a job
+                        // elsewhere while the confused shard still
+                        // works).
+                        Some(t) if t != tag => {
                             self.metrics.errors_route_mismatch.inc();
-                            return encode_typed_error(
+                            encode_typed_error(
                                 "route_mismatch",
                                 &format!("shard {name} answered with a mismatched route tag"),
-                            );
+                            )
                         }
-                        Ok(v) if v.get("type").and_then(Value::as_str) == Some("error") => {
-                            // Deterministic decode error — same answer
-                            // from every shard; relay it.
-                            self.count_forward(&name);
-                            return resp;
-                        }
+                        // Right tag but not in the trailing position we
+                        // appended, or no tag on a non-error reply: the
+                        // frame was reshaped in flight.
                         _ => {
                             self.metrics.errors_shard_protocol.inc();
-                            return encode_typed_error(
+                            encode_typed_error(
                                 "shard_protocol",
                                 &format!("shard {name} sent an unintelligible reply"),
-                            );
+                            )
                         }
-                    }
+                    };
                 }
-                Err(_) => {
-                    // Connection-level failure anywhere in the exchange:
-                    // mark the shard dead (once) and replay on the next
-                    // owner. Replay is safe because responses are
-                    // bit-identical wherever the job runs.
+                Err(ForwardFail::Timeout) => {
+                    // No reply inside the forward budget. The shard may
+                    // legitimately still be computing (the config comment
+                    // admits seconds-long jobs), so this is a client
+                    // budget exceeded, not a death certificate: replaying
+                    // elsewhere could double-run the job, and demoting
+                    // would let one slow job mark the whole fleet down.
+                    // Liveness stays the health probe's call.
+                    self.metrics.errors_forward_timeout.inc();
+                    return encode_typed_error(
+                        "forward_timeout",
+                        &format!("shard {name} did not reply within the forward timeout"),
+                    );
+                }
+                Err(ForwardFail::Dead(_)) => {
+                    // Connection-level failure (refused, reset, mid-frame
+                    // EOF, garbage framing): mark the shard dead (once)
+                    // and replay on the next owner. Replay is safe
+                    // because responses are bit-identical wherever the
+                    // job runs.
                     self.mark_down(&name);
                 }
             }
@@ -429,25 +543,21 @@ impl Router {
     }
 
     fn count_forward(&self, name: &str) {
-        let shards = self.shards.lock().unwrap();
-        if let Some(s) = shards.iter().find(|s| s.name == name) {
+        let table = self.shards.lock().unwrap();
+        if let Some(s) = table.shards.iter().find(|s| s.name == name) {
             s.forwards.inc();
         }
     }
 
-    /// The live ring owner for `key`, with its address.
+    /// The live ring owner for `key`, with its address. A cached-ring
+    /// lookup — the ring is rebuilt on membership transitions, never here.
     fn owner_of(&self, key: u64) -> Option<(String, SocketAddr)> {
-        let shards = self.shards.lock().unwrap();
-        let alive: Vec<&ShardState> = shards.iter().filter(|s| s.up).collect();
-        if alive.is_empty() {
-            return None;
-        }
-        let names: Vec<&str> = alive.iter().map(|s| s.name.as_str()).collect();
-        let ring = Ring::new(&names, self.cfg.vnodes);
-        let owner = ring.owner(key)?;
-        alive
+        let table = self.shards.lock().unwrap();
+        let owner = table.ring.owner(key)?;
+        table
+            .shards
             .iter()
-            .find(|s| s.name == owner)
+            .find(|s| s.up && s.name == owner)
             .map(|s| (s.name.clone(), s.addr))
     }
 
@@ -456,34 +566,65 @@ impl Router {
     /// detectors — eight clients and the health probe all seeing the same
     /// crash — count one failover, not nine.
     fn mark_down(&self, name: &str) {
-        let mut shards = self.shards.lock().unwrap();
-        if let Some(s) = shards.iter_mut().find(|s| s.name == name && s.up) {
+        let mut table = self.shards.lock().unwrap();
+        if let Some(s) = table.shards.iter_mut().find(|s| s.name == name && s.up) {
             s.up = false;
             s.up_gauge.set(0);
             self.metrics.failovers.inc();
+            table.rebuild_ring(self.cfg.vnodes);
             self.metrics
                 .shards_up
-                .set(shards.iter().filter(|s| s.up).count() as i64);
+                .set(table.shards.iter().filter(|s| s.up).count() as i64);
         }
     }
 
     /// One round-trip to a shard: connect, send, read one frame.
+    /// Convenience wrapper over [`Router::forward_classified`] for call
+    /// sites (warming, stats, shutdown, probes) that don't need the
+    /// death-vs-slow distinction.
     fn forward_once(&self, addr: SocketAddr, frame: &str) -> std::io::Result<String> {
+        self.forward_classified(addr, frame).map_err(|f| match f {
+            ForwardFail::Dead(e) => e,
+            ForwardFail::Timeout => std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "shard did not reply within the forward timeout",
+            ),
+        })
+    }
+
+    /// One round-trip to a shard, with failures split into the two cases
+    /// failover must treat differently (see [`ForwardFail`]).
+    fn forward_classified(&self, addr: SocketAddr, frame: &str) -> Result<String, ForwardFail> {
         let timeout = Duration::from_millis(self.cfg.forward_timeout_ms.max(1));
-        let mut stream = TcpStream::connect_timeout(&addr, timeout.min(Duration::from_secs(2)))?;
+        // An unreachable address is death even when the forward budget is
+        // generous: connect has its own short ceiling.
+        let mut stream = TcpStream::connect_timeout(&addr, timeout.min(Duration::from_secs(2)))
+            .map_err(ForwardFail::Dead)?;
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        write_frame(&mut stream, frame.as_bytes())?;
-        stream.flush()?;
-        match read_frame(&mut stream)? {
-            Some(payload) => String::from_utf8(payload).map_err(|_| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "reply is not UTF-8")
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ForwardFail::Dead)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(ForwardFail::Dead)?;
+        match write_frame(&mut stream, frame.as_bytes()).and_then(|()| stream.flush()) {
+            Ok(()) => {}
+            Err(e) if is_timeout(&e) => return Err(ForwardFail::Timeout),
+            Err(e) => return Err(ForwardFail::Dead(e)),
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => String::from_utf8(payload).map_err(|_| {
+                ForwardFail::Dead(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "reply is not UTF-8",
+                ))
             }),
-            None => Err(std::io::Error::new(
+            Ok(None) => Err(ForwardFail::Dead(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "shard closed before replying",
-            )),
+            ))),
+            Err(e) if is_timeout(&e) => Err(ForwardFail::Timeout),
+            Err(e) => Err(ForwardFail::Dead(e)),
         }
     }
 
@@ -491,8 +632,9 @@ impl Router {
     /// plus each shard's stats object (fetched live; `null` when down).
     fn merged_stats(&self) -> String {
         let snapshot: Vec<(String, SocketAddr, bool)> = {
-            let shards = self.shards.lock().unwrap();
-            shards
+            let table = self.shards.lock().unwrap();
+            table
+                .shards
                 .iter()
                 .map(|s| (s.name.clone(), s.addr, s.up))
                 .collect()
@@ -576,8 +718,9 @@ fn health_loop(router: Arc<Router>) {
     while !router.stop.load(Ordering::SeqCst) {
         std::thread::sleep(period);
         let snapshot: Vec<(String, SocketAddr, bool)> = {
-            let shards = router.shards.lock().unwrap();
-            shards
+            let table = router.shards.lock().unwrap();
+            table
+                .shards
                 .iter()
                 .map(|s| (s.name.clone(), s.addr, s.up))
                 .collect()
@@ -675,7 +818,12 @@ fn accept_loop(server: Arc<RouterServer>, listener: TcpListener) {
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
-            Err(_) => break,
+            Err(_) => {
+                // Transient accept failures (EMFILE/ENFILE, ECONNABORTED)
+                // must not kill the router's accept loop; only the stop
+                // flag ends it.
+                std::thread::sleep(Duration::from_millis(20));
+            }
         }
         handlers.retain(|h| !h.is_finished());
     }

@@ -313,3 +313,36 @@ fn shutdown_frame_drains_and_stops_the_server() {
         }
     );
 }
+
+#[test]
+fn connection_registry_prunes_closed_connections() {
+    // The kill-registry holds a clone of every accepted stream; if closed
+    // connections were never removed, each one would pin an open fd until
+    // the process hit its ulimit and the shard stopped accepting.
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        ranks: 2,
+        ..Default::default()
+    });
+    let addr = server.local_addr();
+    for _ in 0..12 {
+        let mut c = Client::connect(&addr).unwrap();
+        let resp = c.request("{\"type\": \"ping\"}").unwrap();
+        assert_eq!(resp, "{\"type\": \"pong\"}");
+        drop(c);
+    }
+    // Handlers notice the close within their 50 ms read-timeout poll.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.open_connections() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{} closed connections still registered (fd leak)",
+            server.open_connections()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    server.shutdown();
+    server.wait();
+}

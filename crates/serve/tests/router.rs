@@ -138,7 +138,10 @@ fn failover_midstream_is_invisible_to_all_eight_clients() {
     assert!(prom.contains("sp_shard_up{shard=\"b\"} 1"), "{prom}");
 
     rs.shutdown();
+    // kill() is abrupt and does not join the killed shard's threads;
+    // reap them explicitly so the test leaks nothing.
     a.service().shutdown();
+    a.wait();
     b.shutdown();
     oracle.shutdown();
 }
@@ -163,10 +166,14 @@ fn fake_shard(reply: impl Fn(&[u8]) -> Vec<u8> + Send + 'static) -> std::net::So
 }
 
 fn router_over(addr: std::net::SocketAddr) -> Arc<RouterServer> {
+    router_over_cfg(addr, 2_000)
+}
+
+fn router_over_cfg(addr: std::net::SocketAddr, forward_timeout_ms: u64) -> Arc<RouterServer> {
     let router = Router::new(
         RouterConfig {
             health_interval_ms: 0,
-            forward_timeout_ms: 2_000,
+            forward_timeout_ms,
             ..Default::default()
         },
         &[("fake".to_string(), addr.to_string())],
@@ -235,6 +242,86 @@ fn shard_answering_wrong_route_tag_yields_route_mismatch() {
         prom.contains("sp_route_errors_total{code=\"route_mismatch\"} 1"),
         "{prom}"
     );
+    rs.shutdown();
+}
+
+#[test]
+fn slow_shard_times_out_without_being_demoted() {
+    // A shard that takes the job but exceeds the forward budget may
+    // legitimately still be computing: the client gets a typed timeout,
+    // and the shard must NOT be marked dead (one slow job must not
+    // cascade a healthy fleet into no_shards — with health probing off,
+    // permanently).
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            let _ = read_frame(&mut stream);
+            // Hold the connection open well past the router's budget.
+            std::thread::sleep(Duration::from_secs(3));
+        }
+    });
+    let rs = router_over_cfg(addr, 250);
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let resp = c.request(&submit_req("gen:grid:8x8", "rcb", 2, 6)).unwrap();
+    assert_eq!(typed_code(&resp), "forward_timeout");
+    let router = rs.router();
+    assert_eq!(router.failovers(), 0, "a timeout is not shard death");
+    let prom = router.prometheus();
+    assert!(prom.contains("sp_shard_up{shard=\"fake\"} 1"), "{prom}");
+    assert!(
+        prom.contains("sp_route_errors_total{code=\"forward_timeout\"} 1"),
+        "{prom}"
+    );
+    rs.shutdown();
+}
+
+#[test]
+fn untagged_shard_error_is_relayed_not_mismatched() {
+    // The shard's frame-decode error path replies without echoing the
+    // route tag (net.rs answers before a tag exists). That reply is
+    // deterministic — every shard would say the same — so the router must
+    // relay it, not misread the missing tag as a route mismatch.
+    let body = "{\"type\": \"error\", \"message\": \"bad JSON: oops\"}";
+    let addr = fake_shard(move |_| {
+        let mut b = (body.len() as u32).to_be_bytes().to_vec();
+        b.extend_from_slice(body.as_bytes());
+        b
+    });
+    let rs = router_over(addr);
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let resp = c.request(&submit_req("gen:grid:8x8", "rcb", 2, 7)).unwrap();
+    assert_eq!(resp, body, "untagged error must be relayed verbatim");
+    let prom = rs.router().prometheus();
+    assert!(
+        prom.contains("sp_route_errors_total{code=\"route_mismatch\"} 0"),
+        "{prom}"
+    );
+    assert!(prom.contains("sp_shard_up{shard=\"fake\"} 1"), "{prom}");
+    rs.shutdown();
+}
+
+#[test]
+fn frame_near_limit_is_rejected_locally_not_failed_over() {
+    // A client frame within tag-width of MAX_FRAME would only exceed the
+    // limit after the router injects route_tag. That is a local
+    // condition: reject with a typed error instead of forwarding (where
+    // our own write_frame would fail and wrongly demote the shard).
+    use sp_serve::proto::MAX_FRAME;
+    let addr = fake_shard(|_| panic!("an oversize-after-tagging frame must never be forwarded"));
+    let rs = router_over(addr);
+    let prefix = "{\"type\": \"submit\", \"graph\": \"gen:grid:8x8\", \"method\": \"rcb\", \"parts\": 2, \"seed\": 1, \"pad\": \"";
+    let suffix = "\"}";
+    let pad = "x".repeat(MAX_FRAME as usize - prefix.len() - suffix.len());
+    let req = format!("{prefix}{pad}{suffix}");
+    assert_eq!(req.len(), MAX_FRAME as usize, "frame itself must be legal");
+    let mut c = Client::connect(&rs.local_addr()).unwrap();
+    let resp = c.request(&req).unwrap();
+    assert_eq!(typed_code(&resp), "frame_too_large");
+    let router = rs.router();
+    assert_eq!(router.failovers(), 0, "local rejection must not demote");
+    let prom = router.prometheus();
+    assert!(prom.contains("sp_shard_up{shard=\"fake\"} 1"), "{prom}");
     rs.shutdown();
 }
 

@@ -268,9 +268,12 @@ pub fn run_multinode_campaign(cfg: &MultinodeFuzzConfig) -> MultinodeReport {
         s.shutdown();
     }
     if let Some(k) = killed {
-        // The killed listener is gone but its worker pool survives the
-        // crash injection; reap it so the campaign leaks no threads.
+        // The killed listener is gone but its worker pool and handler
+        // threads survive the crash injection (kill() returns without
+        // joining — abruptness is the point); reap both so the campaign
+        // leaks no threads.
         k.service().shutdown();
+        k.wait();
     }
     oracle.shutdown();
 
