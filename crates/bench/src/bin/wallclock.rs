@@ -14,6 +14,10 @@
 //! * `pipeline` — per-phase wall times (coarsen / embed / partition /
 //!   refine) of the full ScalaPart pipeline at several processor counts,
 //!   with the simulated phase times alongside for scale.
+//! * `stream` — per-step wall time and migration volume of sp-stream's
+//!   warm-start incremental repartitioner over a seeded delta stream on
+//!   a Delaunay mesh (bootstrap row first). Tracked, not gated: the
+//!   section has no BENCH_2 counterpart, so `--baseline` skips it.
 //!
 //! Run with `cargo run --release -p sp-bench --bin wallclock`; build with
 //! `RUSTFLAGS="-C target-cpu=native"` for honest host numbers (the fast
@@ -45,6 +49,7 @@ use scalapart::graph::Graph;
 use scalapart::machine::{CostModel, CostOnly, Machine};
 use scalapart::obs::rss;
 use scalapart::refine::{fm_refine, strip_around_separator};
+use scalapart::stream::{DeltaOverlay, GraphDelta, IncrementalRepartitioner, StreamConfig};
 use scalapart::SpConfig;
 use sp_bench::baseline::{compare, BenchDoc};
 use sp_bench::reference::{demo_grid, reference_lattice_smooth, seed_lattice_smooth};
@@ -183,6 +188,88 @@ fn main() {
         }
     }
     json.push_str(&rows_out.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // ---- Section 3: dynamic-graph stream. A seeded delta stream (edge
+    // churn + weight drift) drives the warm-start incremental
+    // repartitioner; each row records the step's wall time, how much of
+    // the graph went dirty, and the migration volume — the number a
+    // from-scratch partition cannot keep small.
+    json.push_str("  \"stream\": [\n");
+    let (mesh_n, steps, batch) = if quick {
+        (2_000usize, 4usize, 12usize)
+    } else {
+        (10_000, 8, 24)
+    };
+    let rss_reset = rss::reset_peak();
+    let mut srng = StdRng::seed_from_u64(0x57AE);
+    let (sg, scoords) = scalapart::graph::gen::delaunay_graph(mesh_n, &mut srng);
+    let overlay = DeltaOverlay::new(std::sync::Arc::new(sg), Some(scoords)).expect("mesh is valid");
+    let scfg = StreamConfig {
+        ranks: 64,
+        ..StreamConfig::default()
+    };
+    let t = Instant::now();
+    let (mut rp, boot) = IncrementalRepartitioner::new(overlay, scfg);
+    let boot_wall = t.elapsed().as_secs_f64() * 1e3;
+    let mut stream_rows = vec![format!(
+        "    {{\"mesh\": \"delaunay{mesh_n}\", \"step\": 0, \"mode\": \"full\", \
+         \"touched\": 0, \"dirty_frac\": 0, \"migration_volume\": 0, \
+         \"cut_after\": {:.3}, \"wall_ms\": {boot_wall:.3}, \"rss_reset\": {rss_reset}}}",
+        boot.cut_after
+    )];
+    let mut migrated_total = 0usize;
+    for _ in 0..steps {
+        // Valid-by-construction deltas against the pre-batch overlay;
+        // the seed is fixed, so the stream (and any intra-batch
+        // conflict) is fully deterministic.
+        let mut deltas = Vec::with_capacity(batch);
+        for _ in 0..batch * 4 {
+            if deltas.len() >= batch {
+                break;
+            }
+            let a = srng.random_range(0..mesh_n as u32);
+            let b = srng.random_range(0..mesh_n as u32);
+            match srng.random_range(0..3u32) {
+                0 if a != b && !rp.overlay().neighbors_w(a).any(|(x, _)| x == b) => {
+                    deltas.push(GraphDelta::AddEdge { u: a, v: b, w: 1.0 });
+                }
+                1 if rp.overlay().neighbors_w(a).any(|(x, _)| x == b)
+                    && rp.overlay().degree(a) > 1
+                    && rp.overlay().degree(b) > 1 =>
+                {
+                    deltas.push(GraphDelta::RemoveEdge { u: a, v: b });
+                }
+                2 => deltas.push(GraphDelta::SetVwgt {
+                    v: a,
+                    w: 0.5 + srng.random_range(0.0..2.0),
+                }),
+                _ => {}
+            }
+        }
+        let r = rp.step(&deltas).expect("generated deltas are valid");
+        migrated_total += r.migration_volume;
+        stream_rows.push(format!(
+            "    {{\"mesh\": \"delaunay{mesh_n}\", \"step\": {}, \"mode\": \"{}\", \
+             \"touched\": {}, \"dirty_frac\": {:.4}, \"migration_volume\": {}, \
+             \"cut_after\": {:.3}, \"wall_ms\": {:.3}, \"rss_reset\": {rss_reset}}}",
+            r.step,
+            r.mode.as_str(),
+            r.touched,
+            r.dirty_frac,
+            r.migration_volume,
+            r.cut_after,
+            r.wall_ms
+        ));
+    }
+    let peak_rss = rss_mb_json(rss::peak_rss_bytes());
+    eprintln!(
+        "stream delaunay{mesh_n}: bootstrap {boot_wall:.1} ms (cut {:.0}), {steps} step(s), \
+         {migrated_total} vertices migrated, final cut {:.0}, peak RSS {peak_rss} MiB",
+        boot.cut_after,
+        rp.cut()
+    );
+    json.push_str(&stream_rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");

@@ -63,3 +63,4 @@ pub use sp_graph as graph;
 pub use sp_machine as machine;
 pub use sp_obs as obs;
 pub use sp_refine as refine;
+pub use sp_stream as stream;

@@ -6,6 +6,7 @@
 //! generators standing in for the paper's UFL test suite, and block/geometric
 //! distribution of vertices over simulated ranks.
 
+pub mod access;
 pub mod csr;
 pub mod distr;
 pub mod gen;
@@ -14,6 +15,7 @@ pub mod partition;
 pub mod suite;
 pub mod traversal;
 
+pub use access::GraphAccess;
 pub use csr::{Graph, GraphBuilder};
 pub use partition::{Bisection, PartitionQuality};
 pub use suite::{SuiteGraph, TestGraph, TestScale};

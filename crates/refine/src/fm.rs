@@ -12,6 +12,7 @@
 //! entries carry a version stamp and stale ones are skipped on pop. Same
 //! asymptotics up to a log factor, no integer-weight restriction.
 
+use sp_graph::access::{self, GraphAccess};
 use sp_graph::{Bisection, Graph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -86,9 +87,22 @@ pub fn fm_refine(
     movable: Option<&[bool]>,
     cfg: &FmConfig,
 ) -> FmStats {
+    fm_refine_on(g, bi, movable, cfg)
+}
+
+/// [`fm_refine`] over any [`GraphAccess`] store. Because gains accumulate
+/// in the store's neighbour-iteration order, two stores presenting the
+/// same logical graph in the same order (e.g. a delta overlay and its
+/// compacted CSR) refine bit-identically.
+pub fn fm_refine_on<G: GraphAccess>(
+    g: &G,
+    bi: &mut Bisection,
+    movable: Option<&[bool]>,
+    cfg: &FmConfig,
+) -> FmStats {
     let n = g.n();
     let mut stats = FmStats {
-        cut_before: bi.cut(g),
+        cut_before: access::cut_of(g, bi),
         cut_after: 0.0,
         ..Default::default()
     };
@@ -103,7 +117,7 @@ pub fn fm_refine(
     let is_movable = |v: u32| movable.is_none_or(|m| m[v as usize]);
 
     let mut cur_cut = stats.cut_before;
-    let (mut w0, mut w1) = bi.weights(g);
+    let (mut w0, mut w1) = access::weights_of(g, bi);
     let init_imb = w0.max(w1) / half - 1.0;
     let allowed_imb = cfg.balance_tol.max(init_imb);
 
@@ -223,12 +237,12 @@ pub fn fm_refine(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn pop_feasible(
+fn pop_feasible<G: GraphAccess>(
     heap: &mut BinaryHeap<HeapEntry>,
     stamp: &[u32],
     locked: &[bool],
     bi: &Bisection,
-    g: &Graph,
+    g: &G,
     w0: f64,
     w1: f64,
     half: f64,

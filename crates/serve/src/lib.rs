@@ -37,6 +37,7 @@ pub mod proto;
 pub mod ring;
 pub mod router;
 pub mod service;
+pub mod session;
 
 pub use cache::{CacheKey, LruCache};
 pub use fingerprint::{fingerprint_graph, fingerprint_input};
@@ -47,3 +48,4 @@ pub use router::{Router, RouterConfig, RouterServer};
 pub use service::{
     JobOutcome, JobSpec, PartitionOutput, ServeConfig, Service, ServiceStats, SubmitError, Ticket,
 };
+pub use session::{SessionConfig, SessionManager};

@@ -51,6 +51,19 @@ pub struct ServiceMetrics {
     /// superstep — how full the rank batches ran.
     pub rank_batch_occupancy: Arc<Gauge>,
 
+    /// Streaming sessions currently open (see [`crate::session`]).
+    pub sessions_active: Arc<Gauge>,
+    /// Graph deltas accepted into session overlays.
+    pub session_deltas: Arc<Counter>,
+    /// Host wall time of `session_repartition` handling (incremental and
+    /// full steps land in the same series; the step report distinguishes
+    /// them).
+    pub session_repartition_ms: Arc<Histogram>,
+    /// Sessions evicted for exceeding the idle TTL.
+    pub session_evictions: Arc<Counter>,
+    /// Streaming result-cache hits (key: base + delta-chain fingerprint).
+    pub session_cache_hits: Arc<Counter>,
+
     pub uptime_seconds: Arc<Gauge>,
     pub resident_memory_bytes: Arc<Gauge>,
     pub peak_resident_memory_bytes: Arc<Gauge>,
@@ -101,6 +114,15 @@ impl ServiceMetrics {
                     )
                 })
                 .collect(),
+            sessions_active: r.gauge("sp_sessions_active", "Streaming sessions currently open"),
+            session_deltas: r.counter("sp_session_deltas_total", "Graph deltas accepted into session overlays"),
+            session_repartition_ms: r.histogram(
+                "sp_session_repartition_milliseconds",
+                "Host wall time per session_repartition request",
+                &lat,
+            ),
+            session_evictions: r.counter("sp_session_evictions_total", "Sessions evicted after exceeding the idle TTL"),
+            session_cache_hits: r.counter("sp_session_cache_hits_total", "Streaming result-cache hits (base + delta-chain fingerprint)"),
             uptime_seconds: r.gauge("sp_uptime_seconds", "Seconds since the service started (sampled at scrape)"),
             resident_memory_bytes: r.gauge("sp_process_resident_memory_bytes", "VmRSS at scrape time (0 where /proc is unavailable)"),
             peak_resident_memory_bytes: r.gauge("sp_process_peak_resident_memory_bytes", "VmHWM at scrape time (0 where /proc is unavailable)"),
@@ -149,6 +171,11 @@ mod tests {
         assert!(text.contains("# TYPE sp_jobs_submitted_total counter"));
         assert!(text.contains("sp_jobs_rejected_total{reason=\"queue_full\"} 0"));
         assert!(text.contains("sp_phase_wall_milliseconds_bucket{phase=\"embed\""));
+        // Streaming-session instruments are registered from the start, so
+        // a scrape before any session opens is already lint-clean.
+        assert!(text.contains("# TYPE sp_sessions_active gauge"));
+        assert!(text.contains("sp_session_deltas_total 0"));
+        assert!(text.contains("# TYPE sp_session_repartition_milliseconds histogram"));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::proto::{
     encode_rejection, read_frame, write_frame, Request, WireCacheEntry, MAX_FRAME,
 };
 use crate::service::{JobSpec, ServeConfig, Service};
+use crate::session::{SessionConfig, SessionManager};
 use std::io::{Read, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,6 +39,8 @@ pub struct Server {
     /// holding a clone keeps the socket (and its fd) open even after the
     /// peer closes, so the registry must never outlive the handler.
     conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Streaming-session state (dynamic graphs), shared by all handlers.
+    sessions: SessionManager,
 }
 
 impl Server {
@@ -58,12 +61,14 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let sessions = SessionManager::new(SessionConfig::from_serve(&cfg), metrics.clone());
         let server = Arc::new(Server {
             service: Service::start_with_metrics(cfg, metrics),
             addr,
             stop: Arc::new(AtomicBool::new(false)),
             accept_thread: Mutex::new(None),
             conns: Mutex::new(Vec::new()),
+            sessions,
         });
         let accept = {
             let server = server.clone();
@@ -81,6 +86,11 @@ impl Server {
     /// The underlying in-process service (shared with the TCP front end).
     pub fn service(&self) -> &Service {
         &self.service
+    }
+
+    /// The streaming-session manager (tests and stats).
+    pub fn sessions(&self) -> &SessionManager {
+        &self.sessions
     }
 
     /// Request shutdown: stop accepting, drain the queue, join workers.
@@ -328,6 +338,17 @@ fn handle_connection(server: Arc<Server>, mut stream: TcpStream) -> std::io::Res
                     None => body,
                 }
             }
+            Ok(Request::SessionOpen {
+                session,
+                graph,
+                coords,
+                seed,
+            }) => server.sessions.open(&session, graph, coords, seed),
+            Ok(Request::SessionDelta { session, deltas }) => {
+                server.sessions.delta(&session, &deltas)
+            }
+            Ok(Request::SessionRepartition { session }) => server.sessions.repartition(&session),
+            Ok(Request::SessionClose { session }) => server.sessions.close(&session),
         };
         write_frame(&mut stream, response.as_bytes())?;
     }

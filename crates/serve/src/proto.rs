@@ -38,10 +38,24 @@
 //!   warmed cache replays bit-identical response bytes.
 //! - `{"type": "cache_load", "entries": [...]}` — install dumped entries
 //!   (cache warming on shard join); answered `{"type": "ok", "loaded": N}`.
+//!
+//! Streaming-session verbs (see DESIGN.md "Dynamic graphs"):
+//!
+//! - `{"type": "session_open", "session": "fleet", "graph":
+//!   "gen:grid:32x32", "seed": 1}` — open a dynamic-graph session over a
+//!   named workload (same `graph`/`chaco` forms as submit).
+//! - `{"type": "session_delta", "session": "fleet", "deltas": [{"op":
+//!   "add_edge", "u": 3, "v": 9, "w": 1.5}, {"op": "remove_edge", "u": 0,
+//!   "v": 1}, {"op": "set_vwgt", "v": 4, "w": 2.0}, {"op": "shift_coord",
+//!   "v": 7, "dx": 0.1, "dy": -0.2}]}` — apply a delta batch atomically.
+//! - `{"type": "session_repartition", "session": "fleet"}` — re-refine
+//!   the dirty region (or re-partition fully past the threshold).
+//! - `{"type": "session_close", "session": "fleet"}` — drop the session.
 
 use crate::cache::CacheKey;
 use crate::json::Value;
 use crate::service::{JobOutcome, SubmitError};
+use scalapart::stream::GraphDelta;
 use scalapart::Method;
 use sp_geometry::Point2;
 use sp_graph::gen::{grid_2d, grid_2d_coords};
@@ -114,6 +128,22 @@ pub enum Request {
     CacheLoad {
         entries: Vec<WireCacheEntry>,
     },
+    SessionOpen {
+        session: String,
+        graph: Arc<Graph>,
+        coords: Option<Arc<Vec<Point2>>>,
+        seed: u64,
+    },
+    SessionDelta {
+        session: String,
+        deltas: Vec<GraphDelta>,
+    },
+    SessionRepartition {
+        session: String,
+    },
+    SessionClose {
+        session: String,
+    },
 }
 
 impl Request {
@@ -140,24 +170,33 @@ impl Request {
                 Ok(Request::CacheLoad { entries })
             }
             "submit" => Self::decode_submit(&v),
+            "session_open" => {
+                let session = session_name(&v)?;
+                let (graph, coords) = decode_graph_source(&v, "session_open")?;
+                let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(1);
+                Ok(Request::SessionOpen {
+                    session,
+                    graph,
+                    coords,
+                    seed,
+                })
+            }
+            "session_delta" => Ok(Request::SessionDelta {
+                session: session_name(&v)?,
+                deltas: decode_deltas(&v)?,
+            }),
+            "session_repartition" => Ok(Request::SessionRepartition {
+                session: session_name(&v)?,
+            }),
+            "session_close" => Ok(Request::SessionClose {
+                session: session_name(&v)?,
+            }),
             other => Err(format!("unknown request type {other:?}")),
         }
     }
 
     fn decode_submit(v: &Value) -> Result<Request, String> {
-        let (graph, coords) = match (v.get("graph"), v.get("chaco")) {
-            (Some(spec), None) => {
-                let spec = spec.as_str().ok_or("\"graph\" must be a string")?;
-                parse_graph_spec(spec)?
-            }
-            (None, Some(text)) => {
-                let text = text.as_str().ok_or("\"chaco\" must be a string")?;
-                let g = read_chaco(text.as_bytes()).map_err(|e| format!("bad chaco graph: {e}"))?;
-                (Arc::new(g), None)
-            }
-            (Some(_), Some(_)) => return Err("give either \"graph\" or \"chaco\", not both".into()),
-            (None, None) => return Err("submit needs a \"graph\" spec or inline \"chaco\"".into()),
-        };
+        let (graph, coords) = decode_graph_source(v, "submit")?;
         let method_name = v
             .get("method")
             .and_then(Value::as_str)
@@ -199,6 +238,91 @@ impl Request {
 }
 
 type GraphAndCoords = (Arc<Graph>, Option<Arc<Vec<Point2>>>);
+
+/// Resolve a request's graph source: a `"graph"` workload spec or an
+/// inline `"chaco"` text, exactly one of the two.
+fn decode_graph_source(v: &Value, verb: &str) -> Result<GraphAndCoords, String> {
+    match (v.get("graph"), v.get("chaco")) {
+        (Some(spec), None) => {
+            let spec = spec.as_str().ok_or("\"graph\" must be a string")?;
+            parse_graph_spec(spec)
+        }
+        (None, Some(text)) => {
+            let text = text.as_str().ok_or("\"chaco\" must be a string")?;
+            let g = read_chaco(text.as_bytes()).map_err(|e| format!("bad chaco graph: {e}"))?;
+            Ok((Arc::new(g), None))
+        }
+        (Some(_), Some(_)) => Err("give either \"graph\" or \"chaco\", not both".into()),
+        (None, None) => Err(format!("{verb} needs a \"graph\" spec or inline \"chaco\"")),
+    }
+}
+
+/// Extract and validate the `session` name of a session verb. Names are
+/// routing keys and journal keys, so they are bounded and non-empty.
+fn session_name(v: &Value) -> Result<String, String> {
+    let name = v
+        .get("session")
+        .and_then(Value::as_str)
+        .ok_or("missing \"session\" name")?;
+    if name.is_empty() {
+        return Err("\"session\" must be non-empty".into());
+    }
+    if name.len() > 128 {
+        return Err(format!(
+            "\"session\" name of {} bytes exceeds the 128-byte limit",
+            name.len()
+        ));
+    }
+    Ok(name.to_string())
+}
+
+/// Decode the `deltas` array of a `session_delta` frame.
+pub fn decode_deltas(v: &Value) -> Result<Vec<GraphDelta>, String> {
+    let arr = v
+        .get("deltas")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"deltas\" array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, d) in arr.iter().enumerate() {
+        let op = d
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("delta {i} missing \"op\""))?;
+        let u32_field = |key: &str| -> Result<u32, String> {
+            d.get(key)
+                .and_then(Value::as_u64)
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| format!("delta {i} ({op}) needs u32 \"{key}\""))
+        };
+        let f64_field = |key: &str| -> Result<f64, String> {
+            d.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("delta {i} ({op}) needs number \"{key}\""))
+        };
+        out.push(match op {
+            "add_edge" => GraphDelta::AddEdge {
+                u: u32_field("u")?,
+                v: u32_field("v")?,
+                w: f64_field("w")?,
+            },
+            "remove_edge" => GraphDelta::RemoveEdge {
+                u: u32_field("u")?,
+                v: u32_field("v")?,
+            },
+            "set_vwgt" => GraphDelta::SetVwgt {
+                v: u32_field("v")?,
+                w: f64_field("w")?,
+            },
+            "shift_coord" => GraphDelta::ShiftCoord {
+                v: u32_field("v")?,
+                dx: f64_field("dx")?,
+                dy: f64_field("dy")?,
+            },
+            other => return Err(format!("delta {i}: unknown op {other:?}")),
+        });
+    }
+    Ok(out)
+}
 
 /// Resolve a `gen:grid:WxH` or `suite:name[:scale]` workload name.
 fn parse_graph_spec(spec: &str) -> Result<GraphAndCoords, String> {
@@ -700,6 +824,98 @@ mod tests {
             Some(r#"{"part": [0,1], "s": "br}ace"}"#)
         );
         assert_eq!(extract_raw_field(resp, "missing"), None);
+    }
+
+    #[test]
+    fn session_verbs_decode() {
+        match decode(
+            r#"{"type": "session_open", "session": "s1", "graph": "gen:grid:6x6", "seed": 9}"#,
+        )
+        .unwrap()
+        {
+            Request::SessionOpen {
+                session,
+                graph,
+                coords,
+                seed,
+            } => {
+                assert_eq!(session, "s1");
+                assert_eq!(graph.n(), 36);
+                assert!(coords.is_some());
+                assert_eq!(seed, 9);
+            }
+            _ => panic!("expected SessionOpen"),
+        }
+        let req = r#"{"type": "session_delta", "session": "s1", "deltas": [
+            {"op": "add_edge", "u": 3, "v": 9, "w": 1.5},
+            {"op": "remove_edge", "u": 0, "v": 1},
+            {"op": "set_vwgt", "v": 4, "w": 2.0},
+            {"op": "shift_coord", "v": 7, "dx": 0.1, "dy": -0.25}]}"#;
+        match decode(req).unwrap() {
+            Request::SessionDelta { session, deltas } => {
+                assert_eq!(session, "s1");
+                assert_eq!(deltas.len(), 4);
+                assert!(matches!(deltas[0], GraphDelta::AddEdge { u: 3, v: 9, .. }));
+                assert!(matches!(deltas[3], GraphDelta::ShiftCoord { v: 7, .. }));
+            }
+            _ => panic!("expected SessionDelta"),
+        }
+        assert!(matches!(
+            decode(r#"{"type": "session_repartition", "session": "s1"}"#).unwrap(),
+            Request::SessionRepartition { .. }
+        ));
+        assert!(matches!(
+            decode(r#"{"type": "session_close", "session": "s1"}"#).unwrap(),
+            Request::SessionClose { .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_session_frames_are_rejected_with_reasons() {
+        for (req, want) in [
+            (
+                r#"{"type": "session_open", "graph": "gen:grid:4x4"}"#,
+                "missing \"session\"",
+            ),
+            (
+                r#"{"type": "session_open", "session": "", "graph": "gen:grid:4x4"}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"type": "session_open", "session": "x"}"#,
+                "needs a \"graph\"",
+            ),
+            (
+                r#"{"type": "session_delta", "session": "x"}"#,
+                "missing \"deltas\"",
+            ),
+            (
+                r#"{"type": "session_delta", "session": "x", "deltas": [{"op": "warp", "v": 1}]}"#,
+                "unknown op",
+            ),
+            (
+                r#"{"type": "session_delta", "session": "x", "deltas": [{"op": "add_edge", "u": 1}]}"#,
+                "needs u32 \"v\"",
+            ),
+            (
+                r#"{"type": "session_delta", "session": "x", "deltas": [{"op": "set_vwgt", "v": 1}]}"#,
+                "needs number \"w\"",
+            ),
+        ] {
+            let err = match decode(req) {
+                Err(e) => e,
+                Ok(_) => panic!("{req}: unexpectedly accepted"),
+            };
+            assert!(err.contains(want), "{req}: {err}");
+        }
+        let long = format!(
+            r#"{{"type": "session_close", "session": "{}"}}"#,
+            "s".repeat(200)
+        );
+        match decode(&long) {
+            Err(e) => assert!(e.contains("128-byte limit"), "{e}"),
+            Ok(_) => panic!("oversized session name unexpectedly accepted"),
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::proto::{
 };
 use crate::ring::{Ring, DEFAULT_VNODES};
 use scalapart::obs::{Counter, Gauge, Registry};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -194,6 +195,18 @@ pub enum Handled {
     ReplyThenStop(String),
 }
 
+/// A streaming session's frame journal: every state-changing frame the
+/// router successfully delivered, in order, plus the shard currently
+/// holding the session. Sessions are *stateful*, unlike submits — a shard
+/// death loses the session's overlay — so failover replays the journal on
+/// the survivor that now owns the session's key. Replay reconstructs the
+/// exact state (responses are pure functions of the delta chain), after
+/// which the current frame proceeds as if nothing happened.
+struct SessionJournal {
+    owner: String,
+    frames: Vec<String>,
+}
+
 /// The routing coordinator. Cheap to clone via `Arc`; see module docs.
 pub struct Router {
     cfg: RouterConfig,
@@ -203,6 +216,9 @@ pub struct Router {
     stop: Arc<AtomicBool>,
     health_thread: Mutex<Option<JoinHandle<()>>>,
     started: Instant,
+    /// Per-session frame journals for failover replay, keyed by session
+    /// name. Entries are dropped when the session closes.
+    session_journals: Mutex<HashMap<String, SessionJournal>>,
 }
 
 impl Router {
@@ -245,6 +261,7 @@ impl Router {
             stop: Arc::new(AtomicBool::new(false)),
             health_thread: Mutex::new(None),
             started: Instant::now(),
+            session_journals: Mutex::new(HashMap::new()),
         });
         if cfg.health_interval_ms > 0 {
             let r = router.clone();
@@ -395,6 +412,17 @@ impl Router {
             Request::CacheDump { .. } | Request::CacheLoad { .. } => Handled::Reply(
                 crate::proto::encode_error("cache requests go to shards, not the router"),
             ),
+            Request::SessionOpen { ref session, .. }
+            | Request::SessionDelta { ref session, .. }
+            | Request::SessionRepartition { ref session }
+            | Request::SessionClose { ref session } => {
+                let is_close = matches!(req, Request::SessionClose { .. });
+                let text = match std::str::from_utf8(payload) {
+                    Ok(t) => t,
+                    Err(_) => return Handled::Reply(crate::proto::encode_error("not UTF-8")),
+                };
+                Handled::Reply(self.route_session(session, text, is_close))
+            }
             Request::Submit {
                 ref graph,
                 ref coords,
@@ -536,6 +564,116 @@ impl Router {
                     // and replay on the next owner. Replay is safe
                     // because responses are bit-identical wherever the
                     // job runs.
+                    self.mark_down(&name);
+                }
+            }
+        }
+    }
+
+    /// Forward a session frame to the ring owner of the *session name* —
+    /// every frame of a session hashes to the same shard, which is what
+    /// keeps the session's overlay state in one place. On shard death the
+    /// journal is replayed to the survivor owner before the current frame
+    /// (see [`SessionJournal`]); the client sees bit-identical responses
+    /// either way. Session frames are forwarded verbatim (no route tag):
+    /// session responses deliberately carry no name, so they must not be
+    /// reshaped in flight either.
+    fn route_session(&self, session: &str, frame: &str, is_close: bool) -> String {
+        let mut fp = sp_trace::fnv::Fingerprint::new();
+        fp.bytes(session.as_bytes());
+        let key = fp.finish();
+        let mut attempts = 0usize;
+        loop {
+            let Some((name, addr)) = self.owner_of(key) else {
+                self.metrics.errors_no_shards.inc();
+                return encode_typed_error(
+                    "no_shards",
+                    "no live shard owns this session; all replicas are down",
+                );
+            };
+            attempts += 1;
+            if attempts > 1 {
+                self.metrics.replays.inc();
+            }
+            // The owner changed since the journal was last delivered (a
+            // failover, or a rejoin that re-hashed the keyspace): rebuild
+            // the session on the new owner from the journal first.
+            let replay: Option<Vec<String>> = {
+                let journals = self.session_journals.lock().unwrap();
+                journals
+                    .get(session)
+                    .filter(|j| j.owner != name)
+                    .map(|j| j.frames.clone())
+            };
+            if let Some(frames) = replay {
+                let mut owner_died = false;
+                for f in &frames {
+                    match self.forward_classified(addr, f) {
+                        // Replayed responses were already delivered from
+                        // the original owner; determinism makes them
+                        // byte-identical, so they are simply dropped.
+                        Ok(_) => {}
+                        Err(ForwardFail::Timeout) => {
+                            self.metrics.errors_forward_timeout.inc();
+                            return encode_typed_error(
+                                "forward_timeout",
+                                &format!(
+                                    "shard {name} did not reply within the forward timeout \
+                                     while rebuilding the session"
+                                ),
+                            );
+                        }
+                        Err(ForwardFail::Dead(_)) => {
+                            self.mark_down(&name);
+                            owner_died = true;
+                            break;
+                        }
+                    }
+                }
+                if owner_died {
+                    continue;
+                }
+                let mut journals = self.session_journals.lock().unwrap();
+                if let Some(j) = journals.get_mut(session) {
+                    j.owner = name.clone();
+                }
+            }
+            match self.forward_classified(addr, frame) {
+                Ok(resp) => {
+                    self.count_forward(&name);
+                    // Journal only frames the shard accepted (`type`
+                    // "session"): rejected frames changed no state, so
+                    // replaying them would be wasted work at best and a
+                    // different-error divergence at worst.
+                    let accepted = Value::parse(&resp)
+                        .ok()
+                        .map(|v| v.get("type").and_then(Value::as_str) == Some("session"))
+                        .unwrap_or(false);
+                    if accepted {
+                        let mut journals = self.session_journals.lock().unwrap();
+                        if is_close {
+                            journals.remove(session);
+                        } else {
+                            let j = journals.entry(session.to_string()).or_insert_with(|| {
+                                SessionJournal {
+                                    owner: name.clone(),
+                                    frames: Vec::new(),
+                                }
+                            });
+                            j.owner = name.clone();
+                            j.frames.push(frame.to_string());
+                        }
+                    }
+                    return resp;
+                }
+                Err(ForwardFail::Timeout) => {
+                    self.metrics.errors_forward_timeout.inc();
+                    return encode_typed_error(
+                        "forward_timeout",
+                        &format!("shard {name} did not reply within the forward timeout"),
+                    );
+                }
+                Err(ForwardFail::Dead(_)) => {
                     self.mark_down(&name);
                 }
             }

@@ -62,6 +62,17 @@ pub struct ServeConfig {
     /// passivity tests run with it both on and off and assert
     /// bit-identical results.
     pub profile: bool,
+    /// Streaming sessions open at once; `session_open` beyond this is
+    /// rejected with a `session_quota` error.
+    pub max_sessions: usize,
+    /// Deltas accepted per session over its lifetime (quota).
+    pub session_max_deltas: u64,
+    /// Idle TTL: a session untouched this long is evicted at the next
+    /// session operation (no background sweeper thread).
+    pub session_idle_ms: u64,
+    /// Entries in the streaming result cache, keyed by
+    /// `(base fingerprint, delta-chain fingerprint)`.
+    pub session_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +86,10 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             obs_log: None,
             profile: true,
+            max_sessions: 8,
+            session_max_deltas: 100_000,
+            session_idle_ms: 120_000,
+            session_cache_capacity: 64,
         }
     }
 }

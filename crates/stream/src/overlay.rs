@@ -1,0 +1,479 @@
+//! `DeltaOverlay`: a mutable graph store layering a delta chain over an
+//! immutable base CSR.
+//!
+//! The paper's pipeline (and everything downstream of it) consumes
+//! immutable CSR graphs; rebuilding a full CSR per mutation step is
+//! exactly the cost a dynamic workload cannot pay. The overlay instead
+//! keeps the base behind an `Arc` and materialises a replacement
+//! adjacency list *only for vertices a delta touched* (plus sparse vertex-
+//! weight patches). Reads go through [`sp_graph::GraphAccess`], so the
+//! refinement machinery runs directly on the overlay; [`DeltaOverlay::
+//! compact`] folds the chain back into a fresh CSR when a full
+//! re-partition (or a cheap long-term representation) is worth it.
+//!
+//! ## Canonical order and fingerprints
+//!
+//! Patched adjacency lists are kept ascending by neighbour id; untouched
+//! vertices keep the base's order. `compact()` emits exactly the
+//! neighbour order the overlay iterates, so refining on the overlay and
+//! refining on its compacted CSR are bit-identical, and
+//! [`DeltaOverlay::graph_fingerprint`] (which hashes the *logical* CSR
+//! image: n, offsets, adjacency, edge-weight bits, vertex-weight bits —
+//! the same scheme as sp-serve's cache fingerprint) is invariant under
+//! [`DeltaOverlay::rebase`] at any point in the chain.
+
+use crate::delta::{DeltaError, GraphDelta};
+use sp_geometry::Point2;
+use sp_graph::{Graph, GraphAccess};
+use sp_trace::fnv::Fingerprint;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A delta chain layered over an immutable base CSR.
+#[derive(Clone)]
+pub struct DeltaOverlay {
+    base: Arc<Graph>,
+    /// Full replacement adjacency (ascending by neighbour) for touched
+    /// vertices. `BTreeMap` keeps iteration deterministic.
+    adj: BTreeMap<u32, Vec<(u32, f64)>>,
+    /// Sparse vertex-weight patches.
+    vwgt: BTreeMap<u32, f64>,
+    /// Embedding coordinates (owned: coordinate drift mutates in place).
+    coords: Option<Vec<Point2>>,
+    /// Undirected edge count, maintained incrementally.
+    m: usize,
+    /// Deltas applied over the overlay's lifetime (survives rebase).
+    deltas_applied: u64,
+}
+
+impl DeltaOverlay {
+    /// Wrap a base graph (and optionally its embedding coordinates).
+    pub fn new(base: Arc<Graph>, coords: Option<Vec<Point2>>) -> Result<Self, DeltaError> {
+        if let Some(c) = &coords {
+            if c.len() != base.n() {
+                return Err(DeltaError::BadCoord);
+            }
+        }
+        let m = base.m();
+        Ok(DeltaOverlay {
+            base,
+            adj: BTreeMap::new(),
+            vwgt: BTreeMap::new(),
+            coords,
+            m,
+            deltas_applied: 0,
+        })
+    }
+
+    /// Number of vertices (fixed for the overlay's lifetime).
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Current undirected edge count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Current degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        match self.adj.get(&v) {
+            Some(list) => list.len(),
+            None => self.base.degree(v),
+        }
+    }
+
+    /// Current vertex weight of `v`.
+    pub fn vwgt(&self, v: u32) -> f64 {
+        match self.vwgt.get(&v) {
+            Some(&w) => w,
+            None => self.base.vwgt(v),
+        }
+    }
+
+    /// Current neighbours of `v` with edge weights.
+    pub fn neighbors_w(&self, v: u32) -> NeighborIter<'_> {
+        match self.adj.get(&v) {
+            Some(list) => NeighborIter::Patched(list.iter().copied()),
+            None => {
+                let r = self.base.xadj()[v as usize]..self.base.xadj()[v as usize + 1];
+                NeighborIter::Base(
+                    self.base.adjncy()[r.clone()]
+                        .iter()
+                        .copied()
+                        .zip(self.base.ewgts()[r].iter().copied()),
+                )
+            }
+        }
+    }
+
+    /// Current coordinates, if the overlay carries an embedding.
+    pub fn coords(&self) -> Option<&[Point2]> {
+        self.coords.as_deref()
+    }
+
+    /// The immutable base under the chain.
+    pub fn base(&self) -> &Arc<Graph> {
+        &self.base
+    }
+
+    /// Vertices with a materialised replacement list (chain footprint).
+    pub fn patched_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Total deltas applied over the overlay's lifetime.
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied
+    }
+
+    fn check_vertex(&self, v: u32) -> Result<(), DeltaError> {
+        if (v as usize) < self.n() {
+            Ok(())
+        } else {
+            Err(DeltaError::VertexOutOfRange { v, n: self.n() })
+        }
+    }
+
+    fn list_mut(&mut self, v: u32) -> &mut Vec<(u32, f64)> {
+        let base = &self.base;
+        self.adj
+            .entry(v)
+            .or_insert_with(|| base.neighbors_w(v).collect())
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors_w(u).any(|(x, _)| x == v)
+    }
+
+    /// Apply one delta. Errors leave the overlay untouched.
+    pub fn apply(&mut self, d: &GraphDelta) -> Result<(), DeltaError> {
+        match *d {
+            GraphDelta::AddEdge { u, v, w } => {
+                self.check_vertex(u)?;
+                self.check_vertex(v)?;
+                if u == v {
+                    return Err(DeltaError::SelfLoop { v });
+                }
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(DeltaError::BadWeight { w });
+                }
+                if self.has_edge(u, v) {
+                    return Err(DeltaError::DuplicateEdge { u, v });
+                }
+                for (a, b) in [(u, v), (v, u)] {
+                    let list = self.list_mut(a);
+                    // Base lists from GraphBuilder are ascending; patched
+                    // lists are kept ascending, so a binary search works
+                    // on both. (A base built from unsorted CSR falls back
+                    // to the insertion point the search reports — still
+                    // deterministic, still mirrored by compact().)
+                    let pos = list.partition_point(|&(x, _)| x < b);
+                    list.insert(pos, (b, w));
+                }
+                self.m += 1;
+            }
+            GraphDelta::RemoveEdge { u, v } => {
+                self.check_vertex(u)?;
+                self.check_vertex(v)?;
+                if !self.has_edge(u, v) {
+                    return Err(DeltaError::MissingEdge { u, v });
+                }
+                for (a, b) in [(u, v), (v, u)] {
+                    let list = self.list_mut(a);
+                    let pos = list.iter().position(|&(x, _)| x == b).unwrap();
+                    list.remove(pos);
+                }
+                self.m -= 1;
+            }
+            GraphDelta::SetVwgt { v, w } => {
+                self.check_vertex(v)?;
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(DeltaError::BadWeight { w });
+                }
+                self.vwgt.insert(v, w);
+            }
+            GraphDelta::ShiftCoord { v, dx, dy } => {
+                self.check_vertex(v)?;
+                if !dx.is_finite() || !dy.is_finite() {
+                    return Err(DeltaError::BadCoord);
+                }
+                let Some(coords) = self.coords.as_mut() else {
+                    return Err(DeltaError::BadCoord);
+                };
+                let c = coords[v as usize];
+                coords[v as usize] = Point2::new(c.x + dx, c.y + dy);
+            }
+        }
+        self.deltas_applied += 1;
+        Ok(())
+    }
+
+    /// Fold the chain into a fresh CSR. Neighbour order is exactly the
+    /// overlay's iteration order, so the result partitions bit-identically.
+    pub fn compact(&self) -> Graph {
+        let n = self.n();
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0usize);
+        for v in 0..n as u32 {
+            xadj.push(xadj.last().unwrap() + self.degree(v));
+        }
+        let total = *xadj.last().unwrap();
+        let mut adjncy = Vec::with_capacity(total);
+        let mut ewgt = Vec::with_capacity(total);
+        for v in 0..n as u32 {
+            for (u, w) in self.neighbors_w(v) {
+                adjncy.push(u);
+                ewgt.push(w);
+            }
+        }
+        let vwgt = (0..n as u32).map(|v| self.vwgt(v)).collect();
+        Graph::from_csr(xadj, adjncy, ewgt, vwgt)
+    }
+
+    /// Replace the base with the compacted CSR and clear the chain. A
+    /// pure representation change: every accessor and fingerprint returns
+    /// the same values before and after, at any point in a delta stream.
+    pub fn rebase(&mut self) {
+        self.base = Arc::new(self.compact());
+        self.adj.clear();
+        self.vwgt.clear();
+        self.m = self.base.m();
+    }
+
+    /// Fingerprint of the logical CSR image — identical to sp-serve's
+    /// graph fingerprint of [`DeltaOverlay::compact`], and invariant under
+    /// [`DeltaOverlay::rebase`].
+    pub fn graph_fingerprint(&self) -> u64 {
+        let n = self.n();
+        let mut fp = Fingerprint::new();
+        fp.u64(n as u64);
+        let mut off = 0usize;
+        fp.u64(0);
+        for v in 0..n as u32 {
+            off += self.degree(v);
+            fp.u64(off as u64);
+        }
+        for v in 0..n as u32 {
+            for (u, _) in self.neighbors_w(v) {
+                fp.u64(u as u64);
+            }
+        }
+        for v in 0..n as u32 {
+            for (_, w) in self.neighbors_w(v) {
+                fp.f64_bits(w);
+            }
+        }
+        for v in 0..n as u32 {
+            fp.f64_bits(self.vwgt(v));
+        }
+        fp.finish()
+    }
+
+    /// Fingerprint of graph + coordinates — identical to sp-serve's input
+    /// fingerprint of the compacted graph with these coordinates.
+    pub fn input_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.u64(self.graph_fingerprint());
+        match &self.coords {
+            None => fp.byte(0),
+            Some(c) => {
+                fp.byte(1);
+                for p in c {
+                    fp.f64_bits(p.x);
+                    fp.f64_bits(p.y);
+                }
+            }
+        }
+        fp.finish()
+    }
+}
+
+impl GraphAccess for DeltaOverlay {
+    fn n(&self) -> usize {
+        DeltaOverlay::n(self)
+    }
+    fn m(&self) -> usize {
+        DeltaOverlay::m(self)
+    }
+    fn degree(&self, v: u32) -> usize {
+        DeltaOverlay::degree(self, v)
+    }
+    fn vwgt(&self, v: u32) -> f64 {
+        DeltaOverlay::vwgt(self, v)
+    }
+    fn neighbors_w(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        DeltaOverlay::neighbors_w(self, v)
+    }
+}
+
+/// Neighbour iterator over either representation.
+pub enum NeighborIter<'a> {
+    Base(
+        std::iter::Zip<
+            std::iter::Copied<std::slice::Iter<'a, u32>>,
+            std::iter::Copied<std::slice::Iter<'a, f64>>,
+        >,
+    ),
+    Patched(std::iter::Copied<std::slice::Iter<'a, (u32, f64)>>),
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (u32, f64);
+    fn next(&mut self) -> Option<(u32, f64)> {
+        match self {
+            NeighborIter::Base(it) => it.next(),
+            NeighborIter::Patched(it) => it.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NeighborIter::Base(it) => it.size_hint(),
+            NeighborIter::Patched(it) => it.size_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::gen::grid_2d;
+    use sp_graph::GraphBuilder;
+
+    fn overlay_of(g: Graph) -> DeltaOverlay {
+        DeltaOverlay::new(Arc::new(g), None).unwrap()
+    }
+
+    #[test]
+    fn add_remove_roundtrip_restores_fingerprint() {
+        let g = grid_2d(6, 6);
+        let mut ov = overlay_of(g);
+        let fp0 = ov.graph_fingerprint();
+        ov.apply(&GraphDelta::AddEdge {
+            u: 0,
+            v: 35,
+            w: 2.0,
+        })
+        .unwrap();
+        assert_ne!(ov.graph_fingerprint(), fp0);
+        assert_eq!(ov.m(), 61);
+        ov.apply(&GraphDelta::RemoveEdge { u: 35, v: 0 }).unwrap();
+        assert_eq!(ov.graph_fingerprint(), fp0);
+        assert_eq!(ov.m(), 60);
+    }
+
+    #[test]
+    fn compact_matches_overlay_logically() {
+        let g = grid_2d(5, 5);
+        let mut ov = overlay_of(g);
+        ov.apply(&GraphDelta::AddEdge {
+            u: 0,
+            v: 24,
+            w: 3.0,
+        })
+        .unwrap();
+        ov.apply(&GraphDelta::RemoveEdge { u: 0, v: 1 }).unwrap();
+        ov.apply(&GraphDelta::SetVwgt { v: 12, w: 9.0 }).unwrap();
+        let c = ov.compact();
+        c.validate().unwrap();
+        assert_eq!(c.n(), ov.n());
+        assert_eq!(c.m(), ov.m());
+        for v in 0..c.n() as u32 {
+            assert_eq!(c.vwgt(v), ov.vwgt(v));
+            let a: Vec<_> = c.neighbors_w(v).collect();
+            let b: Vec<_> = ov.neighbors_w(v).collect();
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn rebase_is_invisible() {
+        let g = grid_2d(4, 4);
+        let mut a = overlay_of(g.clone());
+        let mut b = overlay_of(g);
+        let deltas = [
+            GraphDelta::RemoveEdge { u: 5, v: 6 },
+            GraphDelta::AddEdge {
+                u: 0,
+                v: 15,
+                w: 1.5,
+            },
+            GraphDelta::SetVwgt { v: 3, w: 2.0 },
+            GraphDelta::AddEdge { u: 5, v: 6, w: 7.0 },
+        ];
+        for (i, d) in deltas.iter().enumerate() {
+            a.apply(d).unwrap();
+            b.apply(d).unwrap();
+            if i % 2 == 0 {
+                b.rebase(); // only b compacts mid-chain
+            }
+            assert_eq!(a.graph_fingerprint(), b.graph_fingerprint(), "after {i}");
+        }
+        assert_eq!(b.patched_vertices(), 2); // cleared at the last rebase
+    }
+
+    #[test]
+    fn apply_errors_leave_overlay_untouched() {
+        let g = grid_2d(3, 3);
+        let mut ov = overlay_of(g);
+        let fp0 = ov.graph_fingerprint();
+        let errs = [
+            GraphDelta::AddEdge { u: 0, v: 1, w: 1.0 }, // duplicate
+            GraphDelta::AddEdge { u: 2, v: 2, w: 1.0 }, // self loop
+            GraphDelta::AddEdge {
+                u: 0,
+                v: 99,
+                w: 1.0,
+            }, // out of range
+            GraphDelta::AddEdge {
+                u: 0,
+                v: 8,
+                w: -1.0,
+            }, // bad weight
+            GraphDelta::RemoveEdge { u: 0, v: 8 },      // missing
+            GraphDelta::SetVwgt { v: 0, w: f64::NAN },  // bad weight
+            GraphDelta::ShiftCoord {
+                v: 0,
+                dx: 0.1,
+                dy: 0.0,
+            }, // no coords
+        ];
+        for d in &errs {
+            assert!(ov.apply(d).is_err(), "{d:?}");
+        }
+        assert_eq!(ov.graph_fingerprint(), fp0);
+        assert_eq!(ov.deltas_applied(), 0);
+    }
+
+    #[test]
+    fn coordinate_drift_changes_input_fp_only() {
+        let g = grid_2d(3, 3);
+        let coords: Vec<Point2> = (0..9).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let mut ov = DeltaOverlay::new(Arc::new(g), Some(coords)).unwrap();
+        let gfp = ov.graph_fingerprint();
+        let ifp = ov.input_fingerprint();
+        ov.apply(&GraphDelta::ShiftCoord {
+            v: 4,
+            dx: 0.5,
+            dy: -0.5,
+        })
+        .unwrap();
+        assert_eq!(ov.graph_fingerprint(), gfp);
+        assert_ne!(ov.input_fingerprint(), ifp);
+        assert_eq!(ov.coords().unwrap()[4], Point2::new(4.5, -0.5));
+    }
+
+    #[test]
+    fn weighted_base_vertices_survive_patching() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.set_vwgt(1, 5.0);
+        let mut ov = overlay_of(b.build());
+        ov.apply(&GraphDelta::AddEdge { u: 0, v: 2, w: 2.0 })
+            .unwrap();
+        assert_eq!(ov.vwgt(1), 5.0);
+        assert_eq!(ov.degree(1), 2);
+        assert_eq!(GraphAccess::total_vwgt(&ov), 7.0);
+    }
+}

@@ -7,6 +7,7 @@
 //! verify [--ranks N] [--schedules N] [--seed HEX] [--graph grid:RxC|delaunay:N]
 //!        [--replay HEX] [--skip-perturb] [--skip-passivity] [--skip-parallel]
 //!        [--skip-multinode] [--multinode-requests N] [--multinode-shards N]
+//!        [--skip-incremental] [--incremental-streams N] [--incremental-steps N]
 //!        [--self-test]
 //! ```
 
@@ -14,11 +15,13 @@ use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sp_graph::gen::{delaunay_graph, grid_2d};
+use sp_geometry::Point2;
+use sp_graph::gen::{delaunay_graph, grid_2d, grid_2d_coords};
 use sp_graph::Graph;
 use sp_verify::{
-    run_campaign, run_multinode_campaign, run_once, run_parallel_campaign, run_passivity,
-    run_perturbations, FuzzConfig, MultinodeFuzzConfig, ParallelFuzzConfig,
+    run_campaign, run_incremental_campaign, run_multinode_campaign, run_once,
+    run_parallel_campaign, run_passivity, run_perturbations, FuzzConfig, IncrementalFuzzConfig,
+    MultinodeFuzzConfig, ParallelFuzzConfig,
 };
 
 struct Cli {
@@ -31,8 +34,11 @@ struct Cli {
     skip_passivity: bool,
     skip_parallel: bool,
     skip_multinode: bool,
+    skip_incremental: bool,
     multinode_requests: usize,
     multinode_shards: usize,
+    incremental_streams: usize,
+    incremental_steps: usize,
     self_test: bool,
 }
 
@@ -41,7 +47,9 @@ fn usage() -> ! {
         "usage: verify [--ranks N] [--schedules N] [--seed HEX] \
          [--graph grid:RxC|delaunay:N] [--replay HEX] [--skip-perturb] \
          [--skip-passivity] [--skip-parallel] [--skip-multinode] \
-         [--multinode-requests N] [--multinode-shards N] [--self-test]"
+         [--multinode-requests N] [--multinode-shards N] \
+         [--skip-incremental] [--incremental-streams N] \
+         [--incremental-steps N] [--self-test]"
     );
     std::process::exit(2)
 }
@@ -69,8 +77,11 @@ fn parse_cli() -> Cli {
         skip_passivity: false,
         skip_parallel: false,
         skip_multinode: false,
+        skip_incremental: false,
         multinode_requests: MultinodeFuzzConfig::default().requests,
         multinode_shards: MultinodeFuzzConfig::default().shards,
+        incremental_streams: IncrementalFuzzConfig::default().streams,
+        incremental_steps: IncrementalFuzzConfig::default().steps,
         self_test: false,
     };
     let mut args = std::env::args().skip(1);
@@ -91,8 +102,11 @@ fn parse_cli() -> Cli {
             "--skip-passivity" => cli.skip_passivity = true,
             "--skip-parallel" => cli.skip_parallel = true,
             "--skip-multinode" => cli.skip_multinode = true,
+            "--skip-incremental" => cli.skip_incremental = true,
             "--multinode-requests" => cli.multinode_requests = parse_u64(&val()) as usize,
             "--multinode-shards" => cli.multinode_shards = parse_u64(&val()) as usize,
+            "--incremental-streams" => cli.incremental_streams = parse_u64(&val()) as usize,
+            "--incremental-steps" => cli.incremental_steps = parse_u64(&val()) as usize,
             "--self-test" => cli.self_test = true,
             "--help" | "-h" => usage(),
             other => {
@@ -104,14 +118,15 @@ fn parse_cli() -> Cli {
     cli
 }
 
-fn build_graph(spec: &str) -> Graph {
+fn build_graph(spec: &str) -> (Graph, Vec<Point2>) {
     if let Some(dims) = spec.strip_prefix("grid:") {
         let (r, c) = dims.split_once('x').unwrap_or_else(|| usage());
-        return grid_2d(parse_u64(r) as usize, parse_u64(c) as usize);
+        let (r, c) = (parse_u64(r) as usize, parse_u64(c) as usize);
+        return (grid_2d(r, c), grid_2d_coords(r, c));
     }
     if let Some(n) = spec.strip_prefix("delaunay:") {
         let mut rng = StdRng::seed_from_u64(0xDE1A);
-        return delaunay_graph(parse_u64(n) as usize, &mut rng).0;
+        return delaunay_graph(parse_u64(n) as usize, &mut rng);
     }
     eprintln!("verify: unknown graph spec {spec:?}");
     usage()
@@ -119,7 +134,7 @@ fn build_graph(spec: &str) -> Graph {
 
 fn main() -> ExitCode {
     let cli = parse_cli();
-    let g = build_graph(&cli.graph);
+    let (g, coords) = build_graph(&cli.graph);
     let cfg = FuzzConfig {
         ranks: cli.ranks,
         schedules: cli.schedules,
@@ -258,6 +273,35 @@ fn main() -> ExitCode {
             println!("multinode: FAILED — {report}");
             for f in &report.failures {
                 println!("multinode:   {f}");
+            }
+        }
+    }
+
+    if !cli.skip_incremental {
+        let icfg = IncrementalFuzzConfig {
+            streams: cli.incremental_streams,
+            steps: cli.incremental_steps,
+            seed: cli.seed,
+            ..IncrementalFuzzConfig::default()
+        };
+        let report = run_incremental_campaign(&g, Some(&coords), &icfg);
+        if report.ok() {
+            println!(
+                "incremental: {} step(s) across {} stream(s) ({} incremental, {} full) \
+                 bit-identical over threads {:?}, overlay == compacted CSR, \
+                 batch framing invisible, cut within {}x+{} of scratch",
+                report.steps_run,
+                icfg.streams,
+                report.incremental_steps,
+                report.full_steps,
+                icfg.threads,
+                icfg.cut_factor,
+                icfg.cut_slack
+            );
+        } else {
+            failed = true;
+            for f in &report.failures {
+                println!("incremental: FAILED at {f}");
             }
         }
     }

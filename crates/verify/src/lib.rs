@@ -24,12 +24,19 @@
 //!   consistent-hash router, kills and rejoins a shard mid-run, and demands
 //!   byte-identical responses (and an identical full-stream fingerprint)
 //!   against a single-node oracle — shard placement, cache hits, and
-//!   mid-stream failover may never leak into response bytes.
+//!   mid-stream failover may never leak into response bytes;
+//! - an **incremental-repartitioning fuzz** ([`incremental`]) that drives
+//!   seeded delta streams through sp-stream's warm-start repartitioner,
+//!   checking partition validity, overlay-vs-compacted-CSR fingerprint
+//!   equality, batch-framing invisibility, a differential cut bound
+//!   against a from-scratch oracle, and bit-identical step fingerprints
+//!   across host pool widths.
 //!
 //! The checker *collects* violations rather than panicking, so a campaign
 //! reports every failure together with the seed that reproduces it.
 
 pub mod fuzz;
+pub mod incremental;
 pub mod invariants;
 pub mod multinode;
 pub mod parallel;
@@ -39,6 +46,9 @@ pub mod rng;
 
 pub use fuzz::{
     fingerprint_result, run_campaign, run_once, CampaignReport, Failure, FuzzConfig, RunOutcome,
+};
+pub use incremental::{
+    run_incremental_campaign, IncrementalFailure, IncrementalFuzzConfig, IncrementalReport,
 };
 pub use invariants::{InvariantChecker, Violation};
 pub use multinode::{

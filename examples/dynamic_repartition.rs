@@ -1,59 +1,159 @@
 //! Dynamic re-partitioning, the use case from the paper's conclusion: a
-//! simulation whose mesh already has coordinates deforms over time; each
-//! step re-partitions with the partitioning component only (SP-PG7-NL),
-//! competing head-to-head with RCB — no coarsening or embedding needed.
+//! simulation mesh deforms over time and the partition must follow.
+//! Instead of re-partitioning from scratch each step, sp-stream's
+//! [`IncrementalRepartitioner`] keeps the previous bisection warm: a
+//! deformation front sweeps across the mesh as a stream of deltas
+//! (coordinate drift, local re-triangulation, adaptive vertex weights),
+//! each step re-refines only the dirty region around the touched
+//! vertices, and falls back to a full geometric re-partition when a
+//! step churns too much of the graph (here, a mid-sweep weight reset).
+//!
+//! Each step prints the warm cut next to a from-scratch partition of the
+//! same mutated mesh — the quality given up — and the migration volume —
+//! the data movement saved. That trade is the whole point of warm starts.
 //!
 //! Run with: `cargo run --release --example dynamic_repartition`
 
-use scalapart::{sp_pg7nl_bisect, SpConfig};
+use scalapart::stream::{DeltaOverlay, GraphDelta, IncrementalRepartitioner, StreamConfig};
 use sp_geometry::Point2;
-use sp_graph::distr::Distribution;
 use sp_graph::gen::delaunay_graph;
-use sp_machine::{CostModel, Machine};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Local re-triangulation inside the front: every few disc vertices
+/// trade one in-disc edge for a chord further around the disc. All
+/// proposals are validated against the overlay plus the batch built so
+/// far, so the delta batch always applies cleanly.
+fn retriangulate(ov: &DeltaOverlay, disc: &[u32], limit: usize) -> Vec<GraphDelta> {
+    let in_disc: HashSet<u32> = disc.iter().copied().collect();
+    let key = |a: u32, b: u32| (a.min(b), a.max(b));
+    let mut touched: HashSet<(u32, u32)> = HashSet::new();
+    let mut deg_adjust = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for (i, &v) in disc.iter().enumerate().step_by(6) {
+        if out.len() / 2 >= limit {
+            break;
+        }
+        let eff_deg = |x: u32, adj: &std::collections::HashMap<u32, i64>| {
+            ov.degree(x) as i64 + adj.get(&x).copied().unwrap_or(0)
+        };
+        // Drop one in-disc edge, as long as neither endpoint drops below
+        // degree 2 and the batch has not already touched the pair.
+        let Some((u, _)) = ov.neighbors_w(v).find(|&(u, _)| {
+            in_disc.contains(&u)
+                && eff_deg(v, &deg_adjust) > 2
+                && eff_deg(u, &deg_adjust) > 2
+                && !touched.contains(&key(v, u))
+        }) else {
+            continue;
+        };
+        // The replacement chord: a disc vertex a third of the way
+        // around, skipped if it already neighbours v.
+        let c = disc[(i + disc.len() / 3) % disc.len()];
+        if c == v || touched.contains(&key(v, c)) || ov.neighbors_w(v).any(|(x, _)| x == c) {
+            continue;
+        }
+        touched.insert(key(v, u));
+        touched.insert(key(v, c));
+        *deg_adjust.entry(v).or_insert(0) -= 1;
+        *deg_adjust.entry(u).or_insert(0) -= 1;
+        out.push(GraphDelta::RemoveEdge { u: v, v: u });
+        *deg_adjust.entry(v).or_insert(0) += 1;
+        *deg_adjust.entry(c).or_insert(0) += 1;
+        out.push(GraphDelta::AddEdge { u: v, v: c, w: 1.0 });
+    }
+    out
+}
 
 fn main() {
-    let p = 256;
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
-    let (graph, mut coords) = delaunay_graph(20_000, &mut rng);
+    let (graph, coords) = delaunay_graph(20_000, &mut rng);
+    let n = graph.n();
+    let overlay = DeltaOverlay::new(Arc::new(graph), Some(coords)).expect("mesh is valid");
+    let cfg = StreamConfig {
+        ranks: 256,
+        ..StreamConfig::default()
+    };
+    let (mut rp, boot) = IncrementalRepartitioner::new(overlay, cfg);
+
     println!(
-        "mesh: N = {}, M = {}; re-partitioning over 5 deformation steps on P = {p}\n",
-        graph.n(),
-        graph.m()
+        "mesh: N = {}, M = {}; a deformation front sweeps across in 8 steps on P = {}",
+        n,
+        rp.overlay().m(),
+        cfg.ranks
     );
     println!(
-        "{:>4} {:>12} {:>12} {:>14} {:>14}",
-        "step", "SP cut", "RCB cut", "SP time", "RCB time"
+        "bootstrap: cut {:.1}, imbalance {:.3}, {:.2} ms\n",
+        boot.cut_after, boot.imbalance, boot.wall_ms
+    );
+    println!(
+        "{:>4} {:>12} {:>8} {:>7} {:>10} {:>12} {:>9} {:>10}",
+        "step", "mode", "touched", "dirty%", "warm cut", "scratch cut", "migrated", "wall"
     );
 
-    for step in 0..5 {
-        // Deform: a slow shear + swirl, like a time-dependent simulation.
-        let t = step as f64 * 0.15;
-        for c in coords.iter_mut() {
-            let r2 = (*c - Point2::new(0.5, 0.5)).norm_sq();
-            let swirl = t * (-3.0 * r2).exp();
-            let d = *c - Point2::new(0.5, 0.5);
-            *c = Point2::new(
-                0.5 + d.x * swirl.cos() - d.y * swirl.sin() + t * 0.05 * d.y,
-                0.5 + d.x * swirl.sin() + d.y * swirl.cos(),
-            );
+    for step in 0..8 {
+        // The front: a swirl centred on a point drifting left to right.
+        // Vertices inside it move, re-triangulate, and pick up weight
+        // (adaptive refinement lands more elements near the front).
+        let centre = Point2::new(0.15 + 0.10 * step as f64, 0.5);
+        let mut batch = Vec::new();
+        {
+            let ov = rp.overlay();
+            let coords_now = ov.coords().expect("overlay carries coords");
+            let mut disc = Vec::new();
+            for v in 0..n as u32 {
+                let d = coords_now[v as usize] - centre;
+                let r2 = d.norm_sq();
+                if r2 <= 0.08 * 0.08 {
+                    disc.push(v);
+                    let swirl = 0.35 * (-300.0 * r2).exp();
+                    let (s, c) = (swirl.sin(), swirl.cos());
+                    batch.push(GraphDelta::ShiftCoord {
+                        v,
+                        dx: d.x * c - d.y * s - d.x,
+                        dy: d.x * s + d.y * c - d.y,
+                    });
+                    batch.push(GraphDelta::SetVwgt {
+                        v,
+                        w: 1.0 + 4.0 * (-150.0 * r2).exp(),
+                    });
+                }
+            }
+            batch.extend(retriangulate(ov, &disc, 60));
+            if step == 4 {
+                // Mid-sweep the solver resets its adaptive weights
+                // everywhere — a graph-wide touch that drives the dirty
+                // fraction over the threshold and forces a full step.
+                for v in (0..n as u32).step_by(3) {
+                    batch.push(GraphDelta::SetVwgt { v, w: 1.0 });
+                }
+            }
         }
 
-        let mut m_sp = Machine::new(p, CostModel::qdr_infiniband());
-        let sp = sp_pg7nl_bisect(&graph, &coords, &mut m_sp, &SpConfig::default());
+        let r = rp.step(&batch).expect("generated deltas are valid");
 
-        let mut m_rcb = Machine::new(p, CostModel::qdr_infiniband());
-        let dist = Distribution::block(graph.n(), p);
-        let rcb = scalapart::baselines::rcb_bisect(&graph, &coords, &dist, &mut m_rcb);
+        // From-scratch oracle: partition the same mutated mesh cold.
+        let compacted = Arc::new(rp.overlay().compact());
+        let scratch_overlay =
+            DeltaOverlay::new(compacted, rp.overlay().coords().map(|c| c.to_vec()))
+                .expect("compacted mesh is valid");
+        let (_, scratch) = IncrementalRepartitioner::new(scratch_overlay, cfg);
 
         println!(
-            "{:>4} {:>12} {:>12} {:>11.3} ms {:>11.3} ms",
-            step,
-            sp.cut,
-            rcb.cut,
-            m_sp.elapsed() * 1e3,
-            m_rcb.elapsed() * 1e3
+            "{:>4} {:>12} {:>8} {:>6.1}% {:>10.1} {:>12.1} {:>9} {:>7.2} ms",
+            r.step,
+            r.mode.as_str(),
+            r.touched,
+            r.dirty_frac * 100.0,
+            r.cut_after,
+            scratch.cut_after,
+            r.migration_volume,
+            r.wall_ms
         );
     }
-    println!("\nSP-PG7-NL should deliver better cuts than RCB at comparable");
-    println!("(or better) time once P is large — the paper's Fig 4 story.");
+
+    println!("\nincremental steps migrate a handful of vertices where a from-scratch");
+    println!("partition would reshuffle the whole mesh; the cut stays within a small");
+    println!("factor of cold quality. sp-verify's `incremental` stage fuzzes exactly");
+    println!("this trade (validity, determinism, and the differential cut bound).");
 }
