@@ -41,7 +41,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scalapart::coarsen::{contract, parallel_hem, Hierarchy, Level};
+use scalapart::coarsen::{contract_with, parallel_hem_in, CoarsenArena, Hierarchy, Level};
 use scalapart::embed::multilevel_lattice_embed;
 use scalapart::geopart::parallel_geometric_partition;
 use scalapart::graph::distr::Distribution;
@@ -313,8 +313,10 @@ fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String 
     let mut machine = Machine::new(p, CostModel::qdr_infiniband());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-    // Coarsen (parallel HEM, retain every other level).
+    // Coarsen (parallel HEM, retain every other level; one scratch arena
+    // reused across levels, as in the library pipeline).
     let t = Instant::now();
+    let mut arena = CoarsenArena::new();
     let mut levels = vec![Level {
         graph: g.clone(),
         map_to_coarser: None,
@@ -324,33 +326,35 @@ fn run_pipeline_phased(g: &Graph, rows: usize, cols: usize, p: usize) -> String 
         if cur.n() <= cfg.coarsen.target_coarsest || levels.len() > cfg.coarsen.max_levels {
             break;
         }
-        let step = |graph: &Graph, machine: &mut Machine, rng: &mut StdRng| {
-            let dist = Distribution::block(graph.n(), p);
-            let matching = parallel_hem(
-                graph,
-                &dist,
-                machine,
-                cfg.matching_rounds,
-                rng.random::<u64>(),
-            );
-            let c = contract(graph, &matching);
-            let mut states: Vec<()> = vec![(); p];
-            let edges_per_rank = (graph.m() / p).max(1) as f64;
-            machine.compute(&mut states, |_, _| edges_per_rank);
-            if p > 1 {
-                let cross = dist.cross_edges(graph);
-                let words = (2 * cross / p).max(1);
-                let outbox: Vec<Vec<(usize, CostOnly)>> = (0..p)
-                    .map(|r| vec![((r + 1) % p, CostOnly::new(words))])
-                    .collect();
-                machine.exchange_costed(&outbox);
-            }
-            c
-        };
-        let c1 = step(cur, &mut machine, &mut rng);
+        let step =
+            |graph: &Graph, machine: &mut Machine, rng: &mut StdRng, arena: &mut CoarsenArena| {
+                let dist = Distribution::block(graph.n(), p);
+                let matching = parallel_hem_in(
+                    graph,
+                    &dist,
+                    machine,
+                    cfg.matching_rounds,
+                    rng.random::<u64>(),
+                    arena,
+                );
+                let c = contract_with(graph, &matching, arena);
+                let mut states: Vec<()> = vec![(); p];
+                let edges_per_rank = (graph.m() / p).max(1) as f64;
+                machine.compute(&mut states, |_, _| edges_per_rank);
+                if p > 1 {
+                    let cross = dist.cross_edges(graph);
+                    let words = (2 * cross / p).max(1);
+                    let outbox: Vec<Vec<(usize, CostOnly)>> = (0..p)
+                        .map(|r| vec![((r + 1) % p, CostOnly::new(words))])
+                        .collect();
+                    machine.exchange_costed(&outbox);
+                }
+                c
+            };
+        let c1 = step(cur, &mut machine, &mut rng, &mut arena);
         let (coarse, map) =
             if cfg.coarsen.keep_every_other && c1.coarse.n() > cfg.coarsen.target_coarsest {
-                let c2 = step(&c1.coarse, &mut machine, &mut rng);
+                let c2 = step(&c1.coarse, &mut machine, &mut rng, &mut arena);
                 let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
                 (c2.coarse, composed)
             } else {

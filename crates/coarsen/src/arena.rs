@@ -1,0 +1,314 @@
+//! Reusable scratch for the coarsening hierarchy.
+//!
+//! Every level of match-and-contract used to allocate its own scratch —
+//! matching visit order and matched flags, coarse-weight accumulators,
+//! and (worst of all) a `GraphBuilder` tuple buffer for the coarse graph.
+//! [`CoarsenArena`] owns all of it: buffers are sized once at level 0 and
+//! reused down the hierarchy, so level transitions perform no scratch
+//! allocation — only the retained products (the coarse CSR itself, the
+//! fine→coarse map, the matching's mate array) are allocated per level,
+//! and those at exact size.
+//!
+//! [`contract_with`] also replaces the builder-based contraction with a
+//! gather-merge: for each coarse vertex, the members' fine adjacencies
+//! are merged through a stamp array into a staging row, sorted ascending,
+//! and appended to a staging CSR that lives in the arena; the coarse
+//! graph is an exact-size copy of the staged prefix. Weight merges
+//! accumulate in fine traversal order (deterministic; exact for the
+//! integer-valued weights coarsening produces from unit inputs).
+
+use crate::matching::Matching;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sp_graph::Graph;
+
+const UNSTAMPED: u32 = u32::MAX;
+
+/// Scratch reused across hierarchy levels. Create once per coarsening
+/// run; every buffer grows to its level-0 high-water mark and stays.
+#[derive(Default)]
+pub struct CoarsenArena {
+    /// Coarse vertex weight accumulator (coarse n).
+    cw: Vec<f64>,
+    /// Representative (first) fine vertex of each coarse vertex.
+    rep: Vec<u32>,
+    /// Stamp: which coarse row a coarse neighbour was last seen in.
+    row_mark: Vec<u32>,
+    /// Position of that neighbour in the current staging row.
+    row_pos: Vec<u32>,
+    /// Current coarse row under accumulation.
+    row: Vec<(u32, f64)>,
+    /// Staging CSR for the coarse graph, copied out at exact size.
+    stage_xadj: Vec<usize>,
+    stage_adjncy: Vec<u32>,
+    stage_ewgt: Vec<f64>,
+    /// Matching scratch: visit order and matched flags.
+    order: Vec<u32>,
+    matched: Vec<bool>,
+    /// Largest number of scratch bytes held at any point.
+    high_water: usize,
+}
+
+impl CoarsenArena {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently held by the arena's buffers (capacity, not len —
+    /// this is what the process actually pays for).
+    pub fn bytes(&self) -> usize {
+        self.cw.capacity() * 8
+            + self.rep.capacity() * 4
+            + self.row_mark.capacity() * 4
+            + self.row_pos.capacity() * 4
+            + self.row.capacity() * 16
+            + self.stage_xadj.capacity() * 8
+            + self.stage_adjncy.capacity() * 4
+            + self.stage_ewgt.capacity() * 8
+            + self.order.capacity() * 4
+            + self.matched.capacity()
+    }
+
+    /// High-water mark of [`CoarsenArena::bytes`] over the arena's life.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water
+    }
+
+    fn note_high_water(&mut self) {
+        self.high_water = self.high_water.max(self.bytes());
+    }
+
+    /// The matched-flags scratch, cleared and sized for `n` vertices.
+    /// Shared by the sequential and SPMD matchers.
+    pub(crate) fn matched_scratch(&mut self, n: usize) -> &mut Vec<bool> {
+        self.matched.clear();
+        self.matched.resize(n, false);
+        self.high_water = self.high_water.max(self.bytes());
+        &mut self.matched
+    }
+}
+
+/// Heavy-edge matching with arena-owned scratch: identical results to
+/// [`crate::matching::heavy_edge_matching`] (same RNG consumption, same
+/// tie-breaks), but the visit order and matched flags come from `arena`.
+pub fn heavy_edge_matching_in<R: Rng>(
+    g: &Graph,
+    rng: &mut R,
+    arena: &mut CoarsenArena,
+) -> Matching {
+    let n = g.n();
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    arena.matched.clear();
+    arena.matched.resize(n, false);
+    arena.order.clear();
+    arena.order.extend(0..n as u32);
+    arena.order.shuffle(rng);
+    // Split borrows: order is read-only while matched is mutated.
+    let (order, matched) = (&arena.order, &mut arena.matched);
+    for &v in order {
+        if matched[v as usize] {
+            continue;
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for (u, w) in g.neighbors_w(v) {
+            if matched[u as usize] {
+                continue;
+            }
+            match best {
+                Some((bw, bu)) if w < bw || (w == bw && u >= bu) => {}
+                _ => best = Some((w, u)),
+            }
+        }
+        if let Some((_, u)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+            matched[v as usize] = true;
+            matched[u as usize] = true;
+        }
+    }
+    arena.note_high_water();
+    Matching { mate }
+}
+
+/// Contract `g` along matching `m` using arena scratch: every matched
+/// pair becomes one coarse vertex (weights summed), unmatched vertices
+/// survive as singletons, multi-edges merge with summed weights, and
+/// intra-pair edges vanish. Semantics match [`crate::contract::contract`];
+/// the coarse CSR is assembled by gather-merge instead of a builder.
+pub fn contract_with(g: &Graph, m: &Matching, arena: &mut CoarsenArena) -> crate::Contraction {
+    let n = g.n();
+    let mut map = vec![u32::MAX; n];
+    arena.rep.clear();
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let u = m.mate[v as usize];
+        map[v as usize] = next;
+        map[u as usize] = next; // u == v for singletons
+        arena.rep.push(v);
+        next += 1;
+    }
+    let cn = next as usize;
+    // Coarse vertex weights, accumulated in ascending fine-vertex order.
+    arena.cw.clear();
+    arena.cw.resize(cn, 0.0);
+    for v in 0..n as u32 {
+        arena.cw[map[v as usize] as usize] += g.vwgt(v);
+    }
+    // Gather-merge each coarse row through the stamp array.
+    arena.row_mark.clear();
+    arena.row_mark.resize(cn, UNSTAMPED);
+    arena.row_pos.clear();
+    arena.row_pos.resize(cn, 0);
+    arena.stage_xadj.clear();
+    arena.stage_xadj.reserve(cn + 1);
+    arena.stage_xadj.push(0);
+    arena.stage_adjncy.clear();
+    arena.stage_ewgt.clear();
+    for c in 0..cn as u32 {
+        let v = arena.rep[c as usize];
+        let u = m.mate[v as usize];
+        arena.row.clear();
+        let members = if u == v { [v, v] } else { [v, u] };
+        let member_count = if u == v { 1 } else { 2 };
+        for &mv in &members[..member_count] {
+            for (nb, w) in g.neighbors_w(mv) {
+                let cu = map[nb as usize];
+                if cu == c {
+                    continue; // intra-pair edge vanishes
+                }
+                if arena.row_mark[cu as usize] == c {
+                    arena.row[arena.row_pos[cu as usize] as usize].1 += w;
+                } else {
+                    arena.row_mark[cu as usize] = c;
+                    arena.row_pos[cu as usize] = arena.row.len() as u32;
+                    arena.row.push((cu, w));
+                }
+            }
+        }
+        arena.row.sort_unstable_by_key(|p| p.0);
+        for &(cu, w) in &arena.row {
+            arena.stage_adjncy.push(cu);
+            arena.stage_ewgt.push(w);
+        }
+        arena.stage_xadj.push(arena.stage_adjncy.len());
+    }
+    arena.note_high_water();
+    // Exact-size retained copies out of the staging buffers.
+    let coarse = Graph::from_csr(
+        arena.stage_xadj.clone(),
+        arena.stage_adjncy.clone(),
+        arena.stage_ewgt.clone(),
+        arena.cw.clone(),
+    );
+    crate::Contraction { coarse, map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{contract, validate_contraction};
+    use crate::matching::heavy_edge_matching;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sp_graph::gen::{grid_2d, kkt_graph};
+
+    #[test]
+    fn matching_in_arena_matches_plain() {
+        let g = grid_2d(20, 20);
+        let mut arena = CoarsenArena::new();
+        let a = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(17));
+        let b = heavy_edge_matching_in(&g, &mut StdRng::seed_from_u64(17), &mut arena);
+        assert_eq!(a.mate, b.mate);
+    }
+
+    #[test]
+    fn contract_with_matches_builder_contract() {
+        // Structure must agree exactly with the legacy builder path; on
+        // unit-weight inputs the weights agree bit-for-bit too (integer
+        // sums are exact in any order).
+        for g in [
+            grid_2d(18, 23),
+            kkt_graph(500, 250, 5, &mut StdRng::seed_from_u64(2)),
+        ] {
+            let m = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(6));
+            let reference = contract(&g, &m);
+            let mut arena = CoarsenArena::new();
+            let lean = contract_with(&g, &m, &mut arena);
+            assert_eq!(reference.map, lean.map);
+            assert_eq!(reference.coarse.xadj(), lean.coarse.xadj());
+            assert_eq!(reference.coarse.adjncy(), lean.coarse.adjncy());
+            assert_eq!(reference.coarse.ewgts(), lean.coarse.ewgts());
+            assert_eq!(reference.coarse.vwgts(), lean.coarse.vwgts());
+            validate_contraction(&g, &m, &lean).unwrap();
+        }
+    }
+
+    #[test]
+    fn arena_reuse_across_levels_allocates_no_new_scratch() {
+        let g = grid_2d(40, 40);
+        let mut arena = CoarsenArena::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Level 0 sizes the arena.
+        let m = heavy_edge_matching_in(&g, &mut rng, &mut arena);
+        let c = contract_with(&g, &m, &mut arena);
+        let sized = arena.bytes();
+        assert!(sized > 0);
+        // Coarser levels fit in the existing O(n)/O(m) buffers: their
+        // capacities never move again. Only `row` — the single-row gather
+        // scratch, O(max coarse degree) — may still grow, because merged
+        // coarse vertices can out-degree any fine vertex.
+        let big_caps = |a: &CoarsenArena| {
+            [
+                a.cw.capacity(),
+                a.rep.capacity(),
+                a.row_mark.capacity(),
+                a.row_pos.capacity(),
+                a.stage_xadj.capacity(),
+                a.stage_adjncy.capacity(),
+                a.stage_ewgt.capacity(),
+                a.order.capacity(),
+                a.matched.capacity(),
+            ]
+        };
+        let sized_caps = big_caps(&arena);
+        let mut cur = c.coarse;
+        for _ in 0..4 {
+            if cur.n() <= 8 {
+                break;
+            }
+            let m = heavy_edge_matching_in(&cur, &mut rng, &mut arena);
+            let c = contract_with(&cur, &m, &mut arena);
+            assert_eq!(
+                big_caps(&arena),
+                sized_caps,
+                "arena grew on a coarser level"
+            );
+            cur = c.coarse;
+        }
+        assert!(arena.high_water_bytes() >= sized);
+        assert!(arena.high_water_bytes() <= sized + arena.row.capacity() * 16);
+    }
+
+    #[test]
+    fn deep_contract_stays_valid_on_weighted_levels() {
+        // Run several arena levels and validate each contraction — the
+        // coarser levels carry non-unit vertex and edge weights.
+        let g = grid_2d(32, 32);
+        let mut arena = CoarsenArena::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cur = g;
+        for _ in 0..5 {
+            if cur.n() <= 16 {
+                break;
+            }
+            let m = heavy_edge_matching_in(&cur, &mut rng, &mut arena);
+            let c = contract_with(&cur, &m, &mut arena);
+            validate_contraction(&cur, &m, &c).unwrap();
+            cur = c.coarse;
+        }
+        assert!(cur.n() < 100);
+    }
+}

@@ -1,8 +1,7 @@
 //! The multilevel hierarchy: repeated match-and-contract with the paper's
 //! retain-every-other-level adaptation (≈¼ shrink between retained levels).
 
-use crate::contract::contract;
-use crate::matching::heavy_edge_matching;
+use crate::arena::{contract_with, heavy_edge_matching_in, CoarsenArena};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_graph::Graph;
@@ -51,6 +50,15 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Build the hierarchy for `g`.
     pub fn build(g: &Graph, cfg: &CoarsenConfig) -> Hierarchy {
+        // One arena serves the whole descent: scratch sized at level 0 is
+        // reused by every coarser level (no per-level scratch allocation).
+        Self::build_with_arena(g, cfg, &mut CoarsenArena::new())
+    }
+
+    /// [`Hierarchy::build`] with a caller-owned arena, so the caller can
+    /// inspect scratch usage afterwards (or share the arena across
+    /// several hierarchies).
+    pub fn build_with_arena(g: &Graph, cfg: &CoarsenConfig, arena: &mut CoarsenArena) -> Hierarchy {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut levels = vec![Level {
             graph: g.clone(),
@@ -62,11 +70,11 @@ impl Hierarchy {
                 break;
             }
             // One or two contractions, composed into one retained step.
-            let m1 = heavy_edge_matching(cur, &mut rng);
-            let c1 = contract(cur, &m1);
+            let m1 = heavy_edge_matching_in(cur, &mut rng, arena);
+            let c1 = contract_with(cur, &m1, arena);
             let (coarse, map) = if cfg.keep_every_other && c1.coarse.n() > cfg.target_coarsest {
-                let m2 = heavy_edge_matching(&c1.coarse, &mut rng);
-                let c2 = contract(&c1.coarse, &m2);
+                let m2 = heavy_edge_matching_in(&c1.coarse, &mut rng, arena);
+                let c2 = contract_with(&c1.coarse, &m2, arena);
                 let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
                 (c2.coarse, composed)
             } else {

@@ -10,12 +10,14 @@
 //! rounds with communication charged to a [`sp_machine::Machine`]) are
 //! provided; they produce matchings of the same quality class.
 
+pub mod arena;
 pub mod contract;
 pub mod hierarchy;
 pub mod matching;
 pub mod parallel;
 
+pub use arena::{contract_with, heavy_edge_matching_in, CoarsenArena};
 pub use contract::{contract, validate_contraction, Contraction};
 pub use hierarchy::{CoarsenConfig, Hierarchy, Level};
 pub use matching::{heavy_edge_matching, validate_matching, Matching};
-pub use parallel::parallel_hem;
+pub use parallel::{parallel_hem, parallel_hem_in};

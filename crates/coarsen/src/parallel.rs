@@ -9,6 +9,7 @@
 //! ghost match-status refreshes are real messages whose cost is charged to
 //! the machine.
 
+use crate::arena::CoarsenArena;
 use crate::matching::Matching;
 use sp_graph::distr::Distribution;
 use sp_graph::Graph;
@@ -42,11 +43,25 @@ pub fn parallel_hem(
     rounds: u32,
     seed: u64,
 ) -> Matching {
+    parallel_hem_in(g, dist, machine, rounds, seed, &mut CoarsenArena::new())
+}
+
+/// [`parallel_hem`] with arena-owned matched flags — identical results,
+/// but the per-level `n`-sized scratch comes from (and stays in) `arena`
+/// so repeated levels of a hierarchy reuse one allocation.
+pub fn parallel_hem_in(
+    g: &Graph,
+    dist: &Distribution,
+    machine: &mut Machine,
+    rounds: u32,
+    seed: u64,
+    arena: &mut CoarsenArena,
+) -> Matching {
     assert_eq!(dist.p, machine.p());
     let n = g.n();
     let p = machine.p();
     let mut mate: Vec<u32> = (0..n as u32).collect();
-    let mut matched = vec![false; n];
+    let matched = arena.matched_scratch(n);
     let mut matched_count = 0usize;
     let rank_verts = dist.rank_vertices();
 

@@ -252,7 +252,7 @@ fn main() {
     });
 
     let t0 = std::time::Instant::now();
-    let (kp, profiler) = if obs_log.is_some() {
+    let (kp, profiler, levels_json) = if obs_log.is_some() {
         // Same algorithm, checked entry point: the profiling observer only
         // samples clocks/RSS at checkpoints and never cancels, so results
         // are bit-identical to the plain path (sp-verify fuzzes this).
@@ -267,7 +267,8 @@ fn main() {
             &mut prof,
         )
         .expect("profiling observer never cancels");
-        (kp, Some(prof.into_profiler()))
+        let levels = prof.level_stats_json();
+        (kp, Some(prof.into_profiler()), Some(levels))
     } else {
         let kp = recursive_kway_on(
             args.method,
@@ -277,7 +278,7 @@ fn main() {
             args.seed,
             &mut machine,
         );
-        (kp, None)
+        (kp, None, None)
     };
     let wall = t0.elapsed();
     kp.validate(&graph).unwrap_or_else(|e| {
@@ -313,6 +314,10 @@ fn main() {
         rec.str("input", &args.input)
             .str("method", args.method.name())
             .json("phases", &prof.to_json())
+            .json(
+                "coarsen_levels",
+                levels_json.as_deref().expect("levels exist with obs log"),
+            )
             .f64("total_wall_ms", wall.as_secs_f64() * 1e3);
         if let Some(peak) = scalapart::obs::rss::peak_rss_bytes() {
             rec.f64("peak_rss_mb", scalapart::obs::rss::bytes_to_mib(peak));

@@ -46,7 +46,7 @@ pub use kway::{
     recursive_kway, recursive_kway_checked_on, recursive_kway_on, KWayPartition, PartitionSummary,
 };
 pub use methods::{run_method, run_method_checked, run_method_on, Method, MethodResult};
-pub use observe::{Cancelled, NoopObserver, PipelineObserver, ProfilingObserver};
+pub use observe::{Cancelled, LevelStats, NoopObserver, PipelineObserver, ProfilingObserver};
 pub use pipeline::{
     scalapart_bisect, scalapart_bisect_checked, scalapart_bisect_observed, scalapart_bisect_with,
     sp_pg7nl_bisect, PhaseTimes, SpResult,

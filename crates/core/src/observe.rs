@@ -35,6 +35,24 @@ impl std::fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
+/// Per-retained-level coarsening record: sizes on both sides of the
+/// contraction step plus the coarsening arena's scratch high-water mark.
+/// Emitted through [`PipelineObserver::on_level_stats`] and surfaced in
+/// `--obs-log` `phase_profile` records.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LevelStats {
+    /// Retained-level index (0 = the input graph's contraction step).
+    pub level: usize,
+    /// Vertex/edge counts of the finer retained graph.
+    pub fine_n: usize,
+    pub fine_m: usize,
+    /// Vertex/edge counts of the coarser retained graph.
+    pub coarse_n: usize,
+    pub coarse_m: usize,
+    /// [`sp_coarsen::CoarsenArena`] scratch high-water in bytes so far.
+    pub arena_bytes: usize,
+}
+
 /// Checkpoint hooks through the ScalaPart pipeline. All methods are
 /// called on the host (outside any simulated-rank closure), in pipeline
 /// order.
@@ -44,6 +62,10 @@ pub trait PipelineObserver {
 
     /// `fine` was contracted along `m` into `c`.
     fn on_contraction(&mut self, _fine: &Graph, _m: &Matching, _c: &Contraction) {}
+
+    /// A retained hierarchy level was completed (possibly composing two
+    /// contractions); carries sizes and arena scratch usage.
+    fn on_level_stats(&mut self, _stats: &LevelStats) {}
 
     /// Coarsening finished with this hierarchy.
     fn on_hierarchy(&mut self, _h: &Hierarchy) {}
@@ -96,6 +118,7 @@ impl PipelineObserver for NoopObserver {}
 /// asserts this end to end.
 pub struct ProfilingObserver<'a> {
     profiler: sp_obs::PhaseProfiler,
+    level_stats: Vec<LevelStats>,
     inner: Option<&'a mut dyn PipelineObserver>,
 }
 
@@ -109,6 +132,7 @@ impl<'a> ProfilingObserver<'a> {
     pub fn new() -> ProfilingObserver<'static> {
         ProfilingObserver {
             profiler: sp_obs::PhaseProfiler::new(),
+            level_stats: Vec::new(),
             inner: None,
         }
     }
@@ -118,6 +142,7 @@ impl<'a> ProfilingObserver<'a> {
     pub fn wrapping(inner: &'a mut dyn PipelineObserver) -> ProfilingObserver<'a> {
         ProfilingObserver {
             profiler: sp_obs::PhaseProfiler::new(),
+            level_stats: Vec::new(),
             inner: Some(inner),
         }
     }
@@ -128,6 +153,28 @@ impl<'a> ProfilingObserver<'a> {
 
     pub fn into_profiler(self) -> sp_obs::PhaseProfiler {
         self.profiler
+    }
+
+    /// Per-retained-level coarsening records collected so far (across all
+    /// recursive bisections, in call order).
+    pub fn level_stats(&self) -> &[LevelStats] {
+        &self.level_stats
+    }
+
+    /// Render the collected level stats as a JSON array for a
+    /// `phase_profile` record.
+    pub fn level_stats_json(&self) -> String {
+        let items: Vec<String> = self
+            .level_stats
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"level\":{},\"fine_n\":{},\"fine_m\":{},\"coarse_n\":{},\"coarse_m\":{},\"arena_bytes\":{}}}",
+                    s.level, s.fine_n, s.fine_m, s.coarse_n, s.coarse_m, s.arena_bytes
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
     }
 }
 
@@ -141,6 +188,13 @@ impl PipelineObserver for ProfilingObserver<'_> {
     fn on_contraction(&mut self, fine: &Graph, m: &Matching, c: &Contraction) {
         if let Some(inner) = self.inner.as_deref_mut() {
             inner.on_contraction(fine, m, c);
+        }
+    }
+
+    fn on_level_stats(&mut self, stats: &LevelStats) {
+        self.level_stats.push(*stats);
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_level_stats(stats);
         }
     }
 

@@ -1,10 +1,10 @@
 //! The ScalaPart pipeline: coarsen → embed → partition → strip-refine.
 
 use crate::config::SpConfig;
-use crate::observe::{Cancelled, NoopObserver, PipelineObserver};
+use crate::observe::{Cancelled, LevelStats, NoopObserver, PipelineObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sp_coarsen::{contract, parallel_hem, Hierarchy, Level};
+use sp_coarsen::{contract_with, parallel_hem_in, CoarsenArena, Hierarchy, Level};
 use sp_embed::{lattice_smooth_with, multilevel_lattice_embed_with, Smoother};
 use sp_geometry::Point2;
 use sp_geopart::parallel_geometric_partition;
@@ -247,6 +247,9 @@ fn coarsen_parallel(
     obs: &mut dyn PipelineObserver,
 ) -> Result<Hierarchy, Cancelled> {
     let p = machine.p();
+    // One arena per coarsening run: matching flags and contraction
+    // scratch are sized by level 0 and reused down the hierarchy.
+    let mut arena = CoarsenArena::new();
     let mut levels = vec![Level {
         graph: g.clone(),
         map_to_coarser: None,
@@ -259,20 +262,22 @@ fn coarsen_parallel(
         let step = |graph: &Graph,
                     machine: &mut Machine,
                     rng: &mut StdRng,
-                    obs: &mut dyn PipelineObserver| {
+                    obs: &mut dyn PipelineObserver,
+                    arena: &mut CoarsenArena| {
             let dist = Distribution::block(graph.n(), p);
-            let matching = parallel_hem(
+            let matching = parallel_hem_in(
                 graph,
                 &dist,
                 machine,
                 cfg.matching_rounds,
                 rng.random::<u64>(),
+                arena,
             );
             obs.on_matching(graph, &matching);
             if obs.poll_cancel() {
                 return Err(Cancelled);
             }
-            let c = contract(graph, &matching);
+            let c = contract_with(graph, &matching, arena);
             obs.on_contraction(graph, &matching, &c);
             if obs.poll_cancel() {
                 return Err(Cancelled);
@@ -291,10 +296,11 @@ fn coarsen_parallel(
             }
             Ok(c)
         };
-        let c1 = step(cur, machine, rng, obs)?;
+        let (fine_n, fine_m) = (cur.n(), cur.m());
+        let c1 = step(cur, machine, rng, obs, &mut arena)?;
         let (coarse, map) =
             if cfg.coarsen.keep_every_other && c1.coarse.n() > cfg.coarsen.target_coarsest {
-                let c2 = step(&c1.coarse, machine, rng, obs)?;
+                let c2 = step(&c1.coarse, machine, rng, obs, &mut arena)?;
                 let composed: Vec<u32> = c1.map.iter().map(|&mid| c2.map[mid as usize]).collect();
                 (c2.coarse, composed)
             } else {
@@ -305,6 +311,14 @@ fn coarsen_parallel(
         if coarse.n() as f64 > 0.7 * levels.last().unwrap().graph.n() as f64 {
             break;
         }
+        obs.on_level_stats(&LevelStats {
+            level: levels.len() - 1,
+            fine_n,
+            fine_m,
+            coarse_n: coarse.n(),
+            coarse_m: coarse.m(),
+            arena_bytes: arena.high_water_bytes(),
+        });
         levels.last_mut().unwrap().map_to_coarser = Some(map);
         levels.push(Level {
             graph: coarse,

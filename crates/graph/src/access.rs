@@ -57,6 +57,35 @@ impl GraphAccess for Graph {
     }
 }
 
+/// Structural fingerprint of a graph over any store: FNV-1a across vertex
+/// count, per-row degrees, neighbour ids, and the raw bits of edge and
+/// vertex weights, in canonical iteration order. Two stores representing
+/// the same graph (e.g. [`crate::CompactGraph`] and the reference CSR it
+/// was built from) hash identically; any structural or weight difference
+/// — including elided-versus-materialized unit weights — does not.
+pub fn graph_fingerprint<G: GraphAccess>(g: &G) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut feed = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    feed(g.n() as u64);
+    feed(g.m() as u64);
+    for v in 0..g.n() as u32 {
+        feed(g.degree(v) as u64);
+        feed(g.vwgt(v).to_bits());
+        for (u, w) in g.neighbors_w(v) {
+            feed(u as u64);
+            feed(w.to_bits());
+        }
+    }
+    h
+}
+
 /// Weighted cut of a bisection over any graph store (each edge counted
 /// once via `u > v`), matching [`Bisection::cut`] bit-for-bit on CSR.
 pub fn cut_of<G: GraphAccess>(g: &G, bi: &Bisection) -> f64 {

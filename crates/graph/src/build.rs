@@ -1,0 +1,348 @@
+//! Builder-free, parallel two-pass CSR assembly.
+//!
+//! The [`crate::GraphBuilder`] path accumulates a `Vec<(u32, u32, f64)>`
+//! tuple buffer — 16 B per undirected edge of transient peak on top of the
+//! final CSR. The assemblers here skip that buffer entirely: a first pass
+//! computes per-row degrees, a serial prefix sum fixes every row's offset,
+//! and a second pass fills each row directly into the final arrays. Both
+//! passes are parallelized over contiguous row chunks with `rayon::scope`
+//! (coarse fork-join, which the offline rayon stub also executes in real
+//! threads), and every chunk writes a disjoint slice of the output.
+//!
+//! Determinism: a row's content is a pure function of its vertex id, so
+//! the output bytes are identical no matter how many threads execute the
+//! chunks or how chunks are sized. Rows are canonicalized by sorting on
+//! neighbour id, matching the ascending-neighbour convention the builder
+//! path emits; rows must be duplicate-free (debug-asserted).
+
+use crate::csr::Graph;
+
+/// Rows per parallel chunk: enough chunks to occupy the pool several times
+/// over (for stealing balance under real rayon), but never so small that
+/// spawn overhead dominates.
+fn chunk_len(n: usize) -> usize {
+    let t = rayon::current_num_threads().max(1);
+    n.div_ceil(4 * t).max(1024)
+}
+
+/// Assemble a weighted CSR graph from a per-row closure. `row` must push
+/// `(neighbour, weight)` pairs for vertex `v` — in any order, but with no
+/// duplicate neighbours and no self-loops. The closure is called twice per
+/// row (count pass, fill pass) and must be deterministic in `v`.
+pub fn csr_from_rows<F>(n: usize, vwgt: Vec<f64>, row: F) -> Graph
+where
+    F: Fn(u32, &mut Vec<(u32, f64)>) + Sync,
+{
+    assert_eq!(vwgt.len(), n);
+    let chunk = chunk_len(n);
+    // Pass 1: per-row degree count.
+    let mut deg = vec![0usize; n];
+    rayon::scope(|s| {
+        for (c, dslice) in deg.chunks_mut(chunk).enumerate() {
+            let row = &row;
+            let start = c * chunk;
+            s.spawn(move |_| {
+                let mut scratch: Vec<(u32, f64)> = Vec::new();
+                for (i, d) in dslice.iter_mut().enumerate() {
+                    scratch.clear();
+                    row((start + i) as u32, &mut scratch);
+                    *d = scratch.len();
+                }
+            });
+        }
+    });
+    // Serial prefix sum → row offsets.
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    xadj.push(0);
+    for d in &deg {
+        acc += *d;
+        xadj.push(acc);
+    }
+    drop(deg);
+    // Pass 2: direct fill into disjoint per-chunk slices.
+    let mut adjncy = vec![0u32; acc];
+    let mut ewgt = vec![0f64; acc];
+    rayon::scope(|s| {
+        let mut arest = adjncy.as_mut_slice();
+        let mut erest = ewgt.as_mut_slice();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let len = xadj[end] - xadj[start];
+            let (a, ar) = std::mem::take(&mut arest).split_at_mut(len);
+            let (e, er) = std::mem::take(&mut erest).split_at_mut(len);
+            arest = ar;
+            erest = er;
+            let row = &row;
+            s.spawn(move |_| {
+                let mut scratch: Vec<(u32, f64)> = Vec::new();
+                let mut off = 0usize;
+                for v in start..end {
+                    scratch.clear();
+                    row(v as u32, &mut scratch);
+                    scratch.sort_unstable_by_key(|p| p.0);
+                    debug_assert!(
+                        scratch.windows(2).all(|w| w[0].0 != w[1].0),
+                        "duplicate neighbour in row {v}"
+                    );
+                    for &(u, w) in &scratch {
+                        debug_assert_ne!(u as usize, v, "self-loop in row {v}");
+                        a[off] = u;
+                        e[off] = w;
+                        off += 1;
+                    }
+                }
+                debug_assert_eq!(off, a.len());
+            });
+            start = end;
+        }
+    });
+    Graph::from_csr(xadj, adjncy, ewgt, vwgt)
+}
+
+/// Unit-weight variant of [`csr_from_rows`]: the closure pushes neighbour
+/// ids only, every edge weight is `1.0` (one memset, no per-edge work) and
+/// every vertex weight is `1.0`.
+pub fn csr_unit_from_rows<F>(n: usize, row: F) -> Graph
+where
+    F: Fn(u32, &mut Vec<u32>) + Sync,
+{
+    let chunk = chunk_len(n);
+    let mut deg = vec![0usize; n];
+    rayon::scope(|s| {
+        for (c, dslice) in deg.chunks_mut(chunk).enumerate() {
+            let row = &row;
+            let start = c * chunk;
+            s.spawn(move |_| {
+                let mut scratch: Vec<u32> = Vec::new();
+                for (i, d) in dslice.iter_mut().enumerate() {
+                    scratch.clear();
+                    row((start + i) as u32, &mut scratch);
+                    *d = scratch.len();
+                }
+            });
+        }
+    });
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    xadj.push(0);
+    for d in &deg {
+        acc += *d;
+        xadj.push(acc);
+    }
+    drop(deg);
+    let mut adjncy = vec![0u32; acc];
+    rayon::scope(|s| {
+        let mut arest = adjncy.as_mut_slice();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let len = xadj[end] - xadj[start];
+            let (a, ar) = std::mem::take(&mut arest).split_at_mut(len);
+            arest = ar;
+            let row = &row;
+            s.spawn(move |_| {
+                let mut scratch: Vec<u32> = Vec::new();
+                let mut off = 0usize;
+                for v in start..end {
+                    scratch.clear();
+                    row(v as u32, &mut scratch);
+                    scratch.sort_unstable();
+                    debug_assert!(
+                        scratch.windows(2).all(|w| w[0] != w[1]),
+                        "duplicate neighbour in row {v}"
+                    );
+                    for &u in &scratch {
+                        debug_assert_ne!(u as usize, v, "self-loop in row {v}");
+                        a[off] = u;
+                        off += 1;
+                    }
+                }
+                debug_assert_eq!(off, a.len());
+            });
+            start = end;
+        }
+    });
+    Graph::from_csr(xadj, adjncy, vec![1.0; acc], vec![1.0; n])
+}
+
+/// Sort every CSR row ascending, in parallel over row chunks. Used by
+/// assemblers whose scatter fill leaves rows in schedule-dependent order
+/// (e.g. the triangle-soup path in the Delaunay generator): after the
+/// sort, output bytes are independent of thread count.
+pub fn sort_rows(xadj: &[usize], adjncy: &mut [u32]) {
+    let n = xadj.len().saturating_sub(1);
+    let chunk = chunk_len(n);
+    rayon::scope(|s| {
+        let mut arest = &mut *adjncy;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let len = xadj[end] - xadj[start];
+            let (a, ar) = std::mem::take(&mut arest).split_at_mut(len);
+            arest = ar;
+            let xs = &xadj[start..=end];
+            s.spawn(move |_| {
+                let base = xs[0];
+                for w in xs.windows(2) {
+                    a[w[0] - base..w[1] - base].sort_unstable();
+                }
+            });
+            start = end;
+        }
+    });
+}
+
+/// Assemble a unit-weight CSR graph from an undirected edge list, merging
+/// parallel edges by multiplicity (weight = number of copies, matching
+/// what `GraphBuilder` computes when every copy carries weight `1.0`).
+/// Self-loops are dropped. The pair buffer is 8 B/edge — half the
+/// builder's 16 B tuple — and is sorted and consumed in place.
+pub fn csr_from_pairs(n: usize, mut pairs: Vec<(u32, u32)>, vwgt: Vec<f64>) -> Graph {
+    assert_eq!(vwgt.len(), n);
+    pairs.retain(|&(u, v)| u != v);
+    for p in pairs.iter_mut() {
+        if p.0 > p.1 {
+            *p = (p.1, p.0);
+        }
+        assert!((p.1 as usize) < n, "edge ({},{}) out of range", p.0, p.1);
+    }
+    pairs.sort_unstable();
+    // Counting pass over unique pairs.
+    let mut deg = vec![0usize; n];
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let (u, v) = pairs[i];
+        while i < pairs.len() && pairs[i] == (u, v) {
+            i += 1;
+        }
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    xadj.push(0);
+    for d in &deg {
+        acc += *d;
+        xadj.push(acc);
+    }
+    let mut adjncy = vec![0u32; acc];
+    let mut ewgt = vec![0f64; acc];
+    let mut cursor = std::mem::take(&mut deg);
+    cursor.copy_from_slice(&xadj[..n]);
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let (u, v) = pairs[i];
+        let mut mult = 0usize;
+        while i < pairs.len() && pairs[i] == (u, v) {
+            mult += 1;
+            i += 1;
+        }
+        let w = mult as f64;
+        adjncy[cursor[u as usize]] = v;
+        ewgt[cursor[u as usize]] = w;
+        cursor[u as usize] += 1;
+        adjncy[cursor[v as usize]] = u;
+        ewgt[cursor[v as usize]] = w;
+        cursor[v as usize] += 1;
+    }
+    Graph::from_csr(xadj, adjncy, ewgt, vwgt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn assert_bytes_eq(a: &Graph, b: &Graph) {
+        assert_eq!(a.xadj(), b.xadj());
+        assert_eq!(a.adjncy(), b.adjncy());
+        assert_eq!(a.ewgts(), b.ewgts());
+        assert_eq!(a.vwgts(), b.vwgts());
+    }
+
+    #[test]
+    fn rows_path_matches_builder() {
+        // A ring with chords, weighted, emitted both ways.
+        let n = 97usize;
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u32 {
+            let nx = (v + 1) % n as u32;
+            b.add_edge(v, nx, 1.0 + f64::from(v % 3));
+            let chord = (v + 7) % n as u32;
+            b.add_edge(v, chord, 2.0);
+        }
+        let reference = b.build();
+        let direct = csr_from_rows(n, vec![1.0; n], |v, row| {
+            for (u, w) in reference.neighbors_w(v) {
+                row.push((u, w));
+            }
+        });
+        assert_bytes_eq(&reference, &direct);
+    }
+
+    #[test]
+    fn unit_rows_path_matches_builder() {
+        let n = 64usize;
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u32 - 1 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let reference = b.build();
+        let direct = csr_unit_from_rows(n, |v, row| {
+            if v > 0 {
+                row.push(v - 1);
+            }
+            if (v as usize) < n - 1 {
+                row.push(v + 1);
+            }
+        });
+        assert_bytes_eq(&reference, &direct);
+    }
+
+    #[test]
+    fn pairs_path_merges_multiplicity_like_builder() {
+        let n = 8usize;
+        let pairs = vec![(0u32, 1u32), (1, 0), (2, 3), (3, 3), (5, 4), (2, 3)];
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &pairs {
+            b.add_edge(u, v, 1.0);
+        }
+        let reference = b.build();
+        let direct = csr_from_pairs(n, pairs, vec![1.0; n]);
+        assert_bytes_eq(&reference, &direct);
+    }
+
+    #[test]
+    fn output_is_thread_count_invariant() {
+        // Same topology assembled under pool widths 1, 4, 8 must be
+        // byte-identical — the acceptance bar for the parallel path.
+        let n = 5000usize;
+        let build = || {
+            csr_unit_from_rows(n, |v, row| {
+                if v > 0 {
+                    row.push(v - 1);
+                }
+                if (v as usize) < n - 1 {
+                    row.push(v + 1);
+                }
+                row.push((v as usize * 37 % n) as u32);
+                row.retain(|&u| u != v);
+                row.sort_unstable();
+                row.dedup();
+            })
+        };
+        let mut outputs = Vec::new();
+        for threads in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            outputs.push(pool.install(build));
+        }
+        for g in &outputs[1..] {
+            assert_bytes_eq(&outputs[0], g);
+        }
+    }
+}

@@ -169,23 +169,25 @@ impl Graph {
 
     /// Extract the subgraph induced by `verts` (which must be duplicate-free).
     /// Returns the subgraph plus the map from sub-vertex index to original id.
+    ///
+    /// Assembled via the builder-free two-pass path: per-row degree count,
+    /// prefix sum, direct fill — no transient edge-tuple buffer.
     pub fn induced_subgraph(&self, verts: &[u32]) -> (Graph, Vec<u32>) {
         let mut inv = vec![u32::MAX; self.n()];
         for (i, &v) in verts.iter().enumerate() {
             debug_assert_eq!(inv[v as usize], u32::MAX, "duplicate vertex {v}");
             inv[v as usize] = i as u32;
         }
-        let mut b = GraphBuilder::new(verts.len());
-        for (i, &v) in verts.iter().enumerate() {
-            b.set_vwgt(i as u32, self.vwgt(v));
-            for (u, w) in self.neighbors_w(v) {
+        let vwgt: Vec<f64> = verts.iter().map(|&v| self.vwgt(v)).collect();
+        let g = crate::build::csr_from_rows(verts.len(), vwgt, |i, row| {
+            for (u, w) in self.neighbors_w(verts[i as usize]) {
                 let j = inv[u as usize];
-                if j != u32::MAX && (i as u32) < j {
-                    b.add_edge(i as u32, j, w);
+                if j != u32::MAX {
+                    row.push((j, w));
                 }
             }
-        }
-        (b.build(), verts.to_vec())
+        });
+        (g, verts.to_vec())
     }
 }
 
@@ -238,19 +240,30 @@ impl GraphBuilder {
     }
 
     /// Finish: sort, merge duplicates, emit symmetric CSR.
+    ///
+    /// Sorting and duplicate merging happen **in place** on the tuple
+    /// buffer (a write cursor compacts the sorted run), so the transient
+    /// peak is one tuple buffer plus the final CSR — not two tuple
+    /// buffers, which is what the previous clone-into-`merged` cost.
     pub fn build(mut self) -> Graph {
         self.edges.sort_unstable_by_key(|e| (e.0, e.1));
-        // Merge duplicates.
-        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
-        for e in self.edges {
-            match merged.last_mut() {
-                Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 += e.2,
-                _ => merged.push(e),
+        // Merge duplicates in place: `w` is the write cursor over the
+        // sorted run; equal (u, v) keys fold their weights into the last
+        // written entry.
+        let mut w = 0usize;
+        for r in 0..self.edges.len() {
+            let e = self.edges[r];
+            if w > 0 && self.edges[w - 1].0 == e.0 && self.edges[w - 1].1 == e.1 {
+                self.edges[w - 1].2 += e.2;
+            } else {
+                self.edges[w] = e;
+                w += 1;
             }
         }
+        self.edges.truncate(w);
         // Counting pass.
         let mut deg = vec![0usize; self.n];
-        for &(u, v, _) in &merged {
+        for &(u, v, _) in &self.edges {
             deg[u as usize] += 1;
             deg[v as usize] += 1;
         }
@@ -262,8 +275,9 @@ impl GraphBuilder {
         let total = *xadj.last().unwrap();
         let mut adjncy = vec![0u32; total];
         let mut ewgt = vec![0f64; total];
-        let mut cursor = xadj[..self.n].to_vec();
-        for &(u, v, w) in &merged {
+        let mut cursor = std::mem::take(&mut deg);
+        cursor.copy_from_slice(&xadj[..self.n]);
+        for &(u, v, w) in &self.edges {
             adjncy[cursor[u as usize]] = v;
             ewgt[cursor[u as usize]] = w;
             cursor[u as usize] += 1;

@@ -7,9 +7,10 @@
 //! walk-based point location starting at the last created triangle is
 //! near-O(1) amortised, giving roughly linear total construction time.
 
-use crate::csr::{Graph, GraphBuilder};
+use crate::csr::Graph;
 use rand::Rng;
 use sp_geometry::{hilbert_key_unit, Aabb2, Point2};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 const NONE: u32 = u32::MAX;
 
@@ -228,7 +229,7 @@ impl Triangulator {
 pub fn delaunay_of_points(points: &[Point2]) -> Graph {
     let n = points.len();
     if n == 0 {
-        return GraphBuilder::new(0).build();
+        return Graph::from_csr(vec![0], Vec::new(), Vec::new(), Vec::new());
     }
     let bbox = Aabb2::from_points(points).unwrap().inflated(0.01 + 1e-9);
     // Hilbert insertion order.
@@ -252,24 +253,95 @@ pub fn delaunay_of_points(points: &[Point2]) -> Graph {
         orig[vi as usize] = i;
     }
 
-    let mut b = GraphBuilder::with_edge_capacity(n, 3 * n);
-    for tr in &t.tris {
-        if !tr.alive {
-            continue;
+    // Emit the edge graph directly from the triangle soup — builder-free.
+    // Every real–real undirected edge is interior to the triangulation of
+    // the super-triangle (the hull consists of super-vertex edges only),
+    // so it lies in exactly two alive triangles, once per CCW direction:
+    // enumerating directed edges (v[i] → v[i+1]) over alive triangles
+    // yields each directed adjacency entry exactly once, with no
+    // duplicates to merge. Count pass → prefix sum → scatter fill, both
+    // passes parallel over triangle chunks (atomic counters commute, and
+    // the per-row sort afterwards makes the bytes schedule-independent).
+    let tris = &t.tris;
+    let chunk = tris
+        .len()
+        .div_ceil(4 * rayon::current_num_threads().max(1))
+        .max(4096);
+    let mention = |tr: &Tri, i: usize| -> Option<(u32, u32)> {
+        let a = tr.v[i] as usize;
+        let c = tr.v[(i + 1) % 3] as usize;
+        if a < 3 || c < 3 {
+            return None; // super-triangle vertex
         }
-        for i in 0..3 {
-            let a = tr.v[i] as usize;
-            let c = tr.v[(i + 1) % 3] as usize;
-            if a < 3 || c < 3 {
-                continue; // super-triangle vertex
-            }
-            let (oa, oc) = (orig[a], orig[c]);
-            if oa != NONE && oc != NONE && oa < oc {
-                b.add_edge(oa, oc, 1.0);
-            }
+        let (oa, oc) = (orig[a], orig[c]);
+        if oa != NONE && oc != NONE {
+            Some((oa, oc))
+        } else {
+            None
         }
+    };
+    let cursor: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    rayon::scope(|s| {
+        for tchunk in tris.chunks(chunk) {
+            let cursor = &cursor;
+            let mention = &mention;
+            s.spawn(move |_| {
+                for tr in tchunk.iter().filter(|tr| tr.alive) {
+                    for i in 0..3 {
+                        if let Some((oa, _)) = mention(tr, i) {
+                            cursor[oa as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    xadj.push(0);
+    for c in &cursor {
+        acc += c.load(Ordering::Relaxed) as usize;
+        xadj.push(acc);
     }
-    b.build()
+    assert!(acc <= u32::MAX as usize, "directed edge count exceeds u32");
+    // Reuse the degree counters as scatter cursors, reset to row starts.
+    for (v, c) in cursor.iter().enumerate() {
+        c.store(xadj[v] as u32, Ordering::Relaxed);
+    }
+    let slots: Vec<AtomicU32> = (0..acc).map(|_| AtomicU32::new(0)).collect();
+    rayon::scope(|s| {
+        for tchunk in tris.chunks(chunk) {
+            let cursor = &cursor;
+            let slots = &slots;
+            let mention = &mention;
+            s.spawn(move |_| {
+                for tr in tchunk.iter().filter(|tr| tr.alive) {
+                    for i in 0..3 {
+                        if let Some((oa, oc)) = mention(tr, i) {
+                            let at = cursor[oa as usize].fetch_add(1, Ordering::Relaxed);
+                            slots[at as usize].store(oc, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut adjncy = {
+        let mut slots = std::mem::ManuallyDrop::new(slots);
+        // SAFETY: AtomicU32 is guaranteed to have the same size, alignment,
+        // and bit validity as u32, and `slots` is never touched again.
+        unsafe {
+            Vec::from_raw_parts(
+                slots.as_mut_ptr() as *mut u32,
+                slots.len(),
+                slots.capacity(),
+            )
+        }
+    };
+    // Within-row order depends on the host schedule; sort rows ascending
+    // (the canonical CSR convention) to make the output deterministic.
+    crate::build::sort_rows(&xadj, &mut adjncy);
+    Graph::from_csr(xadj, adjncy, vec![1.0; acc], vec![1.0; n])
 }
 
 /// Delaunay triangulation of `n` uniformly random points in the unit square

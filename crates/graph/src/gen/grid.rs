@@ -4,25 +4,34 @@
 //! rectangular landscape (circuitscape models); a `k × k` grid graph has the
 //! same structure exactly.
 
-use crate::csr::{Graph, GraphBuilder};
+use crate::build::csr_unit_from_rows;
+use crate::csr::Graph;
 use sp_geometry::Point2;
 
 /// `rows × cols` grid with 4-neighbour connectivity.
+///
+/// Assembled builder-free: each vertex's stencil is computed directly into
+/// the final CSR (parallel two-pass fill, no transient edge list), which
+/// keeps the generator's peak at the size of the output graph.
 pub fn grid_2d(rows: usize, cols: usize) -> Graph {
     let n = rows * cols;
-    let idx = |r: usize, c: usize| (r * cols + c) as u32;
-    let mut b = GraphBuilder::with_edge_capacity(n, 2 * n);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                b.add_edge(idx(r, c), idx(r, c + 1), 1.0);
-            }
-            if r + 1 < rows {
-                b.add_edge(idx(r, c), idx(r + 1, c), 1.0);
-            }
+    csr_unit_from_rows(n, |v, row| {
+        let r = v as usize / cols;
+        let c = v as usize % cols;
+        // Ascending neighbour order: up, left, right, down.
+        if r > 0 {
+            row.push(v - cols as u32);
         }
-    }
-    b.build()
+        if c > 0 {
+            row.push(v - 1);
+        }
+        if c + 1 < cols {
+            row.push(v + 1);
+        }
+        if r + 1 < rows {
+            row.push(v + cols as u32);
+        }
+    })
 }
 
 /// Natural coordinates of the grid vertices in the unit square.

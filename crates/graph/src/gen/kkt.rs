@@ -9,7 +9,8 @@
 //! case in the paper (every method's cut is an order of magnitude worse
 //! than on the mesh graphs, and relative spreads are wide).
 
-use crate::csr::{Graph, GraphBuilder};
+use crate::build::csr_from_pairs;
+use crate::csr::Graph;
 use rand::Rng;
 
 /// Build a KKT-style graph.
@@ -27,10 +28,13 @@ pub fn kkt_graph<R: Rng>(
 ) -> Graph {
     assert!(n_primal >= 4);
     let n = n_primal + n_constraints;
-    let mut b = GraphBuilder::new(n);
+    // Accumulate bare endpoint pairs (8 B/edge, half the builder tuple);
+    // csr_from_pairs sorts in place and merges parallel edges by
+    // multiplicity, exactly what summing unit weights produced before.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n_primal * 3 + n_constraints * 4);
     // Ring backbone.
     for i in 0..n_primal {
-        b.add_edge(i as u32, ((i + 1) % n_primal) as u32, 1.0);
+        pairs.push((i as u32, ((i + 1) % n_primal) as u32));
     }
     // Shortcut branches: ~1.5 per bus with mixed spans.
     let branches = n_primal * 3 / 2;
@@ -43,7 +47,7 @@ pub fn kkt_graph<R: Rng>(
         };
         let v = (u + span) % n_primal;
         if u != v {
-            b.add_edge(u as u32, v as u32, 1.0);
+            pairs.push((u as u32, v as u32));
         }
     }
     // Hub buses: transmission networks have a few very-high-degree
@@ -55,7 +59,7 @@ pub fn kkt_graph<R: Rng>(
         for _ in 0..fan {
             let v = rng.random_range(0..n_primal);
             if v != hub {
-                b.add_edge(hub as u32, v as u32, 1.0);
+                pairs.push((hub as u32, v as u32));
             }
         }
         let _ = h;
@@ -66,13 +70,14 @@ pub fn kkt_graph<R: Rng>(
         let k = rng.random_range(2..=max_stencil.max(2));
         let start = rng.random_range(0..n_primal);
         for j in 0..k {
-            b.add_edge(cv, ((start + j) % n_primal) as u32, 1.0);
+            pairs.push((cv, ((start + j) % n_primal) as u32));
         }
         if rng.random_range(0.0..1.0) < 0.2 {
-            b.add_edge(cv, rng.random_range(0..n_primal) as u32, 1.0);
+            pairs.push((cv, rng.random_range(0..n_primal) as u32));
         }
     }
-    b.build()
+    let vwgt = vec![1.0; n];
+    csr_from_pairs(n, pairs, vwgt)
 }
 
 #[cfg(test)]

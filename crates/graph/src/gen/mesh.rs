@@ -67,20 +67,21 @@ pub fn bubbles_mesh<R: Rng>(n: usize, n_bubbles: usize, rng: &mut R) -> (Graph, 
 
 /// Triangulate `pts` and drop edges whose midpoint leaves the region, then
 /// keep the largest component (filtering can strand slivers).
-fn filtered_mesh(pts: Vec<Point2>, inside: impl Fn(Point2) -> bool) -> (Graph, Vec<Point2>) {
+///
+/// The filter runs per row straight off the triangulation's CSR (each
+/// kept row is a subsequence of an already-sorted row), so no transient
+/// edge list is built; the component extraction then goes through the
+/// lean `induced_subgraph` path.
+fn filtered_mesh(pts: Vec<Point2>, inside: impl Fn(Point2) -> bool + Sync) -> (Graph, Vec<Point2>) {
     let g = delaunay_of_points(&pts);
-    let mut b = crate::csr::GraphBuilder::new(g.n());
-    for v in 0..g.n() as u32 {
+    let filtered = crate::build::csr_unit_from_rows(g.n(), |v, row| {
         for &u in g.neighbors(v) {
-            if u > v {
-                let mid = (pts[v as usize] + pts[u as usize]) * 0.5;
-                if inside(mid) {
-                    b.add_edge(v, u, 1.0);
-                }
+            let mid = (pts[v as usize] + pts[u as usize]) * 0.5;
+            if inside(mid) {
+                row.push(u);
             }
         }
-    }
-    let filtered = b.build();
+    });
     let (big, map) = largest_component(&filtered);
     let coords = map.iter().map(|&v| pts[v as usize]).collect();
     (big, coords)

@@ -58,12 +58,28 @@ pub fn read_chaco<R: BufRead>(r: R) -> Result<Graph, String> {
         let has_vwgt = fmt_digits.len() >= 2 && fmt_digits[fmt_digits.len() - 2] == '1';
         break (n as usize, m as usize, has_ewgt, has_vwgt);
     };
-    let mut b = GraphBuilder::new(n);
+    // Stream each vertex line straight into the final CSR arrays: a
+    // Chaco file *is* an adjacency list, so no builder tuple buffer is
+    // needed — the transient peak is the output graph itself plus one
+    // line's worth of scratch. Rows are canonicalized ascending and the
+    // symmetric pass below both verifies every edge is mentioned by both
+    // endpoints and copies the lower endpoint's listed weight onto the
+    // upper direction (the builder path's exact semantics).
+    let mut xadj: Vec<usize> = Vec::with_capacity(n + 1);
+    xadj.push(0);
+    // Adversarial headers can declare absurd M; only pre-reserve when the
+    // claim is plausibly materializable, otherwise let the vecs grow.
+    let (mut adjncy, mut ewgt): (Vec<u32>, Vec<f64>) = if m <= 1 << 28 {
+        (Vec::with_capacity(2 * m), Vec::with_capacity(2 * m))
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let mut vwgt = vec![1.0f64; n];
     let mut v = 0u32;
     // Directed mentions: a well-formed file lists every undirected edge
     // once from each endpoint, so the total must be exactly 2M.
     let mut mentions = 0usize;
-    let mut line_nbrs: Vec<u32> = Vec::new();
+    let mut row: Vec<(u32, f64)> = Vec::new();
     for (lineno, line) in lines {
         let line = line.map_err(|e| e.to_string())?;
         let line = line.trim();
@@ -86,9 +102,9 @@ pub fn read_chaco<R: BufRead>(r: R) -> Result<Graph, String> {
             if !w.is_finite() || w < 0.0 {
                 return Err(format!("line {}: vertex weight {w} invalid", lineno + 1));
             }
-            b.set_vwgt(v, w);
+            vwgt[v as usize] = w;
         }
-        line_nbrs.clear();
+        row.clear();
         while let Some(tok) = it.next() {
             let u: usize = tok
                 .parse()
@@ -117,16 +133,18 @@ pub fn read_chaco<R: BufRead>(r: R) -> Result<Graph, String> {
                     v + 1
                 ));
             }
-            line_nbrs.push(u);
+            row.push((u, w));
             mentions += 1;
-            if u > v {
-                b.add_edge(v, u, w);
-            }
         }
-        line_nbrs.sort_unstable();
-        if line_nbrs.windows(2).any(|w| w[0] == w[1]) {
+        row.sort_unstable_by_key(|p| p.0);
+        if row.windows(2).any(|w| w[0].0 == w[1].0) {
             return Err(format!("line {}: duplicate neighbour", lineno + 1));
         }
+        for &(u, w) in &row {
+            adjncy.push(u);
+            ewgt.push(w);
+        }
+        xadj.push(adjncy.len());
         v += 1;
     }
     if (v as usize) != n {
@@ -139,14 +157,31 @@ pub fn read_chaco<R: BufRead>(r: R) -> Result<Graph, String> {
             2 * m
         ));
     }
-    let g = b.build();
-    if g.m() != m {
-        return Err(format!(
-            "asymmetric adjacency: header declares {m} edges, reconstructed {}",
-            g.m()
-        ));
+    // Symmetry pass: every directed mention needs its reverse (rows are
+    // sorted, so the reverse is a binary search away); the lower
+    // endpoint's listed weight is canonical for both directions.
+    for a in 0..n {
+        for k in xadj[a]..xadj[a + 1] {
+            let bvtx = adjncy[k] as usize;
+            let brow = &adjncy[xadj[bvtx]..xadj[bvtx + 1]];
+            match brow.binary_search(&(a as u32)) {
+                Ok(pos) => {
+                    if a < bvtx {
+                        ewgt[xadj[bvtx] + pos] = ewgt[k];
+                    }
+                }
+                Err(_) => {
+                    return Err(format!(
+                        "asymmetric adjacency: header declares {m} edges, but edge \
+                         ({},{}) is mentioned only once",
+                        a + 1,
+                        bvtx + 1
+                    ));
+                }
+            }
+        }
     }
-    Ok(g)
+    Ok(Graph::from_csr(xadj, adjncy, ewgt, vwgt))
 }
 
 /// Write a graph in Chaco/Metis format (unweighted form).

@@ -7,6 +7,8 @@
 //! distribution of vertices over simulated ranks.
 
 pub mod access;
+pub mod build;
+pub mod compact;
 pub mod csr;
 pub mod distr;
 pub mod gen;
@@ -15,7 +17,9 @@ pub mod partition;
 pub mod suite;
 pub mod traversal;
 
-pub use access::GraphAccess;
+pub use access::{graph_fingerprint, GraphAccess};
+pub use build::{csr_from_pairs, csr_from_rows, csr_unit_from_rows};
+pub use compact::CompactGraph;
 pub use csr::{Graph, GraphBuilder};
 pub use partition::{Bisection, PartitionQuality};
 pub use suite::{SuiteGraph, TestGraph, TestScale};

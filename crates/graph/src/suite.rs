@@ -5,7 +5,7 @@
 //! scale with [`TestScale`] so the full harness runs in minutes at
 //! `Bench` scale while `Paper` scale matches the published vertex counts.
 
-use crate::csr::{Graph, GraphBuilder};
+use crate::csr::Graph;
 use crate::gen;
 use crate::traversal::bfs_distances;
 use rand::rngs::StdRng;
@@ -193,17 +193,16 @@ fn bfs_relabel(g: Graph, coords: Option<Vec<Point2>>) -> (Graph, Option<Vec<Poin
     for (new, &old) in order.iter().enumerate() {
         new_id[old as usize] = new as u32;
     }
-    let mut b = GraphBuilder::with_edge_capacity(n, g.m());
-    for v in 0..n as u32 {
-        b.set_vwgt(new_id[v as usize], g.vwgt(v));
-        for (u, w) in g.neighbors_w(v) {
-            if u > v {
-                b.add_edge(new_id[v as usize], new_id[u as usize], w);
-            }
+    // Builder-free permutation: new row i is old row order[i] with ids
+    // remapped (two-pass direct fill; rows re-sorted by the assembler).
+    let vwgt: Vec<f64> = order.iter().map(|&old| g.vwgt(old)).collect();
+    let relabeled = crate::build::csr_from_rows(n, vwgt, |i, row| {
+        for (u, w) in g.neighbors_w(order[i as usize]) {
+            row.push((new_id[u as usize], w));
         }
-    }
+    });
     let new_coords = coords.map(|c| order.iter().map(|&old| c[old as usize]).collect());
-    (b.build(), new_coords)
+    (relabeled, new_coords)
 }
 
 #[cfg(test)]

@@ -1,0 +1,59 @@
+//! Acceptance: the parallel builder-free generators must produce
+//! byte-identical graphs no matter the rayon pool width. Each family is
+//! generated under 1-, 4-, and 8-thread pools and compared array-by-array
+//! (offsets, adjacency, edge weights, vertex weights).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_graph::gen::{delaunay_graph, grid_2d, kkt_graph, trace_mesh};
+use sp_graph::Graph;
+
+fn assert_bytes_eq(a: &Graph, b: &Graph, what: &str) {
+    assert_eq!(a.xadj(), b.xadj(), "{what}: xadj drifted");
+    assert_eq!(a.adjncy(), b.adjncy(), "{what}: adjncy drifted");
+    assert_eq!(a.ewgts(), b.ewgts(), "{what}: ewgt drifted");
+    assert_eq!(a.vwgts(), b.vwgts(), "{what}: vwgt drifted");
+}
+
+fn across_pools(build: impl Fn() -> Graph, what: &str) {
+    let mut outputs = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        outputs.push(pool.install(&build));
+    }
+    for g in &outputs[1..] {
+        assert_bytes_eq(&outputs[0], g, what);
+    }
+}
+
+#[test]
+fn grid_bytes_are_thread_invariant() {
+    across_pools(|| grid_2d(37, 53), "grid_2d");
+}
+
+#[test]
+fn delaunay_bytes_are_thread_invariant() {
+    across_pools(
+        || delaunay_graph(3000, &mut StdRng::seed_from_u64(11)).0,
+        "delaunay_graph",
+    );
+}
+
+#[test]
+fn trace_mesh_bytes_are_thread_invariant() {
+    across_pools(
+        || trace_mesh(2000, &mut StdRng::seed_from_u64(5)).0,
+        "trace_mesh",
+    );
+}
+
+#[test]
+fn kkt_bytes_are_thread_invariant() {
+    across_pools(
+        || kkt_graph(1200, 600, 5, &mut StdRng::seed_from_u64(9)),
+        "kkt_graph",
+    );
+}

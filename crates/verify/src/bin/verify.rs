@@ -8,7 +8,7 @@
 //!        [--replay HEX] [--skip-perturb] [--skip-passivity] [--skip-parallel]
 //!        [--skip-multinode] [--multinode-requests N] [--multinode-shards N]
 //!        [--skip-incremental] [--incremental-streams N] [--incremental-steps N]
-//!        [--self-test]
+//!        [--skip-repr] [--self-test]
 //! ```
 
 use std::process::ExitCode;
@@ -20,8 +20,8 @@ use sp_graph::gen::{delaunay_graph, grid_2d, grid_2d_coords};
 use sp_graph::Graph;
 use sp_verify::{
     run_campaign, run_incremental_campaign, run_multinode_campaign, run_once,
-    run_parallel_campaign, run_passivity, run_perturbations, FuzzConfig, IncrementalFuzzConfig,
-    MultinodeFuzzConfig, ParallelFuzzConfig,
+    run_parallel_campaign, run_passivity, run_perturbations, run_repr_campaign, FuzzConfig,
+    IncrementalFuzzConfig, MultinodeFuzzConfig, ParallelFuzzConfig, ReprFuzzConfig,
 };
 
 struct Cli {
@@ -35,6 +35,7 @@ struct Cli {
     skip_parallel: bool,
     skip_multinode: bool,
     skip_incremental: bool,
+    skip_repr: bool,
     multinode_requests: usize,
     multinode_shards: usize,
     incremental_streams: usize,
@@ -49,7 +50,7 @@ fn usage() -> ! {
          [--skip-passivity] [--skip-parallel] [--skip-multinode] \
          [--multinode-requests N] [--multinode-shards N] \
          [--skip-incremental] [--incremental-streams N] \
-         [--incremental-steps N] [--self-test]"
+         [--incremental-steps N] [--skip-repr] [--self-test]"
     );
     std::process::exit(2)
 }
@@ -78,6 +79,7 @@ fn parse_cli() -> Cli {
         skip_parallel: false,
         skip_multinode: false,
         skip_incremental: false,
+        skip_repr: false,
         multinode_requests: MultinodeFuzzConfig::default().requests,
         multinode_shards: MultinodeFuzzConfig::default().shards,
         incremental_streams: IncrementalFuzzConfig::default().streams,
@@ -103,6 +105,7 @@ fn parse_cli() -> Cli {
             "--skip-parallel" => cli.skip_parallel = true,
             "--skip-multinode" => cli.skip_multinode = true,
             "--skip-incremental" => cli.skip_incremental = true,
+            "--skip-repr" => cli.skip_repr = true,
             "--multinode-requests" => cli.multinode_requests = parse_u64(&val()) as usize,
             "--multinode-shards" => cli.multinode_shards = parse_u64(&val()) as usize,
             "--incremental-streams" => cli.incremental_streams = parse_u64(&val()) as usize,
@@ -302,6 +305,30 @@ fn main() -> ExitCode {
             failed = true;
             for f in &report.failures {
                 println!("incremental: FAILED at {f}");
+            }
+        }
+    }
+
+    if !cli.skip_repr {
+        let rcfg = ReprFuzzConfig {
+            ranks: cli.ranks,
+            ..ReprFuzzConfig::default()
+        };
+        let report = run_repr_campaign(&g, &rcfg);
+        if report.ok() {
+            println!(
+                "repr: {} pipeline run(s) (reference + compact × threads {:?}) \
+                 bit-identical, graph fp {:#018x}, compact {} KiB vs reference {} KiB",
+                report.runs,
+                rcfg.threads,
+                report.graph_fingerprint,
+                report.compact_bytes / 1024,
+                report.reference_bytes / 1024
+            );
+        } else {
+            failed = true;
+            for f in &report.failures {
+                println!("repr: FAILED: {f}");
             }
         }
     }

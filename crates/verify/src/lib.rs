@@ -42,6 +42,7 @@ pub mod multinode;
 pub mod parallel;
 pub mod passive;
 pub mod perturb;
+pub mod repr;
 pub mod rng;
 
 pub use fuzz::{
@@ -57,4 +58,5 @@ pub use multinode::{
 pub use parallel::{run_parallel_campaign, ParallelFailure, ParallelFuzzConfig, ParallelReport};
 pub use passive::{run_passivity, PassivityReport, PassivityRun};
 pub use perturb::{run_perturbations, PerturbReport, ScenarioOutcome};
+pub use repr::{run_repr_campaign, ReprFuzzConfig, ReprReport};
 pub use rng::{derive_seed, Fingerprint};
